@@ -1,0 +1,290 @@
+package planarflow
+
+// One benchmark per experiment of DESIGN.md §3 (the paper's theorems), each
+// reporting the simulated CONGEST rounds of the run as a custom metric, plus
+// micro-benchmarks of the substrates. Regenerate the full tables with
+// cmd/flowbench; these benches track wall-clock and round costs per change.
+
+import (
+	"math/rand"
+	"testing"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/congest"
+	"planarflow/internal/core"
+	"planarflow/internal/duallabel"
+	"planarflow/internal/hatg"
+	"planarflow/internal/ledger"
+	"planarflow/internal/pa"
+	"planarflow/internal/planar"
+)
+
+func reportRounds(b *testing.B, led *ledger.Ledger) {
+	b.Helper()
+	b.ReportMetric(float64(led.Total()), "rounds")
+}
+
+// BenchmarkE1ExactMaxFlow — Thm 1.2: exact max st-flow, Õ(D²) rounds.
+func BenchmarkE1ExactMaxFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := planar.WithRandomWeights(planar.Grid(12, 12), rng, 1, 1, 1, 64)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		if _, err := core.MaxFlow(g, 0, g.N()-1, core.Options{}, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE2ApproxFlow — Thm 1.3: (1-eps) st-planar flow, D·n^{o(1)} rounds.
+func BenchmarkE2ApproxFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := planar.WithRandomWeights(planar.Grid(12, 12), rng, 1, 1, 100, 1000)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		if _, err := core.STPlanarMaxFlow(g, 0, g.N()-1, 0.1, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE3GlobalMinCut — Thm 1.5: directed global min cut, Õ(D²) rounds.
+func BenchmarkE3GlobalMinCut(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := planar.WithRandomWeights(planar.BoustrophedonGrid(10, 10), rng, 1, 40, 1, 1)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		if _, err := core.GlobalMinCut(g, core.Options{}, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE4Girth — Thm 1.7: weighted girth, Õ(D) rounds.
+func BenchmarkE4Girth(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := planar.WithRandomWeights(planar.Grid(12, 12), rng, 1, 1000000, 1, 1)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		if _, err := core.Girth(g, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE5DualLabeling — Thm 2.1: Õ(D)-word labels in Õ(D²) rounds.
+func BenchmarkE5DualLabeling(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := planar.Grid(12, 12)
+	lens := make([]int64, g.NumDarts())
+	for d := range lens {
+		lens[d] = 1 + rng.Int63n(64)
+	}
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		tree := bdd.Build(g, 0, led)
+		if la := duallabel.Compute(tree, lens, led); la.NegCycle {
+			b.Fatal("unexpected negative cycle")
+		}
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE6MinSTCut — Thm 6.1: exact directed min st-cut.
+func BenchmarkE6MinSTCut(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := planar.WithRandomWeights(planar.Grid(10, 10), rng, 1, 1, 1, 32)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		if _, err := core.MinSTCut(g, 0, g.N()-1, core.Options{}, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE7PartwiseAggregation — Cor 4.6/Thm 4.10: PA on G* in Õ(D).
+func BenchmarkE7PartwiseAggregation(b *testing.B) {
+	g := planar.Grid(16, 16)
+	h := hatg.New(g)
+	net := pa.FromHatG(h)
+	tree := pa.BuildTree(net, 0)
+	nf := g.Faces().NumFaces()
+	parts := pa.Parts{Of: make([]int, h.N()), Num: nf}
+	input := make([]int64, h.N())
+	for x := 0; x < h.N(); x++ {
+		parts.Of[x] = -1
+		if !h.IsStarCenter(x) {
+			parts.Of[x] = h.FaceOfCopy(x)
+			input[x] = 1
+		}
+	}
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res := pa.Aggregate(net, tree, parts, input, pa.Sum)
+		rounds = 2 * res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE8BDDBuild — Lem 5.1/Thm 5.2: decomposition construction.
+func BenchmarkE8BDDBuild(b *testing.B) {
+	g := planar.Grid(16, 16)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		bdd.Build(g, 16, led)
+	}
+	reportRounds(b, led)
+}
+
+// BenchmarkE9DinicBaseline — the centralized comparator used throughout.
+func BenchmarkE9DinicBaseline(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := planar.WithRandomWeights(planar.Grid(16, 16), rng, 1, 1, 1, 64)
+	for i := 0; i < b.N; i++ {
+		core.DinicValue(g, 0, g.N()-1)
+	}
+}
+
+// BenchmarkE10GirthSSSPRoute — the [36] Õ(D²) route the paper improves on.
+func BenchmarkE10GirthSSSPRoute(b *testing.B) {
+	g := planar.BoustrophedonGrid(12, 12)
+	var led *ledger.Ledger
+	for i := 0; i < b.N; i++ {
+		led = ledger.New()
+		if _, err := core.DirectedGirth(g, core.Options{}, led); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRounds(b, led)
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationLeafLimit sweeps the BDD leaf bag size around the
+// paper's Θ(D log n): too small explodes the level count (broadcast rounds),
+// too large degenerates to the centralized leaf computation.
+func BenchmarkAblationLeafLimit(b *testing.B) {
+	g := planar.Grid(14, 14)
+	rng := rand.New(rand.NewSource(12))
+	lens := make([]int64, g.NumDarts())
+	for d := range lens {
+		lens[d] = 1 + rng.Int63n(32)
+	}
+	for _, leaf := range []int{8, 32, bdd.DefaultLeafLimit(g), 4 * bdd.DefaultLeafLimit(g)} {
+		b.Run(leafName(leaf, g), func(b *testing.B) {
+			var led *ledger.Ledger
+			for i := 0; i < b.N; i++ {
+				led = ledger.New()
+				tree := bdd.Build(g, leaf, led)
+				if la := duallabel.Compute(tree, lens, led); la.NegCycle {
+					b.Fatal("negative cycle")
+				}
+			}
+			reportRounds(b, led)
+		})
+	}
+}
+
+func leafName(leaf int, g *planar.Graph) string {
+	if leaf == bdd.DefaultLeafLimit(g) {
+		return "leaf=default"
+	}
+	return "leaf=" + itoa(leaf)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationGirthRoutes compares the paper's Õ(D) dual-cut girth
+// against the Õ(D²) SSSP route on the same size.
+func BenchmarkAblationGirthRoutes(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	gU := planar.WithRandomWeights(planar.Grid(14, 14), rng, 1, 100, 1, 1)
+	gD := planar.BoustrophedonGrid(14, 14)
+	b.Run("dual-cut", func(b *testing.B) {
+		var led *ledger.Ledger
+		for i := 0; i < b.N; i++ {
+			led = ledger.New()
+			if _, err := core.Girth(gU, led); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRounds(b, led)
+	})
+	b.Run("sssp-route", func(b *testing.B) {
+		var led *ledger.Ledger
+		for i := 0; i < b.N; i++ {
+			led = ledger.New()
+			if _, err := core.DirectedGirth(gD, core.Options{}, led); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRounds(b, led)
+	})
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkPlanarFaces(b *testing.B) {
+	g := planar.Grid(32, 32)
+	for i := 0; i < b.N; i++ {
+		fresh := planar.MustGraph(g.N(), g.Edges(), rotationsOf(g))
+		fresh.Faces()
+	}
+}
+
+func rotationsOf(g *planar.Graph) [][]planar.Dart {
+	rot := make([][]planar.Dart, g.N())
+	for v := 0; v < g.N(); v++ {
+		rot[v] = append([]planar.Dart(nil), g.Rotation(v)...)
+	}
+	return rot
+}
+
+func BenchmarkHatGConstruction(b *testing.B) {
+	g := planar.Grid(32, 32)
+	for i := 0; i < b.N; i++ {
+		hatg.New(g)
+	}
+}
+
+func BenchmarkSeparatorBDD(b *testing.B) {
+	g := planar.Grid(24, 24)
+	for i := 0; i < b.N; i++ {
+		bdd.Build(g, 32, ledger.New())
+	}
+}
+
+func BenchmarkCongestBFS(b *testing.B) {
+	g := planar.Grid(16, 16)
+	e := congest.NewEngine(g)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, stats := congest.DistributedBFS(e, 0)
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}

@@ -1,0 +1,212 @@
+// Package congest simulates the synchronous CONGEST model of [Peleg '00] on
+// an embedded planar communication graph.
+//
+// Each vertex is a computational unit executing the same step function.
+// Communication proceeds in synchronous rounds; in every round each vertex
+// may send one message of at most B = Θ(log n) bits along each incident
+// dart. Messages are delivered through per-dart Go channels at the start of
+// the next round ("channels model message rounds"); vertex steps within a
+// round run concurrently on a worker pool, mirroring the model's parallelism
+// while keeping runs deterministic (inboxes are ordered by dart).
+//
+// The engine measures rounds, message counts and bandwidth violations; tests
+// assert that algorithms never exceed the per-edge budget.
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"planarflow/internal/planar"
+)
+
+// Received is a message as seen by its receiver: it arrived along dart In
+// (whose head is the receiver), so the sender is Tail(In).
+type Received struct {
+	In      planar.Dart
+	Payload any
+	Bits    int
+}
+
+// Ctx is the per-vertex, per-round execution context handed to step
+// functions.
+type Ctx struct {
+	V     int
+	Round int
+	In    []Received
+
+	eng    *Engine
+	out    []outMsg
+	halted bool
+}
+
+type outMsg struct {
+	d       planar.Dart
+	payload any
+	bits    int
+}
+
+// Send transmits payload along dart d (which must leave Ctx.V) to be
+// delivered next round. bits is the encoded size; it must not exceed the
+// engine's per-message budget and at most one message may be sent per dart
+// per round — violations are counted and fail tests.
+func (c *Ctx) Send(d planar.Dart, payload any, bits int) {
+	c.out = append(c.out, outMsg{d: d, payload: payload, bits: bits})
+}
+
+// Halt marks this vertex as willing to terminate. The engine stops when all
+// vertices halt in a round that delivers no messages.
+func (c *Ctx) Halt() { c.halted = true }
+
+// Graph returns the communication graph (vertices know their local topology).
+func (c *Ctx) Graph() *planar.Graph { return c.eng.g }
+
+// StepFunc is the code run by every vertex in every round.
+type StepFunc func(c *Ctx)
+
+// Stats aggregates a run's cost measurements.
+type Stats struct {
+	Rounds       int   // synchronous rounds executed
+	Messages     int64 // total messages delivered
+	Bits         int64 // total payload bits delivered
+	Violations   int   // messages exceeding B bits or duplicate per-dart sends
+	MaxInflight  int   // peak messages in a single round
+	HaltedNormal bool  // true if run ended by unanimous halt (vs round cap)
+}
+
+// Engine executes CONGEST algorithms on a fixed communication graph.
+type Engine struct {
+	g *planar.Graph
+	b int // per-message bit budget
+
+	workers int
+}
+
+// MessageBits returns the CONGEST per-message budget for an n-vertex network:
+// c * ceil(log2 n) bits with the customary constant c = 4 (an ID plus a
+// polynomially-bounded weight fit in one message).
+func MessageBits(n int) int {
+	bits := 1
+	for 1<<bits < n {
+		bits++
+	}
+	return 4 * bits
+}
+
+// NewEngine returns an engine for g with the standard O(log n) message
+// budget.
+func NewEngine(g *planar.Graph) *Engine {
+	return &Engine{g: g, b: MessageBits(g.N()), workers: runtime.GOMAXPROCS(0)}
+}
+
+// B returns the per-message bit budget.
+func (e *Engine) B() int { return e.b }
+
+// Graph returns the communication graph.
+func (e *Engine) Graph() *planar.Graph { return e.g }
+
+// Run executes step on every vertex each round until every vertex halts in a
+// round with no message deliveries, or maxRounds is reached.
+func (e *Engine) Run(step StepFunc, maxRounds int) Stats {
+	n := e.g.N()
+	var stats Stats
+
+	// mailbox[d] carries the message sent along dart d, delivered one round
+	// after it is sent.
+	mailbox := make([]chan Received, e.g.NumDarts())
+	for d := range mailbox {
+		mailbox[d] = make(chan Received, 1)
+	}
+
+	ctxs := make([]*Ctx, n)
+	for v := range ctxs {
+		ctxs[v] = &Ctx{V: v, eng: e}
+	}
+
+	inflight := 0
+	for round := 0; round < maxRounds; round++ {
+		// Deliver: drain each vertex's incoming darts into its inbox.
+		delivered := 0
+		for v := 0; v < n; v++ {
+			c := ctxs[v]
+			c.In = c.In[:0]
+			for _, d := range e.g.Rotation(v) {
+				in := planar.Rev(d) // dart pointing at v
+				select {
+				case m := <-mailbox[in]:
+					c.In = append(c.In, m)
+					delivered++
+				default:
+				}
+			}
+			sort.Slice(c.In, func(i, j int) bool { return c.In[i].In < c.In[j].In })
+		}
+		if round > 0 && delivered == 0 && allHalted(ctxs) {
+			stats.HaltedNormal = true
+			return stats
+		}
+		stats.Messages += int64(delivered)
+		if delivered > stats.MaxInflight {
+			stats.MaxInflight = delivered
+		}
+
+		// Compute: run all vertex steps for this round concurrently.
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range work {
+					c := ctxs[v]
+					c.Round = round
+					c.halted = false
+					c.out = c.out[:0]
+					step(c)
+				}
+			}()
+		}
+		for v := 0; v < n; v++ {
+			work <- v
+		}
+		close(work)
+		wg.Wait()
+		stats.Rounds++
+
+		// Route: push outboxes into the per-dart channels.
+		inflight = 0
+		for v := 0; v < n; v++ {
+			for _, m := range ctxs[v].out {
+				if e.g.Tail(m.d) != v {
+					panic(fmt.Sprintf("congest: vertex %d sent on dart %d it does not own", v, m.d))
+				}
+				if m.bits > e.b {
+					stats.Violations++
+				}
+				select {
+				case mailbox[m.d] <- Received{In: m.d, Payload: m.payload, Bits: m.bits}:
+					stats.Bits += int64(m.bits)
+					inflight++
+				default:
+					stats.Violations++ // two messages on one dart in one round
+				}
+			}
+		}
+		if inflight == 0 && allHalted(ctxs) {
+			stats.HaltedNormal = true
+			return stats
+		}
+	}
+	return stats
+}
+
+func allHalted(ctxs []*Ctx) bool {
+	for _, c := range ctxs {
+		if !c.halted {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package congest
+
+import (
+	"sort"
+	"sync"
+)
+
+// PortEngine is a synchronous CONGEST engine over an arbitrary port-numbered
+// graph (adjacency lists). It exists so algorithms can be executed on the
+// face-disjoint graph Ĝ itself — the communication scaffold of §3 — whose
+// vertices are copies of primal vertices rather than an embedded planar
+// graph. Semantics match Engine: per round, one B-bit message per incident
+// port per direction, delivered next round.
+type PortEngine struct {
+	adj [][]int
+	b   int
+
+	workers int
+}
+
+// NewPortEngine wraps an adjacency list (adj[v][i] = i-th neighbor of v).
+func NewPortEngine(adj [][]int) *PortEngine {
+	return &PortEngine{adj: adj, b: MessageBits(len(adj)), workers: 4}
+}
+
+// B returns the per-message bit budget.
+func (e *PortEngine) B() int { return e.b }
+
+// N returns the vertex count.
+func (e *PortEngine) N() int { return len(e.adj) }
+
+// Degree returns the number of ports of v.
+func (e *PortEngine) Degree(v int) int { return len(e.adj[v]) }
+
+// PortMsg is a received message: it arrived on the receiver's port Port
+// (so the sender is adj[receiver][Port]).
+type PortMsg struct {
+	Port    int
+	Payload any
+	Bits    int
+}
+
+// PortCtx is the per-vertex per-round context.
+type PortCtx struct {
+	V     int
+	Round int
+	In    []PortMsg
+
+	eng    *PortEngine
+	out    []portOut
+	halted bool
+}
+
+type portOut struct {
+	port    int
+	payload any
+	bits    int
+}
+
+// Send transmits along port p of the current vertex.
+func (c *PortCtx) Send(p int, payload any, bits int) {
+	c.out = append(c.out, portOut{port: p, payload: payload, bits: bits})
+}
+
+// Halt votes to terminate.
+func (c *PortCtx) Halt() { c.halted = true }
+
+// Degree returns the current vertex's port count.
+func (c *PortCtx) Degree() int { return len(c.eng.adj[c.V]) }
+
+// PortStepFunc is the per-vertex round handler.
+type PortStepFunc func(c *PortCtx)
+
+// Run executes the algorithm until unanimous halt with no deliveries, or
+// maxRounds.
+func (e *PortEngine) Run(step PortStepFunc, maxRounds int) Stats {
+	n := len(e.adj)
+	var stats Stats
+	// reversePort[v][i] = the port index at neighbor u = adj[v][i] that
+	// points back to v (parallel edges paired by occurrence order).
+	reversePort := make([][]int, n)
+	{
+		used := make([]map[int]int, n)
+		for v := range used {
+			used[v] = map[int]int{}
+			reversePort[v] = make([]int, len(e.adj[v]))
+			for i := range reversePort[v] {
+				reversePort[v][i] = -1
+			}
+		}
+		for v := 0; v < n; v++ {
+			for i, u := range e.adj[v] {
+				if reversePort[v][i] != -1 {
+					continue
+				}
+				// Find the next unused port at u pointing to v.
+				start := used[u][v]
+				for j := start; j < len(e.adj[u]); j++ {
+					if e.adj[u][j] == v {
+						probeOK := reversePort[u][j] == -1
+						if probeOK {
+							reversePort[v][i] = j
+							reversePort[u][j] = i
+							used[u][v] = j + 1
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	inbox := make([][]PortMsg, n)
+	next := make([][]PortMsg, n)
+	ctxs := make([]*PortCtx, n)
+	for v := range ctxs {
+		ctxs[v] = &PortCtx{V: v, eng: e}
+	}
+	for round := 0; round < maxRounds; round++ {
+		delivered := 0
+		for v := 0; v < n; v++ {
+			inbox[v], next[v] = next[v], inbox[v][:0]
+			delivered += len(inbox[v])
+			sort.Slice(inbox[v], func(i, j int) bool { return inbox[v][i].Port < inbox[v][j].Port })
+		}
+		if round > 0 && delivered == 0 && portAllHalted(ctxs) {
+			stats.HaltedNormal = true
+			return stats
+		}
+		stats.Messages += int64(delivered)
+
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range work {
+					c := ctxs[v]
+					c.Round = round
+					c.In = inbox[v]
+					c.halted = false
+					c.out = c.out[:0]
+					step(c)
+				}
+			}()
+		}
+		for v := 0; v < n; v++ {
+			work <- v
+		}
+		close(work)
+		wg.Wait()
+		stats.Rounds++
+
+		sent := 0
+		perPort := map[[2]int]bool{}
+		for v := 0; v < n; v++ {
+			for _, m := range ctxs[v].out {
+				if m.bits > e.b {
+					stats.Violations++
+				}
+				key := [2]int{v, m.port}
+				if perPort[key] {
+					stats.Violations++
+					continue
+				}
+				perPort[key] = true
+				u := e.adj[v][m.port]
+				next[u] = append(next[u], PortMsg{Port: reversePort[v][m.port], Payload: m.payload, Bits: m.bits})
+				stats.Bits += int64(m.bits)
+				sent++
+			}
+		}
+		if sent == 0 && portAllHalted(ctxs) {
+			stats.HaltedNormal = true
+			return stats
+		}
+	}
+	return stats
+}
+
+func portAllHalted(ctxs []*PortCtx) bool {
+	for _, c := range ctxs {
+		if !c.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// PortBFS floods a BFS from root and returns hop distances; measured rounds
+// ≈ eccentricity(root).
+func PortBFS(e *PortEngine, root int) ([]int, Stats) {
+	dist := make([]int, e.N())
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[root] = 0
+	type tok struct{ d int }
+	stats := e.Run(func(c *PortCtx) {
+		v := c.V
+		if c.Round == 0 && v == root {
+			for p := 0; p < c.Degree(); p++ {
+				c.Send(p, tok{d: 1}, e.B())
+			}
+		}
+		for _, m := range c.In {
+			t, ok := m.Payload.(tok)
+			if !ok {
+				continue
+			}
+			if dist[v] == -1 {
+				dist[v] = t.d
+				for p := 0; p < c.Degree(); p++ {
+					if p != m.Port {
+						c.Send(p, tok{d: t.d + 1}, e.B())
+					}
+				}
+			}
+		}
+		c.Halt()
+	}, 4*e.N()+8)
+	return dist, stats
+}

@@ -1,0 +1,73 @@
+package congest
+
+import (
+	"testing"
+
+	"planarflow/internal/planar"
+)
+
+func gridAdj(g *planar.Graph) [][]int {
+	adj := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, d := range g.Rotation(v) {
+			adj[v] = append(adj[v], g.Head(d))
+		}
+	}
+	return adj
+}
+
+func TestPortBFSMatchesCentralized(t *testing.T) {
+	g := planar.Grid(5, 7)
+	e := NewPortEngine(gridAdj(g))
+	dist, stats := PortBFS(e, 0)
+	want := g.BFS(0)
+	for v := 0; v < g.N(); v++ {
+		if dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, dist[v], want.Dist[v])
+		}
+	}
+	if stats.Violations != 0 {
+		t.Fatalf("violations: %d", stats.Violations)
+	}
+	if stats.Rounds > 2*want.Depth+8 {
+		t.Fatalf("rounds=%d ecc=%d", stats.Rounds, want.Depth)
+	}
+}
+
+func TestPortEngineParallelEdges(t *testing.T) {
+	// Two vertices joined by two parallel edges: ports must pair correctly.
+	adj := [][]int{{1, 1}, {0, 0}}
+	e := NewPortEngine(adj)
+	got := make([]int, 2)
+	stats := e.Run(func(c *PortCtx) {
+		if c.Round == 0 && c.V == 0 {
+			c.Send(0, 10, e.B())
+			c.Send(1, 20, e.B())
+		}
+		for _, m := range c.In {
+			got[m.Port] = m.Payload.(int)
+		}
+		c.Halt()
+	}, 4)
+	if stats.Violations != 0 {
+		t.Fatalf("violations: %d", stats.Violations)
+	}
+	if got[0]+got[1] != 30 || got[0] == got[1] {
+		t.Fatalf("parallel delivery wrong: %v", got)
+	}
+}
+
+func TestPortEngineDuplicateSendViolation(t *testing.T) {
+	adj := [][]int{{1}, {0}}
+	e := NewPortEngine(adj)
+	stats := e.Run(func(c *PortCtx) {
+		if c.Round == 0 && c.V == 0 {
+			c.Send(0, 1, e.B())
+			c.Send(0, 2, e.B())
+		}
+		c.Halt()
+	}, 3)
+	if stats.Violations != 1 {
+		t.Fatalf("violations=%d want 1", stats.Violations)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+func edgeTriples(g *planar.Graph) ([]int, []int, []int64) {
+	us := make([]int, g.M())
+	vs := make([]int, g.M())
+	ws := make([]int64, g.M())
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		us[e], vs[e], ws[e] = ed.U, ed.V, ed.Weight
+	}
+	return us, vs, ws
+}
+
+func TestGirthGrid(t *testing.T) {
+	// Unit-weight grid: minimum cycle is a unit square of weight 4.
+	g := planar.Grid(4, 5)
+	res, err := Girth(g, ledger.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 4 {
+		t.Fatalf("girth=%d want 4", res.Weight)
+	}
+	if err := CheckCycle(g, res.CycleEdges, res.Weight); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGirthTree(t *testing.T) {
+	g := planar.Grid(1, 6)
+	res, err := Girth(g, ledger.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight < spath.Inf {
+		t.Fatalf("tree girth should be Inf, got %d", res.Weight)
+	}
+}
+
+func TestGirthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		var g *planar.Graph
+		switch trial % 3 {
+		case 0:
+			g = planar.Grid(2+rng.Intn(4), 2+rng.Intn(5))
+		case 1:
+			g = planar.StackedTriangulation(8+rng.Intn(25), rng)
+		default:
+			g = planar.RemoveRandomEdges(planar.StackedTriangulation(20, rng), rng, 10)
+		}
+		g = planar.WithRandomWeights(g, rng, 1, 30, 1, 1)
+		res, err := Girth(g, ledger.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		us, vs, ws := edgeTriples(g)
+		want := spath.UndirectedGirth(g.N(), us, vs, ws)
+		if res.Weight != want {
+			t.Fatalf("trial %d: girth=%d want %d", trial, res.Weight, want)
+		}
+		if want < spath.Inf {
+			if err := CheckCycle(g, res.CycleEdges, res.Weight); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestGirthRejectsNonPositiveWeights(t *testing.T) {
+	g := planar.Grid(3, 3).WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
+		old.Weight = 0
+		return old
+	})
+	if _, err := Girth(g, ledger.New()); err == nil {
+		t.Fatal("expected error for zero weights")
+	}
+}
+
+func TestGlobalMinCutNotStronglyConnected(t *testing.T) {
+	// All grid edges point right/down: no cycles at all, cut value 0.
+	g := planar.Grid(3, 3)
+	res, err := GlobalMinCut(g, Options{LeafLimit: 8}, ledger.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("value=%d want 0", res.Value)
+	}
+	us, vs, ws := edgeTriples(g)
+	if w := spath.CutWeightDirected(us, vs, ws, res.Side); w != 0 {
+		t.Fatalf("side weight=%d want 0", w)
+	}
+}
+
+func TestGlobalMinCutMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	done := 0
+	for trial := 0; trial < 40 && done < 10; trial++ {
+		var g *planar.Graph
+		if trial%2 == 0 {
+			g = planar.Grid(2+rng.Intn(3), 2+rng.Intn(4))
+		} else {
+			g = planar.StackedTriangulation(6+rng.Intn(12), rng)
+		}
+		g = planar.WithRandomWeights(g, rng, 1, 20, 1, 1)
+		g = planar.WithRandomDirections(g, rng)
+		res, err := GlobalMinCut(g, Options{LeafLimit: 10}, ledger.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		us, vs, ws := edgeTriples(g)
+		want := spath.DirectedGlobalMinCut(g.N(), us, vs, ws)
+		if res.Value != want {
+			t.Fatalf("trial %d: value=%d want %d (n=%d m=%d)", trial, res.Value, want, g.N(), g.M())
+		}
+		if got := spath.CutWeightDirected(us, vs, ws, res.Side); got != res.Value {
+			t.Fatalf("trial %d: side weight %d != value %d", trial, got, res.Value)
+		}
+		if res.Value > 0 {
+			done++
+		}
+	}
+	if done < 3 {
+		t.Fatalf("too few strongly-connected instances: %d", done)
+	}
+}
+
+func TestMinSTCutMatchesFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 6; trial++ {
+		g := planar.Grid(2+rng.Intn(3), 3+rng.Intn(3))
+		g = planar.WithRandomWeights(g, rng, 1, 5, 1, 12)
+		g = planar.WithRandomDirections(g, rng)
+		s, tt := 0, g.N()-1
+		res, err := MinSTCut(g, s, tt, Options{LeafLimit: 10}, ledger.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := DinicValue(g, s, tt)
+		if res.Value != want {
+			t.Fatalf("trial %d: cut=%d flow=%d", trial, res.Value, want)
+		}
+		if !res.Side[s] || res.Side[tt] {
+			t.Fatalf("trial %d: bisection does not separate s,t", trial)
+		}
+		// Cut edges must be exactly the edges leaving the side with total
+		// capacity = value.
+		var sum int64
+		for _, e := range res.CutEdges {
+			ed := g.Edge(e)
+			if !res.Side[ed.U] || res.Side[ed.V] {
+				t.Fatalf("trial %d: edge %d not leaving the side", trial, e)
+			}
+			sum += ed.Cap
+		}
+		if sum != res.Value {
+			t.Fatalf("trial %d: cut edges sum %d != %d", trial, sum, res.Value)
+		}
+	}
+}
+
+func TestSTPlanarExactMatchesDinic(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		g := planar.Grid(2+rng.Intn(4), 2+rng.Intn(5))
+		g = planar.WithRandomWeights(g, rng, 1, 1, 1, 40)
+		// s, t on the outer face: two corners.
+		s, tt := 0, g.N()-1
+		res, err := STPlanarMaxFlow(g, s, tt, 0, ledger.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := UndirectedDinicValue(g, s, tt)
+		if res.Value != want {
+			t.Fatalf("trial %d: value=%d want %d", trial, res.Value, want)
+		}
+		if err := CheckUndirectedFlow(g, s, tt, res.Flow, res.Value); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSTPlanarApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 6; trial++ {
+		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(3))
+		g = planar.WithRandomWeights(g, rng, 1, 1, 100, 1000)
+		s, tt := 0, g.N()-1
+		eps := 0.1
+		res, err := STPlanarMaxFlow(g, s, tt, eps, ledger.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt := UndirectedDinicValue(g, s, tt)
+		if res.Value > opt {
+			t.Fatalf("trial %d: approximate value %d exceeds optimum %d", trial, res.Value, opt)
+		}
+		if float64(res.Value) < (1-eps)*float64(opt)-float64(g.Faces().NumFaces()) {
+			t.Fatalf("trial %d: value %d too far below (1-eps)*%d", trial, res.Value, opt)
+		}
+		// The assignment must be feasible for the *original* capacities.
+		if err := CheckUndirectedFlow(g, s, tt, res.Flow, res.Value); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSTPlanarRequiresCommonFace(t *testing.T) {
+	g := planar.Grid(5, 5)
+	// Center vertex and a corner share no face.
+	if _, err := STPlanarMaxFlow(g, 12, 0, 0, ledger.New()); err == nil {
+		t.Fatal("expected error for non-st-planar pair")
+	}
+}
+
+func TestSTPlanarMinCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 6; trial++ {
+		g := planar.Grid(2+rng.Intn(4), 3+rng.Intn(3))
+		g = planar.WithRandomWeights(g, rng, 1, 1, 1, 25)
+		s, tt := 0, g.N()-1
+		res, err := STPlanarMinCut(g, s, tt, 0, ledger.New())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := UndirectedDinicValue(g, s, tt)
+		if res.Value != want {
+			t.Fatalf("trial %d: cut=%d want %d", trial, res.Value, want)
+		}
+		if !res.Side[s] || res.Side[tt] {
+			t.Fatalf("trial %d: side does not separate", trial)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"planarflow/internal/ledger"
+	"planarflow/internal/minoragg"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+// STPlanarResult is an (approximate) maximum st-flow of an undirected
+// st-planar instance.
+type STPlanarResult struct {
+	Value int64
+	// Flow[e] is signed: positive pushes U->V, negative V->U; |Flow[e]| <=
+	// Cap(e).
+	Flow    []int64
+	Epsilon float64
+}
+
+// STPlanarMaxFlow computes a (1-eps)-approximate maximum st-flow of an
+// undirected planar graph whose s and t share a face (Thm 1.3), following
+// Hassin's reduction: add a virtual edge (t,s) inside the common face,
+// splitting it into faces f1, f2; the flow value is dist(f1, f2) in the
+// augmented dual under capacity lengths, and smooth approximate distances
+// from f1 give a feasible assignment via face potentials.
+//
+// eps = 0 runs the exact oracle. The paper's approximate SSSP oracle
+// ([43] + the smoothing of [41]) is substituted by an exact Dijkstra over
+// capacities scaled down by (1-eps): the resulting distances are smooth by
+// construction (they satisfy the triangle inequality of the scaled
+// lengths), which is precisely the property the assignment needs.
+func STPlanarMaxFlow(g *planar.Graph, s, t int, eps float64, led *ledger.Ledger) (*STPlanarResult, error) {
+	if eps < 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: eps=%v out of [0,1)", eps)
+	}
+	common := g.CommonFaces(s, t)
+	if len(common) == 0 {
+		return nil, errors.New("core: s and t do not share a face (instance is not st-planar)")
+	}
+	// Detecting the common face costs one PA on Ĝ (§6.1); the simulator's
+	// calibrated unit prices it and the oracle rounds below.
+	sim := minoragg.NewSimulator(g, led)
+	sim.ChargeRounds("hassin/detect-face", 1)
+
+	bigW := int64(g.N()+1) * (maxCap(g) + 1)
+	g2, eNew, err := planar.InsertEdgeInFace(g, t, s, common[0], bigW, bigW)
+	if err != nil {
+		return nil, err
+	}
+	fd2 := g2.Faces()
+	f1 := fd2.FaceOf(planar.ForwardDart(eNew))
+	f2 := fd2.FaceOf(planar.BackwardDart(eNew))
+
+	// Dual lengths: both darts of every original edge carry the (scaled)
+	// capacity; the virtual edge is uncrossable.
+	scale := func(c int64) int64 {
+		if eps == 0 {
+			return c
+		}
+		return int64(math.Floor((1 - eps) * float64(c)))
+	}
+	dg := spath.NewDigraph(fd2.NumFaces())
+	du2 := g2.Dual()
+	for d := planar.Dart(0); int(d) < g2.NumDarts(); d++ {
+		e := planar.EdgeOf(d)
+		if e == eNew {
+			continue
+		}
+		dg.AddArc(du2.Tail(d), du2.Head(d), scale(g2.Edge(e).Cap), int(d))
+	}
+
+	// Oracle rounds: T_SSSP(eps) minor-aggregation rounds on the virtual
+	// dual (Theorem 4.14 with beta=2 virtual nodes replacing the split
+	// face). The oracle's n^{o(1)} factor is the fixed proxy
+	// ceil(log n) * ceil(1/eps) per DESIGN.md §2.5.
+	logn := int64(bits.Len(uint(g.N())))
+	oracleTau := logn
+	if eps > 0 {
+		oracleTau *= int64(math.Ceil(1 / eps))
+	}
+	sim.ChargeVirtual("hassin/approx-sssp-oracle", oracleTau, 2)
+
+	psi := spath.Dijkstra(dg, f1)
+	if psi.Dist[f2] >= spath.Inf {
+		return nil, errors.New("core: dual target unreachable (zero cut?)")
+	}
+
+	res := &STPlanarResult{Value: psi.Dist[f2], Epsilon: eps, Flow: make([]int64, g.M())}
+	for e := 0; e < g.M(); e++ {
+		fw := planar.ForwardDart(e)
+		res.Flow[e] = psi.Dist[du2.Head(fw)] - psi.Dist[du2.Tail(fw)]
+	}
+	return res, nil
+}
+
+// STPlanarMinCut computes the corresponding (approximate) minimum st-cut
+// (Thm 6.2): by Reif's st-separating-cycle duality, the duals of the arcs on
+// the shortest f1-to-f2 path are the cut edges.
+func STPlanarMinCut(g *planar.Graph, s, t int, eps float64, led *ledger.Ledger) (*CutResult, error) {
+	common := g.CommonFaces(s, t)
+	if len(common) == 0 {
+		return nil, errors.New("core: s and t do not share a face")
+	}
+	sim := minoragg.NewSimulator(g, led)
+	sim.ChargeRounds("stcut/detect-face", 1)
+	bigW := int64(g.N()+1) * (maxCap(g) + 1)
+	g2, eNew, err := planar.InsertEdgeInFace(g, t, s, common[0], bigW, bigW)
+	if err != nil {
+		return nil, err
+	}
+	fd2 := g2.Faces()
+	f1 := fd2.FaceOf(planar.ForwardDart(eNew))
+	f2 := fd2.FaceOf(planar.BackwardDart(eNew))
+	scale := func(c int64) int64 {
+		if eps == 0 {
+			return c
+		}
+		return int64(math.Floor((1 - eps) * float64(c)))
+	}
+	dg := spath.NewDigraph(fd2.NumFaces())
+	du2 := g2.Dual()
+	for d := planar.Dart(0); int(d) < g2.NumDarts(); d++ {
+		e := planar.EdgeOf(d)
+		if e == eNew {
+			continue
+		}
+		dg.AddArc(du2.Tail(d), du2.Head(d), scale(g2.Edge(e).Cap), int(d))
+	}
+	logn := int64(bits.Len(uint(g.N())))
+	tau := logn
+	if eps > 0 {
+		tau *= int64(math.Ceil(1 / eps))
+	}
+	sim.ChargeVirtual("stcut/approx-sssp-oracle", tau, 2)
+
+	psi := spath.Dijkstra(dg, f1)
+	if psi.Dist[f2] >= spath.Inf {
+		return nil, errors.New("core: dual target unreachable")
+	}
+	// Walk the shortest-path tree from f2 back to f1: its arcs' primal
+	// edges are the cut (the st-separating cycle closes through the virtual
+	// edge).
+	res := &CutResult{}
+	cutSet := map[int]bool{}
+	for v := f2; v != f1; {
+		a := planar.Dart(psi.ParentArcID[v])
+		e := planar.EdgeOf(a)
+		if !cutSet[e] {
+			cutSet[e] = true
+			res.CutEdges = append(res.CutEdges, e)
+			res.Value += g.Edge(e).Cap // unscaled cut weight
+		}
+		v = du2.Tail(a)
+	}
+	// Bisection: remove the cut edges; the s-side is s's component.
+	res.Side = make([]bool, g.N())
+	res.Side[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range g.Rotation(v) {
+			if cutSet[planar.EdgeOf(d)] {
+				continue
+			}
+			u := g.Head(d)
+			if !res.Side[u] {
+				res.Side[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	if res.Side[t] {
+		return nil, errors.New("core: cut does not separate s from t")
+	}
+	return res, nil
+}
+
+// CheckUndirectedFlow validates an undirected (signed) st-flow: capacities
+// respected in absolute value, conservation away from s and t, and the
+// claimed value leaving s.
+func CheckUndirectedFlow(g *planar.Graph, s, t int, flow []int64, value int64) error {
+	net := make([]int64, g.N())
+	for e := 0; e < g.M(); e++ {
+		f := flow[e]
+		ed := g.Edge(e)
+		if f > ed.Cap || -f > ed.Cap {
+			return fmt.Errorf("edge %d: |flow| %d exceeds cap %d", e, f, ed.Cap)
+		}
+		net[ed.U] -= f
+		net[ed.V] += f
+	}
+	for v := 0; v < g.N(); v++ {
+		switch v {
+		case s:
+			if net[v] != -value {
+				return fmt.Errorf("source imbalance %d, want -%d", net[v], value)
+			}
+		case t:
+			if net[v] != value {
+				return fmt.Errorf("sink imbalance %d, want %d", net[v], value)
+			}
+		default:
+			if net[v] != 0 {
+				return fmt.Errorf("conservation violated at %d by %d", v, net[v])
+			}
+		}
+	}
+	return nil
+}
+
+// UndirectedDinicValue is the undirected max-flow baseline (each edge as two
+// opposing arcs of the same capacity).
+func UndirectedDinicValue(g *planar.Graph, s, t int) int64 {
+	fn := spath.NewFlowNetwork(g.N())
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		fn.AddEdge(ed.U, ed.V, ed.Cap, e)
+		fn.AddEdge(ed.V, ed.U, ed.Cap, e)
+	}
+	return fn.MaxFlow(s, t)
+}
+
+func maxCap(g *planar.Graph) int64 {
+	var m int64
+	for e := 0; e < g.M(); e++ {
+		if c := g.Edge(e).Cap; c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,203 @@
+// Package core implements the paper's headline algorithms on top of the
+// substrates: exact maximum st-flow in directed planar graphs via dual SSSP
+// (Thm 1.2), minimum st-cut (Thm 6.1), approximate st-planar flow and cut
+// (Thm 1.3 / 6.2), weighted girth via dual minimum cut (Thm 1.7), and
+// directed global minimum cut via dual minimum cycles (Thm 1.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/duallabel"
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+// Options tunes the algorithms; the zero value picks paper-faithful
+// defaults.
+type Options struct {
+	// LeafLimit bounds the BDD leaf bag size in edges; 0 means the paper's
+	// Θ(D log n) with D estimated by a double BFS sweep.
+	LeafLimit int
+}
+
+func (o Options) leafLimit(g *planar.Graph) int {
+	if o.LeafLimit > 0 {
+		return o.LeafLimit
+	}
+	return bdd.DefaultLeafLimit(g)
+}
+
+// FlowResult is a maximum st-flow with its assignment.
+type FlowResult struct {
+	Value int64
+	// Flow[e] is the flow pushed along edge e in its U->V direction
+	// (in [0, Cap(e)] for the exact directed algorithm).
+	Flow []int64
+	// Iterations of the binary search on the flow value (Miller–Naor).
+	Iterations int
+}
+
+// MaxFlow computes the exact maximum st-flow of a directed planar graph with
+// non-negative integer capacities, following Miller–Naor: binary search on
+// the value λ; for each λ, push λ along a fixed s-to-t path of darts and
+// test feasibility by a negative-cycle query on the dual with residual
+// lengths — a dual SSSP with positive and negative lengths computed through
+// the distance labeling of §5 (Thm 1.2, Õ(D²) rounds).
+func MaxFlow(g *planar.Graph, s, t int, opt Options, led *ledger.Ledger) (*FlowResult, error) {
+	if s == t {
+		return nil, errors.New("core: s and t must differ")
+	}
+	if s < 0 || t < 0 || s >= g.N() || t >= g.N() {
+		return nil, fmt.Errorf("core: s=%d t=%d out of range", s, t)
+	}
+
+	tree := bdd.Build(g, Options.leafLimit(opt, g), led)
+
+	// Fixed s-to-t dart path (undirected BFS; Õ(D) rounds).
+	path, err := dartPath(g, s, t)
+	if err != nil {
+		return nil, err
+	}
+	led.Charge("maxflow/find-path", int64(2*(tree.Root.TreeDepth+1)))
+	onPath := make([]bool, g.NumDarts())
+	for _, d := range path {
+		onPath[d] = true
+	}
+
+	// Dart capacities: cap(forward) = Cap(e), cap(backward) = 0.
+	capOf := func(d planar.Dart) int64 {
+		if planar.IsForward(d) {
+			return g.Edge(planar.EdgeOf(d)).Cap
+		}
+		return 0
+	}
+	residual := func(d planar.Dart, lambda int64) int64 {
+		r := capOf(d)
+		if onPath[d] {
+			r -= lambda
+		}
+		if onPath[planar.Rev(d)] {
+			r += lambda
+		}
+		return r
+	}
+	lengthsFor := func(lambda int64) []int64 {
+		lens := make([]int64, g.NumDarts())
+		for d := planar.Dart(0); int(d) < g.NumDarts(); d++ {
+			lens[d] = residual(d, lambda)
+		}
+		return lens
+	}
+	feasible := func(lambda int64) (*duallabel.Labeling, bool) {
+		la := duallabel.Compute(tree, lengthsFor(lambda), led)
+		return la, !la.NegCycle
+	}
+
+	// Binary search λ* = max feasible λ.
+	var lo int64 // λ=0 is always feasible (zero flow)
+	hi := g.TotalCap() + 1
+	iters := 0
+	var bestLab *duallabel.Labeling
+	if la, ok := feasible(0); ok {
+		bestLab = la
+	} else {
+		return nil, errors.New("core: zero flow infeasible (negative capacity?)")
+	}
+	for lo+1 < hi {
+		iters++
+		mid := lo + (hi-lo)/2
+		if la, ok := feasible(mid); ok {
+			lo, bestLab = mid, la
+		} else {
+			hi = mid
+		}
+	}
+
+	// Assignment: dual SSSP potentials from an arbitrary face (§6.1).
+	res := &FlowResult{Value: lo, Flow: make([]int64, g.M()), Iterations: iters}
+	sssp := bestLab.SSSP(0, led)
+	if sssp.NegCycle {
+		return nil, errors.New("core: internal: feasible λ reported a negative cycle")
+	}
+	fd := g.Faces()
+	for e := 0; e < g.M(); e++ {
+		fw := planar.ForwardDart(e)
+		// Circulation on the forward dart: ψ(head*) − ψ(tail*).
+		phi := sssp.Dist[fd.FaceOf(planar.Rev(fw))] - sssp.Dist[fd.FaceOf(fw)]
+		if onPath[fw] {
+			phi += lo
+		}
+		if onPath[planar.Rev(fw)] {
+			phi -= lo
+		}
+		res.Flow[e] = phi
+	}
+	return res, nil
+}
+
+// dartPath returns an s-to-t path of darts (each dart oriented along the
+// walk; it need not follow edge directions).
+func dartPath(g *planar.Graph, s, t int) ([]planar.Dart, error) {
+	b := g.BFS(s)
+	if b.Dist[t] < 0 {
+		return nil, fmt.Errorf("core: %d unreachable from %d", t, s)
+	}
+	var rev []planar.Dart
+	for v := t; v != s; {
+		d := b.Parent[v]
+		rev = append(rev, d)
+		v = g.Tail(d)
+	}
+	// Reverse into s->t order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// CheckFlow verifies that flow is a feasible st-flow of the claimed value:
+// capacity constraints per edge and conservation at every vertex except s
+// and t. Used by tests and the harness as a self-check.
+func CheckFlow(g *planar.Graph, s, t int, flow []int64, value int64) error {
+	net := make([]int64, g.N())
+	for e := 0; e < g.M(); e++ {
+		f := flow[e]
+		ed := g.Edge(e)
+		if f < 0 || f > ed.Cap {
+			return fmt.Errorf("edge %d: flow %d outside [0,%d]", e, f, ed.Cap)
+		}
+		net[ed.U] -= f
+		net[ed.V] += f
+	}
+	for v := 0; v < g.N(); v++ {
+		switch v {
+		case s:
+			if net[v] != -value {
+				return fmt.Errorf("source imbalance %d, want -%d", net[v], value)
+			}
+		case t:
+			if net[v] != value {
+				return fmt.Errorf("sink imbalance %d, want %d", net[v], value)
+			}
+		default:
+			if net[v] != 0 {
+				return fmt.Errorf("conservation violated at %d by %d", v, net[v])
+			}
+		}
+	}
+	return nil
+}
+
+// DinicValue computes the baseline maximum flow value with Dinic's algorithm.
+func DinicValue(g *planar.Graph, s, t int) int64 {
+	fn := spath.NewFlowNetwork(g.N())
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		fn.AddEdge(ed.U, ed.V, ed.Cap, e)
+	}
+	return fn.MaxFlow(s, t)
+}

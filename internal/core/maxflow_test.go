@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+)
+
+func TestMaxFlowTinyGrid(t *testing.T) {
+	g := planar.Grid(2, 2) // 4 vertices, 4 edges, unit caps
+	led := ledger.New()
+	res, err := MaxFlow(g, 0, 3, Options{LeafLimit: 4}, led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DinicValue(g, 0, 3)
+	if res.Value != want {
+		t.Fatalf("value=%d want %d", res.Value, want)
+	}
+	if err := CheckFlow(g, 0, 3, res.Flow, res.Value); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFlowRandomGrids(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		rows, cols := 2+rng.Intn(4), 2+rng.Intn(5)
+		g0 := planar.Grid(rows, cols)
+		g := planar.WithRandomWeights(g0, rng, 1, 10, 1, 20)
+		g = planar.WithRandomDirections(g, rng)
+		s := rng.Intn(g.N())
+		tt := rng.Intn(g.N())
+		if s == tt {
+			continue
+		}
+		led := ledger.New()
+		res, err := MaxFlow(g, s, tt, Options{LeafLimit: 12}, led)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := DinicValue(g, s, tt)
+		if res.Value != want {
+			t.Fatalf("trial %d (%dx%d s=%d t=%d): value=%d want %d",
+				trial, rows, cols, s, tt, res.Value, want)
+		}
+		if err := CheckFlow(g, s, tt, res.Flow, res.Value); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if led.Total() == 0 {
+			t.Fatal("no rounds charged")
+		}
+	}
+}
+
+func TestMaxFlowTriangulations(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5; trial++ {
+		g0 := planar.StackedTriangulation(12+rng.Intn(20), rng)
+		g := planar.WithRandomWeights(g0, rng, 1, 5, 1, 15)
+		g = planar.WithRandomDirections(g, rng)
+		s, tt := 0, g.N()-1
+		res, err := MaxFlow(g, s, tt, Options{LeafLimit: 16}, led())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := DinicValue(g, s, tt)
+		if res.Value != want {
+			t.Fatalf("trial %d: value=%d want %d", trial, res.Value, want)
+		}
+		if err := CheckFlow(g, s, tt, res.Flow, res.Value); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func led() *ledger.Ledger { return ledger.New() }

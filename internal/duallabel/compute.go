@@ -1,0 +1,337 @@
+package duallabel
+
+import (
+	"fmt"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+// DDGNode is a node of a bag's dense distance graph: the representative of
+// an F_X face inside one child bag (§5.3, Figure 13).
+type DDGNode struct {
+	Child int // index into bag.Children
+	Face  int
+}
+
+// DDGArc is an arc of the base DDG, tagged with its provenance.
+type DDGArc struct {
+	From, To int // node indices
+	Len      int64
+	// Dart is the primal dart for separator arcs (NoDart for clique and
+	// zero arcs).
+	Dart planar.Dart
+}
+
+// BagDDG is the base dense distance graph of a non-leaf bag: nodes are the
+// child representatives of F_X faces; arcs are (i) within-child cliques
+// weighted by decoded child-label distances, (ii) dual S_X arcs, and (iii)
+// zero arcs joining representatives of the same face.
+type BagDDG struct {
+	Bag   *bdd.Bag
+	Nodes []DDGNode
+	Index map[DDGNode]int
+	Arcs  []DDGArc
+	// Dist is the all-pairs matrix over Nodes (computed by Bellman–Ford;
+	// spath.Inf when unreachable).
+	Dist [][]int64
+	// RepsOf maps each F_X face to its node indices (1 or 2).
+	RepsOf map[int][]int
+}
+
+// Labeling holds the labels of every face in every bag for one length
+// assignment.
+type Labeling struct {
+	T       *bdd.BDD
+	Lengths []int64
+
+	// NegCycle is true when G* contains a negative cycle; labels are then
+	// invalid (Thm 2.1's failure report).
+	NegCycle bool
+
+	byBag []map[int]*Label // bag ID -> face -> label
+	ddgs  []*BagDDG        // bag ID -> base DDG (nil for leaves)
+}
+
+// Compute runs the labeling algorithm of §5.3 bottom-up over the BDD,
+// charging the per-level broadcast costs from measured quantities.
+func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
+	la := &Labeling{
+		T:       t,
+		Lengths: lengths,
+		byBag:   make([]map[int]*Label, len(t.Bags)),
+		ddgs:    make([]*BagDDG, len(t.Bags)),
+	}
+
+	// Process bags bottom-up (children have larger IDs than parents by
+	// construction, so reverse ID order is a valid post-order).
+	levelCost := map[int]int64{}
+	for i := len(t.Bags) - 1; i >= 0; i-- {
+		b := t.Bags[i]
+		var cost int64
+		if b.IsLeaf() {
+			cost = la.computeLeaf(b)
+		} else {
+			cost = la.computeInternal(b)
+		}
+		if la.NegCycle {
+			led.Charge("label/negative-cycle-abort", int64(b.TreeDepth+1))
+			return la
+		}
+		if cost > levelCost[b.Level] {
+			levelCost[b.Level] = cost
+		}
+	}
+	// Bags of a level run in parallel at 2x congestion (property 7); Ĝ
+	// simulation costs another 2x.
+	for lvl := 0; lvl < t.Depth; lvl++ {
+		led.Charge(fmt.Sprintf("label/level-%02d", lvl), 4*levelCost[lvl])
+	}
+	return la
+}
+
+// Label returns the label of face f in bag b (nil if f is absent from b).
+func (la *Labeling) Label(b *bdd.Bag, f int) *Label { return la.byBag[b.ID][f] }
+
+// RootLabel returns the label of face f in the root bag (G*).
+func (la *Labeling) RootLabel(f int) *Label { return la.byBag[t0][f] }
+
+const t0 = 0 // root bag ID
+
+// Dist returns dist(f1 -> f2) in G* (spath.Inf if unreachable).
+func (la *Labeling) Dist(f1, f2 int) int64 {
+	if la.NegCycle {
+		return spath.Inf
+	}
+	return Decode(la.byBag[t0][f1], la.byBag[t0][f2])
+}
+
+// DDG returns the base dense distance graph of a non-leaf bag.
+func (la *Labeling) DDG(b *bdd.Bag) *BagDDG { return la.ddgs[b.ID] }
+
+// computeLeaf gathers the whole dual bag and computes all-pairs distances
+// (the "collect the entire graph" step); returns the measured broadcast cost
+// TreeDepth + #nodes + #arcs (pipelined).
+func (la *Labeling) computeLeaf(b *bdd.Bag) int64 {
+	g := la.T.G
+	idx := make(map[int]int, len(b.Faces))
+	for i, f := range b.Faces {
+		idx[f] = i
+	}
+	dg := spath.NewDigraph(len(b.Faces))
+	arcs := 0
+	b.DualArcs(g, func(d planar.Dart, from, to int) {
+		if la.Lengths[d] >= spath.Inf {
+			return
+		}
+		dg.AddArc(idx[from], idx[to], la.Lengths[d], int(d))
+		arcs++
+	})
+	all, ok := spath.APSPBellmanFord(dg)
+	if !ok {
+		la.NegCycle = true
+		return 0
+	}
+	labels := make(map[int]*Label, len(b.Faces))
+	for i, f := range b.Faces {
+		l := &Label{
+			Bag: b, Face: f,
+			LeafTo:   make(map[int]int64, len(b.Faces)),
+			LeafFrom: make(map[int]int64, len(b.Faces)),
+		}
+		for j, h := range b.Faces {
+			l.LeafTo[h] = all[i][j]
+			l.LeafFrom[h] = all[j][i]
+		}
+		labels[f] = l
+	}
+	la.byBag[b.ID] = labels
+	return int64(b.TreeDepth + len(b.Faces) + arcs)
+}
+
+// computeInternal builds the base DDG from child labels, checks for
+// negative cycles, and derives every face's label via min-plus products over
+// the base matrix (§5.3); returns the charged broadcast cost.
+func (la *Labeling) computeInternal(b *bdd.Bag) int64 {
+	g := la.T.G
+	fd := g.Faces()
+	ddg := &BagDDG{
+		Bag:    b,
+		Index:  make(map[DDGNode]int),
+		RepsOf: make(map[int][]int),
+	}
+	addNode := func(ci, f int) int {
+		n := DDGNode{Child: ci, Face: f}
+		if i, ok := ddg.Index[n]; ok {
+			return i
+		}
+		i := len(ddg.Nodes)
+		ddg.Nodes = append(ddg.Nodes, n)
+		ddg.Index[n] = i
+		ddg.RepsOf[f] = append(ddg.RepsOf[f], i)
+		return i
+	}
+	inFX := make(map[int]bool, len(b.FX))
+	for _, f := range b.FX {
+		inFX[f] = true
+		for ci, c := range b.Children {
+			if c.FaceSet[f] {
+				addNode(ci, f)
+			}
+		}
+	}
+
+	// (i) Within-child cliques from decoded child labels.
+	childFX := [2][]int{}
+	for ci, c := range b.Children {
+		for _, f := range b.FX {
+			if c.FaceSet[f] {
+				childFX[ci] = append(childFX[ci], f)
+			}
+		}
+	}
+	broadcastWords := 0
+	for ci := range b.Children {
+		for _, f1 := range childFX[ci] {
+			l1 := la.byBag[b.Children[ci].ID][f1]
+			broadcastWords += l1.Words()
+			for _, f2 := range childFX[ci] {
+				if f1 == f2 {
+					continue
+				}
+				l2 := la.byBag[b.Children[ci].ID][f2]
+				if w := Decode(l1, l2); w < spath.Inf {
+					ddg.Arcs = append(ddg.Arcs, DDGArc{
+						From: ddg.Index[DDGNode{ci, f1}],
+						To:   ddg.Index[DDGNode{ci, f2}],
+						Len:  w, Dart: planar.NoDart,
+					})
+				}
+			}
+		}
+	}
+	// (ii) Dual S_X arcs.
+	for _, e := range b.DualSXEdges {
+		for _, d := range []planar.Dart{planar.ForwardDart(e), planar.BackwardDart(e)} {
+			if la.Lengths[d] >= spath.Inf {
+				continue
+			}
+			fromC := int(b.Sep.Side[d])
+			toC := int(b.Sep.Side[planar.Rev(d)])
+			ddg.Arcs = append(ddg.Arcs, DDGArc{
+				From: ddg.Index[DDGNode{fromC, fd.FaceOf(d)}],
+				To:   ddg.Index[DDGNode{toC, fd.FaceOf(planar.Rev(d))}],
+				Len:  la.Lengths[d], Dart: d,
+			})
+		}
+	}
+	broadcastWords += 2 * len(b.DualSXEdges)
+	// (iii) Zero arcs between representatives of the same face.
+	for _, f := range b.FX {
+		reps := ddg.RepsOf[f]
+		for i := 0; i < len(reps); i++ {
+			for j := 0; j < len(reps); j++ {
+				if i != j {
+					ddg.Arcs = append(ddg.Arcs, DDGArc{From: reps[i], To: reps[j], Len: 0, Dart: planar.NoDart})
+				}
+			}
+		}
+	}
+
+	// Negative-cycle check + all-pairs matrix on the base DDG.
+	dg := spath.NewDigraph(len(ddg.Nodes) + 1)
+	super := len(ddg.Nodes)
+	for _, a := range ddg.Arcs {
+		dg.AddArc(a.From, a.To, a.Len, -1)
+	}
+	for i := range ddg.Nodes {
+		dg.AddArc(super, i, 0, -1)
+	}
+	if _, ok := spath.BellmanFord(dg, super); !ok {
+		la.NegCycle = true
+		return 0
+	}
+	ddg.Dist = make([][]int64, len(ddg.Nodes))
+	base := spath.NewDigraph(len(ddg.Nodes))
+	for _, a := range ddg.Arcs {
+		base.AddArc(a.From, a.To, a.Len, -1)
+	}
+	for i := range ddg.Nodes {
+		res, _ := spath.BellmanFord(base, i)
+		ddg.Dist[i] = res.Dist
+	}
+	la.ddgs[b.ID] = ddg
+
+	// ---- Labels for every face of the bag. ----
+	labels := make(map[int]*Label, len(b.Faces))
+	for _, f := range b.Faces {
+		l := &Label{
+			Bag: b, Face: f,
+			To:   make(map[int]int64, len(b.FX)),
+			From: make(map[int]int64, len(b.FX)),
+		}
+		if inFX[f] {
+			// Distances directly from the base matrix (min over reps).
+			for _, h := range b.FX {
+				l.To[h] = minOverReps(ddg, ddg.RepsOf[f], ddg.RepsOf[h])
+				l.From[h] = minOverReps(ddg, ddg.RepsOf[h], ddg.RepsOf[f])
+			}
+		} else {
+			// f lives wholly in one child: first/last hop through FX∩child.
+			ci := b.ChildContaining(f)
+			child := b.Children[ci]
+			lf := la.byBag[child.ID][f]
+			l.Child = lf
+			for _, h := range b.FX {
+				to, from := spath.Inf, spath.Inf
+				for _, fp := range childFX[ci] {
+					lp := la.byBag[child.ID][fp]
+					rep := ddg.Index[DDGNode{ci, fp}]
+					if dgo := Decode(lf, lp); dgo < spath.Inf {
+						for _, hr := range ddg.RepsOf[h] {
+							if dd := ddg.Dist[rep][hr]; dd < spath.Inf && dgo+dd < to {
+								to = dgo + dd
+							}
+						}
+					}
+					if dback := Decode(lp, lf); dback < spath.Inf {
+						for _, hr := range ddg.RepsOf[h] {
+							if dd := ddg.Dist[hr][rep]; dd < spath.Inf && dd+dback < from {
+								from = dd + dback
+							}
+						}
+					}
+				}
+				// A path may also stay inside the child when h is there too.
+				if child.FaceSet[h] {
+					lh := la.byBag[child.ID][h]
+					if d := Decode(lf, lh); d < to {
+						to = d
+					}
+					if d := Decode(lh, lf); d < from {
+						from = d
+					}
+				}
+				l.To[h] = to
+				l.From[h] = from
+			}
+		}
+		labels[f] = l
+	}
+	la.byBag[b.ID] = labels
+	return int64(b.TreeDepth + broadcastWords)
+}
+
+func minOverReps(ddg *BagDDG, from, to []int) int64 {
+	best := spath.Inf
+	for _, i := range from {
+		for _, j := range to {
+			if d := ddg.Dist[i][j]; d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

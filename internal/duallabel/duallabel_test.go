@@ -1,0 +1,224 @@
+package duallabel
+
+import (
+	"math/rand"
+	"testing"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+// explicitDualDist computes APSP on the explicit dual graph with the given
+// per-dart lengths: the independent baseline every label decode is checked
+// against.
+func explicitDualDist(g *planar.Graph, lengths []int64) ([][]int64, bool) {
+	du := g.Dual()
+	dg := spath.NewDigraph(du.NumNodes())
+	for d := planar.Dart(0); int(d) < g.NumDarts(); d++ {
+		if lengths[d] >= spath.Inf {
+			continue
+		}
+		dg.AddArc(du.Tail(d), du.Head(d), lengths[d], int(d))
+	}
+	return spath.APSPBellmanFord(dg)
+}
+
+func randomLengths(g *planar.Graph, rng *rand.Rand, lo, hi int64) []int64 {
+	lens := make([]int64, g.NumDarts())
+	for d := range lens {
+		lens[d] = lo + rng.Int63n(hi-lo+1)
+	}
+	return lens
+}
+
+func checkAgainstBaseline(t *testing.T, g *planar.Graph, lengths []int64, leafLimit int) {
+	t.Helper()
+	led := ledger.New()
+	tree := bdd.Build(g, leafLimit, led)
+	la := Compute(tree, lengths, led)
+	want, ok := explicitDualDist(g, lengths)
+	if !ok {
+		if !la.NegCycle {
+			t.Fatal("baseline found a negative cycle; labeling did not")
+		}
+		return
+	}
+	if la.NegCycle {
+		t.Fatal("labeling reported a spurious negative cycle")
+	}
+	nf := g.Faces().NumFaces()
+	for f1 := 0; f1 < nf; f1++ {
+		for f2 := 0; f2 < nf; f2++ {
+			got := la.Dist(f1, f2)
+			if got != want[f1][f2] {
+				t.Fatalf("dist(%d,%d)=%d want %d (n=%d leaf=%d)",
+					f1, f2, got, want[f1][f2], g.N(), leafLimit)
+			}
+		}
+	}
+	if led.Total() == 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestLabelsMatchBaselinePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{3, 3}, {4, 5}, {6, 6}, {2, 12}} {
+		g := planar.Grid(dims[0], dims[1])
+		checkAgainstBaseline(t, g, randomLengths(g, rng, 1, 50), 8)
+	}
+}
+
+func TestLabelsMatchBaselineNegativeLengths(t *testing.T) {
+	// The paper's SSSP works with positive and negative lengths; use
+	// residual-like vectors: forward positive, some backwards negative, but
+	// crafted to avoid negative cycles (check baseline first).
+	// Potential-shifted lengths: len'(d) = len(d) + phi(tail) - phi(head)
+	// keeps all cycle sums unchanged (no negative cycles) while making many
+	// arcs negative — exactly the structure the Miller–Naor residual duals
+	// have.
+	rng := rand.New(rand.NewSource(7))
+	negSeen := false
+	for trial := 0; trial < 6; trial++ {
+		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(4))
+		du := g.Dual()
+		phi := make([]int64, du.NumNodes())
+		for f := range phi {
+			phi[f] = rng.Int63n(60)
+		}
+		lens := make([]int64, g.NumDarts())
+		for d := planar.Dart(0); int(d) < g.NumDarts(); d++ {
+			lens[d] = 1 + rng.Int63n(20) + phi[du.Tail(d)] - phi[du.Head(d)]
+			if lens[d] < 0 {
+				negSeen = true
+			}
+		}
+		checkAgainstBaseline(t, g, lens, 8)
+	}
+	if !negSeen {
+		t.Fatal("no negative lengths generated")
+	}
+}
+
+func TestNegativeCycleDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	found := 0
+	for trial := 0; trial < 60 && found < 5; trial++ {
+		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(3))
+		lens := make([]int64, g.NumDarts())
+		for d := range lens {
+			lens[d] = rng.Int63n(21) - 10
+		}
+		_, ok := explicitDualDist(g, lens)
+		led := ledger.New()
+		tree := bdd.Build(g, 8, led)
+		la := Compute(tree, lens, led)
+		if ok && la.NegCycle {
+			t.Fatal("spurious negative cycle")
+		}
+		if !ok {
+			found++
+			if !la.NegCycle {
+				t.Fatal("negative cycle missed")
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no negative-cycle instances generated")
+	}
+}
+
+func TestLabelsOnVariedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := []*planar.Graph{
+		planar.Cylinder(3, 6),
+		planar.StackedTriangulation(40, rng),
+		planar.RemoveRandomEdges(planar.StackedTriangulation(50, rng), rng, 25),
+		planar.Grid(1, 8), // path: dual is a single node with self-loops
+	}
+	for _, g := range graphs {
+		checkAgainstBaseline(t, g, randomLengths(g, rng, 1, 30), 10)
+	}
+}
+
+func TestLeafLimitInvariance(t *testing.T) {
+	// The decode must be exact regardless of where the recursion bottoms
+	// out.
+	rng := rand.New(rand.NewSource(13))
+	g := planar.Grid(5, 6)
+	lens := randomLengths(g, rng, 1, 40)
+	for _, leaf := range []int{4, 8, 16, 64, 1000} {
+		checkAgainstBaseline(t, g, lens, leaf)
+	}
+}
+
+func TestSSSPAndTreeMarking(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := planar.Grid(5, 5)
+	lens := randomLengths(g, rng, 1, 25)
+	led := ledger.New()
+	tree := bdd.Build(g, 8, led)
+	la := Compute(tree, lens, led)
+	want, _ := explicitDualDist(g, lens)
+	for src := 0; src < g.Faces().NumFaces(); src += 3 {
+		res := la.SSSP(src, led)
+		if res.NegCycle {
+			t.Fatal("unexpected negative cycle")
+		}
+		for f, d := range res.Dist {
+			if d != want[src][f] {
+				t.Fatalf("sssp(%d) dist[%d]=%d want %d", src, f, d, want[src][f])
+			}
+		}
+		if !res.VerifyTree(la) {
+			t.Fatalf("sssp(%d): tree verification failed", src)
+		}
+	}
+}
+
+func TestLabelSizeNearLinearInD(t *testing.T) {
+	// Lemma 5.17: labels are Õ(D) words. Compare a long-thin grid (large D)
+	// with a square grid (small D) of the same size: per-face label words
+	// should track D, not n.
+	thin := planar.Grid(2, 32)
+	square := planar.Grid(8, 8)
+	words := func(g *planar.Graph) int {
+		led := ledger.New()
+		tree := bdd.Build(g, 4*g.Diameter(), led)
+		la := Compute(tree, UniformLengths(g, false), led)
+		max := 0
+		for f := 0; f < g.Faces().NumFaces(); f++ {
+			if w := la.RootLabel(f).Words(); w > max {
+				max = w
+			}
+		}
+		return max
+	}
+	wThin, wSquare := words(thin), words(square)
+	if wThin == 0 || wSquare == 0 {
+		t.Fatal("no labels")
+	}
+	// D(thin)=32, D(square)=14: thin labels may be larger but must stay
+	// within a small factor of D * polylog; sanity: not worse than 20x D.
+	if wThin > 40*thin.Diameter() {
+		t.Fatalf("thin label words=%d too large for D=%d", wThin, thin.Diameter())
+	}
+	if wSquare > 40*square.Diameter() {
+		t.Fatalf("square label words=%d too large for D=%d", wSquare, square.Diameter())
+	}
+}
+
+func TestUniformLengths(t *testing.T) {
+	g := planar.Grid(3, 3)
+	lens := UniformLengths(g, true)
+	for e := 0; e < g.M(); e++ {
+		if lens[planar.ForwardDart(e)] != g.Edge(e).Weight {
+			t.Fatal("forward length wrong")
+		}
+		if lens[planar.BackwardDart(e)] < spath.Inf {
+			t.Fatal("backward should be deactivated")
+		}
+	}
+}

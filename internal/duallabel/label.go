@@ -1,0 +1,82 @@
+// Package duallabel implements the paper's dual distance labeling (§5):
+// every face (dual node) of every bag of the BDD receives an Õ(D)-bit label
+// such that the distance in the dual bag X* between any two nodes can be
+// decoded from their labels alone, with negative lengths supported and
+// negative cycles detected. The root bag's labels answer distances in G*,
+// which powers dual SSSP (Lemma 2.2) and hence max st-flow (Thm 1.2).
+//
+// Lengths are per-dart: the dual arc of dart d runs FaceOf(d) ->
+// FaceOf(Rev(d)) with length lengths[d] (spath.Inf deactivates the arc).
+package duallabel
+
+import (
+	"planarflow/internal/bdd"
+	"planarflow/internal/spath"
+)
+
+// Label is the distance label of one face (dual node) within one bag (§5.2).
+type Label struct {
+	Bag  *bdd.Bag
+	Face int
+
+	// To[f] = dist(Face -> f) and From[f] = dist(f -> Face) in X*, for every
+	// f in F_X (non-leaf bags).
+	To, From map[int]int64
+
+	// Child is the recursive label in the unique child bag wholly containing
+	// Face (nil for F_X faces and leaves).
+	Child *Label
+
+	// Leaf labels store distances to/from every face of the leaf bag.
+	LeafTo, LeafFrom map[int]int64
+}
+
+// Words returns the label size in O(log n)-bit words (an ID plus a distance
+// per entry, per level), the quantity Lemma 5.17 bounds by Õ(D).
+func (l *Label) Words() int {
+	w := 2 // bag ID + face ID
+	if l.LeafTo != nil {
+		w += 2 * len(l.LeafTo)
+	}
+	w += 2 * (len(l.To) + len(l.From))
+	if l.Child != nil {
+		w += l.Child.Words()
+	}
+	return w
+}
+
+// Decode returns dist(a.Face -> b.Face) in the dual bag both labels belong
+// to (Lemma 5.16). Returns spath.Inf when unreachable.
+func Decode(a, b *Label) int64 {
+	if a.Face == b.Face {
+		return 0
+	}
+	if a.LeafTo != nil {
+		if d, ok := a.LeafTo[b.Face]; ok {
+			return d
+		}
+		return spath.Inf
+	}
+	// If either face is in F_X the distance is stored directly (the key set
+	// of To/From is exactly F_X).
+	if d, ok := a.To[b.Face]; ok {
+		return d
+	}
+	if d, ok := b.From[a.Face]; ok {
+		return d
+	}
+	best := spath.Inf
+	for f, da := range a.To {
+		if db, ok := b.From[f]; ok && da < spath.Inf && db < spath.Inf {
+			if da+db < best {
+				best = da + db
+			}
+		}
+	}
+	if a.Child != nil && b.Child != nil && a.Child.Bag == b.Child.Bag {
+		if d := Decode(a.Child, b.Child); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package duallabel
+
+import (
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+// SSSPResult is the outcome of a dual single-source computation (Lemma 2.2).
+type SSSPResult struct {
+	Source   int
+	Dist     []int64 // per face of G; spath.Inf if unreachable
+	NegCycle bool
+	// TreeDart[f] is the dart whose dual arc enters f on the marked
+	// shortest-path tree (NoDart at the source/unreachable faces).
+	TreeDart []planar.Dart
+}
+
+// SSSP computes single-source shortest paths in G* from the given source
+// face by broadcasting the source's label and decoding everywhere, then
+// marks a shortest-path tree via one aggregation per face (Lemma 2.2). The
+// label broadcast is charged at its measured word count over a depth-D tree.
+func (la *Labeling) SSSP(source int, led *ledger.Ledger) *SSSPResult {
+	g := la.T.G
+	fd := g.Faces()
+	nf := fd.NumFaces()
+	res := &SSSPResult{
+		Source:   source,
+		Dist:     make([]int64, nf),
+		TreeDart: make([]planar.Dart, nf),
+	}
+	if la.NegCycle {
+		res.NegCycle = true
+		return res
+	}
+	src := la.RootLabel(source)
+	// Broadcast Label(source): Words() messages over a depth-D BFS tree.
+	led.Charge("dual-sssp/broadcast-label",
+		ledger.PipelinedBroadcastRounds(int64(la.T.Root.TreeDepth), int64(src.Words())))
+	for f := 0; f < nf; f++ {
+		res.Dist[f] = Decode(src, la.RootLabel(f))
+		res.TreeDart[f] = planar.NoDart
+	}
+	// Tree marking: for each face f, the incoming dual arc minimizing
+	// dist(s, tail) + len — one PA on G* (we mark centrally and charge the
+	// measured-equivalent single aggregation; callers with a minoragg
+	// simulator charge its calibrated unit instead).
+	for d := planar.Dart(0); int(d) < g.NumDarts(); d++ {
+		if la.Lengths[d] >= spath.Inf {
+			continue
+		}
+		from, to := fd.FaceOf(d), fd.FaceOf(planar.Rev(d))
+		if to == source || res.Dist[from] >= spath.Inf {
+			continue
+		}
+		cand := res.Dist[from] + la.Lengths[d]
+		cur := res.TreeDart[to]
+		if cand < res.Dist[to] {
+			continue // cannot happen without a negative cycle
+		}
+		if cand == res.Dist[to] {
+			if cur == planar.NoDart || d < cur {
+				res.TreeDart[to] = d
+			}
+		}
+	}
+	led.Charge("dual-sssp/mark-tree", int64(2*(la.T.Root.TreeDepth+1)))
+	return res
+}
+
+// VerifyTree checks that the marked tree darts realize the distances (used
+// by tests and the harness as a self-check).
+func (res *SSSPResult) VerifyTree(la *Labeling) bool {
+	g := la.T.G
+	fd := g.Faces()
+	for f := range res.Dist {
+		if f == res.Source || res.Dist[f] >= spath.Inf {
+			continue
+		}
+		d := res.TreeDart[f]
+		if d == planar.NoDart {
+			return false
+		}
+		if fd.FaceOf(planar.Rev(d)) != f {
+			return false
+		}
+		if res.Dist[fd.FaceOf(d)]+la.Lengths[d] != res.Dist[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformLengths builds a per-dart length vector realizing the "dual of a
+// weighted directed graph" convention used by the girth and min-cut
+// reductions: the dual arc of edge e's forward dart carries e's weight and
+// the reverse dart is deactivated (one dual arc per primal edge).
+func UniformLengths(g *planar.Graph, forwardOnly bool) []int64 {
+	lens := make([]int64, g.NumDarts())
+	for e := 0; e < g.M(); e++ {
+		lens[planar.ForwardDart(e)] = g.Edge(e).Weight
+		if forwardOnly {
+			lens[planar.BackwardDart(e)] = spath.Inf
+		} else {
+			lens[planar.BackwardDart(e)] = g.Edge(e).Weight
+		}
+	}
+	return lens
+}

@@ -1,0 +1,44 @@
+package hatg
+
+import (
+	"testing"
+
+	"planarflow/internal/congest"
+	"planarflow/internal/planar"
+)
+
+// TestHatGDiameterByMessagePassing validates Properties 2–3 of Ĝ with an
+// actual CONGEST execution: BFS over Ĝ must finish within ~3D+O(1) measured
+// rounds (Ĝ has diameter at most 3D and simulates on G with 2x overhead).
+func TestHatGDiameterByMessagePassing(t *testing.T) {
+	for _, g := range []*planar.Graph{
+		planar.Grid(5, 5),
+		planar.Grid(2, 12),
+		planar.Cylinder(3, 6),
+	} {
+		h := New(g)
+		adj := make([][]int, h.N())
+		for x := 0; x < h.N(); x++ {
+			for _, a := range h.Adj(x) {
+				adj[x] = append(adj[x], a.To)
+			}
+		}
+		e := congest.NewPortEngine(adj)
+		dist, stats := congest.PortBFS(e, 0)
+		if stats.Violations != 0 {
+			t.Fatalf("violations: %d", stats.Violations)
+		}
+		d := g.Diameter()
+		for x, dx := range dist {
+			if dx < 0 {
+				t.Fatalf("hatG vertex %d unreachable", x)
+			}
+			if dx > 3*d+3 {
+				t.Fatalf("hatG distance %d exceeds 3D+3 (D=%d)", dx, d)
+			}
+		}
+		if stats.Rounds > 2*(3*d+3)+8 {
+			t.Fatalf("rounds=%d for D=%d", stats.Rounds, d)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package ledger accounts CONGEST rounds for composite algorithms.
+//
+// The simulator executes the paper's communication primitives literally and
+// measures their rounds; phases whose message pattern is fixed by already
+// measured quantities (e.g. a pipelined broadcast of k B-bit messages over a
+// depth-d tree) are charged d + k rounds from those quantities. Every entry
+// records which of the two it is, so experiments can report the split.
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind distinguishes measured engine rounds from charged (derived) rounds.
+type Kind int
+
+const (
+	// Measured rounds were counted by the CONGEST engine executing messages.
+	Measured Kind = iota + 1
+	// Charged rounds were computed from measured run quantities (bit counts,
+	// tree depths, congestion) using the standard pipelining bounds.
+	Charged
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Measured:
+		return "measured"
+	case Charged:
+		return "charged"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one accounted phase.
+type Entry struct {
+	Phase  string
+	Rounds int64
+	Kind   Kind
+}
+
+// Ledger accumulates entries; safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// New returns an empty ledger.
+func New() *Ledger { return &Ledger{} }
+
+// Measure records engine-measured rounds for a phase.
+func (l *Ledger) Measure(phase string, rounds int) { l.add(phase, int64(rounds), Measured) }
+
+// Charge records derived rounds for a phase.
+func (l *Ledger) Charge(phase string, rounds int64) { l.add(phase, rounds, Charged) }
+
+func (l *Ledger) add(phase string, rounds int64, k Kind) {
+	if rounds < 0 {
+		rounds = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, Entry{Phase: phase, Rounds: rounds, Kind: k})
+}
+
+// Total returns the sum of all rounds.
+func (l *Ledger) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s int64
+	for _, e := range l.entries {
+		s += e.Rounds
+	}
+	return s
+}
+
+// Split returns (measured, charged) round totals.
+func (l *Ledger) Split() (measured, charged int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if e.Kind == Measured {
+			measured += e.Rounds
+		} else {
+			charged += e.Rounds
+		}
+	}
+	return measured, charged
+}
+
+// Entries returns a copy of all entries.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// ByPhase returns per-phase totals, aggregating repeated phases.
+func (l *Ledger) ByPhase() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64)
+	for _, e := range l.entries {
+		out[e.Phase] += e.Rounds
+	}
+	return out
+}
+
+// Merge folds all entries of other into l.
+func (l *Ledger) Merge(other *Ledger) {
+	for _, e := range other.Entries() {
+		l.add(e.Phase, e.Rounds, e.Kind)
+	}
+}
+
+// Summary formats per-phase totals sorted by descending rounds.
+func (l *Ledger) Summary() string {
+	phases := l.ByPhase()
+	keys := make([]string, 0, len(phases))
+	for k := range phases {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return phases[keys[i]] > phases[keys[j]] })
+	var b strings.Builder
+	m, c := l.Split()
+	fmt.Fprintf(&b, "total=%d (measured=%d charged=%d)\n", m+c, m, c)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-32s %12d\n", k, phases[k])
+	}
+	return b.String()
+}
+
+// PipelinedBroadcastRounds returns the standard cost of broadcasting k
+// messages over a depth-d tree with pipelining: d + k.
+func PipelinedBroadcastRounds(depth, messages int64) int64 { return depth + messages }
+
+// MessagesForBits returns the number of B-bit messages needed to ship a
+// payload of the given bit length.
+func MessagesForBits(bits, b int64) int64 {
+	if b <= 0 {
+		return bits
+	}
+	return (bits + b - 1) / b
+}

@@ -1,0 +1,103 @@
+package ledger
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTotalsAndSplit(t *testing.T) {
+	l := New()
+	l.Measure("bfs", 10)
+	l.Charge("broadcast", 25)
+	l.Measure("bfs", 5)
+	if l.Total() != 40 {
+		t.Fatalf("total=%d want 40", l.Total())
+	}
+	m, c := l.Split()
+	if m != 15 || c != 25 {
+		t.Fatalf("split=(%d,%d) want (15,25)", m, c)
+	}
+}
+
+func TestByPhaseAggregates(t *testing.T) {
+	l := New()
+	l.Measure("x", 1)
+	l.Charge("x", 2)
+	l.Charge("y", 3)
+	by := l.ByPhase()
+	if by["x"] != 3 || by["y"] != 3 {
+		t.Fatalf("byPhase=%v", by)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Measure("p", 7)
+	b.Charge("q", 9)
+	a.Merge(b)
+	if a.Total() != 16 {
+		t.Fatalf("merged total=%d", a.Total())
+	}
+	if len(a.Entries()) != 2 {
+		t.Fatalf("entries=%d", len(a.Entries()))
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	l := New()
+	l.Charge("neg", -5)
+	if l.Total() != 0 {
+		t.Fatalf("negative rounds not clamped: %d", l.Total())
+	}
+}
+
+func TestSummaryMentionsPhases(t *testing.T) {
+	l := New()
+	l.Measure("alpha", 10)
+	l.Charge("beta", 90)
+	s := l.Summary()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Fatalf("summary missing phases: %q", s)
+	}
+	if !strings.Contains(s, "total=100") {
+		t.Fatalf("summary missing total: %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Measure("m", 1)
+				l.Charge("c", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 1600 {
+		t.Fatalf("total=%d want 1600", l.Total())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if PipelinedBroadcastRounds(10, 5) != 15 {
+		t.Fatal("pipelined broadcast formula")
+	}
+	if MessagesForBits(100, 32) != 4 {
+		t.Fatal("messages for bits")
+	}
+	if MessagesForBits(96, 32) != 3 {
+		t.Fatal("exact multiple")
+	}
+	if MessagesForBits(10, 0) != 10 {
+		t.Fatal("zero budget guard")
+	}
+	if Measured.String() != "measured" || Charged.String() != "charged" || Kind(0).String() != "unknown" {
+		t.Fatal("kind strings")
+	}
+}

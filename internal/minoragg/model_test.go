@@ -1,0 +1,207 @@
+package minoragg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"planarflow/internal/ledger"
+	"planarflow/internal/pa"
+	"planarflow/internal/planar"
+)
+
+// kruskalWeight computes the baseline minimum-spanning-forest weight of the
+// dual (self-loops dropped).
+func kruskalWeight(g *planar.Graph, weights []int64) int64 {
+	du := g.Dual()
+	type ed struct {
+		w    int64
+		a, b int
+	}
+	var es []ed
+	for e := 0; e < g.M(); e++ {
+		d := planar.ForwardDart(e)
+		a, b := du.Tail(d), du.Head(d)
+		if a != b {
+			es = append(es, ed{weights[e], a, b})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].w < es[j].w })
+	parent := make([]int, du.NumNodes())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	var total int64
+	for _, e := range es {
+		ra, rb := find(e.a), find(e.b)
+		if ra != rb {
+			parent[ra] = rb
+			total += e.w
+		}
+	}
+	return total
+}
+
+func TestBoruvkaMSTMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		var g *planar.Graph
+		if trial%2 == 0 {
+			g = planar.Grid(2+rng.Intn(5), 2+rng.Intn(6))
+		} else {
+			g = planar.StackedTriangulation(8+rng.Intn(30), rng)
+		}
+		w := make([]int64, g.M())
+		for e := range w {
+			w[e] = rng.Int63n(1000)
+		}
+		led := ledger.New()
+		sim := NewSimulator(g, led)
+		m := NewModel(sim, w)
+		res := m.BoruvkaMST()
+		if want := kruskalWeight(g, w); res.Weight != want {
+			t.Fatalf("trial %d: boruvka=%d kruskal=%d", trial, res.Weight, want)
+		}
+		if m.NumSuperNodes() != 1 {
+			t.Fatalf("trial %d: %d super-nodes remain (dual is connected)", trial, m.NumSuperNodes())
+		}
+		// Boruvka halves components per phase: O(log n) phases.
+		if res.Phases > 20 {
+			t.Fatalf("trial %d: %d phases", trial, res.Phases)
+		}
+		if led.Total() == 0 {
+			t.Fatal("no rounds charged")
+		}
+	}
+}
+
+func TestMSTEdgesFormSpanningTree(t *testing.T) {
+	g := planar.Grid(5, 5)
+	rng := rand.New(rand.NewSource(3))
+	w := make([]int64, g.M())
+	for e := range w {
+		w[e] = rng.Int63n(50)
+	}
+	sim := NewSimulator(g, ledger.New())
+	m := NewModel(sim, w)
+	res := m.BoruvkaMST()
+	nf := g.Faces().NumFaces()
+	if len(res.Edges) != nf-1 {
+		t.Fatalf("tree edges=%d want %d", len(res.Edges), nf-1)
+	}
+	// Acyclic + spanning via union-find over the returned edges.
+	parent := make([]int, nf)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range res.Edges {
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			t.Fatal("cycle in MST edges")
+		}
+		parent[ra] = rb
+	}
+}
+
+func TestConsensusStep(t *testing.T) {
+	g := planar.Grid(3, 4)
+	sim := NewSimulator(g, ledger.New())
+	m := NewModel(sim, nil)
+	// Before any contraction each node is its own super-node: consensus
+	// returns its own input.
+	vals := m.ConsensusStep(func(x int) int64 { return int64(10 + x) }, 0, pa.Sum)
+	for f := 0; f < g.Faces().NumFaces(); f++ {
+		if vals[m.Super(f)] != int64(10+f) {
+			t.Fatalf("node %d: consensus=%d", f, vals[m.Super(f)])
+		}
+	}
+	// Contract everything: one super-node summing all inputs.
+	m.ContractionStep(func(e ModelEdge) bool { return true })
+	if m.NumSuperNodes() != 1 {
+		t.Fatalf("supers=%d want 1", m.NumSuperNodes())
+	}
+	vals = m.ConsensusStep(func(x int) int64 { return 1 }, 0, pa.Sum)
+	if vals[m.Super(0)] != int64(g.Faces().NumFaces()) {
+		t.Fatalf("global sum=%d want %d", vals[m.Super(0)], g.Faces().NumFaces())
+	}
+}
+
+func TestAggregationStepCountsIncidentEdges(t *testing.T) {
+	g := planar.Grid(3, 3)
+	sim := NewSimulator(g, ledger.New())
+	m := NewModel(sim, nil)
+	deg := m.AggregationStep(func(e ModelEdge, _ int) int64 { return 1 }, 0, pa.Sum)
+	// Each dual node's live-edge degree (parallels counted, self-loops
+	// dropped) must match a direct count.
+	want := map[int]int64{}
+	du := g.Dual()
+	for e := 0; e < g.M(); e++ {
+		d := planar.ForwardDart(e)
+		a, b := du.Tail(d), du.Head(d)
+		if a != b {
+			want[a]++
+			want[b]++
+		}
+	}
+	for f, w := range want {
+		if deg[m.Super(f)] != w {
+			t.Fatalf("node %d: degree %d want %d", f, deg[m.Super(f)], w)
+		}
+	}
+}
+
+func TestVirtualNodeParticipates(t *testing.T) {
+	g := planar.Grid(3, 3)
+	sim := NewSimulator(g, ledger.New())
+	m := NewModel(sim, nil)
+	v := m.AddVirtualNode([]int{0, 1}, []int64{5, 7})
+	if !m.virtual[v] {
+		t.Fatal("virtual flag unset")
+	}
+	deg := m.AggregationStep(func(e ModelEdge, _ int) int64 { return 1 }, 0, pa.Sum)
+	if deg[m.Super(v)] != 2 {
+		t.Fatalf("virtual degree=%d want 2", deg[m.Super(v)])
+	}
+	// Contract one virtual edge; consensus over the merged super-node must
+	// include the virtual member's input.
+	m.ContractionStep(func(e ModelEdge) bool { return e.Dart == planar.NoDart && e.B == 0 })
+	vals := m.ConsensusStep(func(x int) int64 {
+		if x == v {
+			return 100
+		}
+		return 1
+	}, 0, pa.Sum)
+	if vals[m.Super(v)] != 101 {
+		t.Fatalf("merged consensus=%d want 101", vals[m.Super(v)])
+	}
+}
+
+func TestContractionIdempotent(t *testing.T) {
+	g := planar.Grid(4, 4)
+	sim := NewSimulator(g, ledger.New())
+	m := NewModel(sim, nil)
+	before := m.NumSuperNodes()
+	m.ContractionStep(func(e ModelEdge) bool { return false })
+	if m.NumSuperNodes() != before {
+		t.Fatal("no-op contraction changed super-nodes")
+	}
+	m.ContractionStep(func(e ModelEdge) bool { return true })
+	m.ContractionStep(func(e ModelEdge) bool { return true })
+	if m.NumSuperNodes() != 1 {
+		t.Fatal("full contraction should leave one super-node")
+	}
+}

@@ -1,0 +1,123 @@
+package pa
+
+import (
+	"planarflow/internal/hatg"
+	"planarflow/internal/ledger"
+)
+
+// DualPA solves the part-wise aggregation problem on the dual graph G*
+// (Lemma 4.9): given a partition of the faces of G into parts and one input
+// per face, every part's aggregate is computed by inducing the partition on
+// the face-disjoint graph Ĝ (each dual node is simulated by the copies of
+// its face cycle) and running shortcut-based PA there. Star centers only
+// relay. Rounds on Ĝ are charged 2x on G (Property 3 of Ĝ).
+type DualPA struct {
+	H    *hatg.Graph
+	net  Network
+	tree *Tree
+	Led  *ledger.Ledger
+}
+
+// NewDualPA prepares the Ĝ network and its global shortcut skeleton,
+// charging the BFS construction.
+func NewDualPA(h *hatg.Graph, led *ledger.Ledger) *DualPA {
+	d := &DualPA{H: h, net: FromHatG(h), Led: led}
+	d.tree = BuildTree(d.net, 0)
+	led.Measure("hatg/bfs-tree", 2*(d.tree.Height+1))
+	return d
+}
+
+// Tree exposes the global BFS tree on Ĝ.
+func (d *DualPA) Tree() *Tree { return d.tree }
+
+// AggregateFaces computes, for each part of the face partition, the
+// op-aggregate of the per-face inputs. identity is op's neutral element
+// (relay copies contribute it). Returns per-part values.
+func (d *DualPA) AggregateFaces(partOfFace []int, numParts int, faceInput []int64, identity int64, op Op) []int64 {
+	h := d.H
+	n := h.N()
+	parts := Parts{Of: make([]int, n), Num: numParts}
+	input := make([]int64, n)
+	leader := faceLeaders(h)
+	for x := 0; x < n; x++ {
+		parts.Of[x] = -1
+		input[x] = identity
+		if h.IsStarCenter(x) {
+			continue
+		}
+		f := h.FaceOfCopy(x)
+		if p := partOfFace[f]; p >= 0 {
+			parts.Of[x] = p
+			if leader[f] == x {
+				input[x] = faceInput[f]
+			}
+		}
+	}
+	res := Aggregate(d.net, d.tree, parts, input, op)
+	d.Led.Measure("dual-pa/aggregate", 2*res.Rounds)
+	return res.Value
+}
+
+// AggregateCopies computes per-part aggregates where the caller supplies an
+// input per Ĝ vertex directly (used for aggregations over dual edges: each
+// chord endpoint knows its edge's contribution). Copies belong to the part
+// of their face per partOfFace; star centers relay.
+func (d *DualPA) AggregateCopies(partOfFace []int, numParts int, copyInput []int64, op Op) []int64 {
+	h := d.H
+	n := h.N()
+	parts := Parts{Of: make([]int, n), Num: numParts}
+	for x := 0; x < n; x++ {
+		parts.Of[x] = -1
+		if h.IsStarCenter(x) {
+			continue
+		}
+		if p := partOfFace[h.FaceOfCopy(x)]; p >= 0 {
+			parts.Of[x] = p
+		}
+	}
+	res := Aggregate(d.net, d.tree, parts, copyInput, op)
+	d.Led.Measure("dual-pa/aggregate", 2*res.Rounds)
+	return res.Value
+}
+
+// MeasureUnit runs one canonical faces-as-parts PA (the most congested
+// pattern the paper's compilations use) against a throwaway ledger and
+// returns its measured CONGEST cost. Model simulations use this as the price
+// of one PA instance on this Ĝ.
+func (d *DualPA) MeasureUnit() int64 {
+	probe := ledger.New()
+	saved := d.Led
+	d.Led = probe
+	nf := d.H.Primal().Faces().NumFaces()
+	partOf := make([]int, nf)
+	in := make([]int64, nf)
+	for f := range partOf {
+		partOf[f] = f
+		in[f] = 1
+	}
+	d.AggregateFaces(partOf, nf, in, 0, Sum)
+	d.Led = saved
+	unit := probe.Total()
+	if unit < 1 {
+		unit = 1
+	}
+	return unit
+}
+
+// faceLeaders elects the minimum-ID copy of each face (Property 4 of Ĝ; the
+// distributed election is an Õ(D)-round PA which callers charge when they
+// construct the DualPA).
+func faceLeaders(h *hatg.Graph) []int {
+	nf := h.Primal().Faces().NumFaces()
+	leader := make([]int, nf)
+	for f := range leader {
+		leader[f] = -1
+	}
+	for x := h.Primal().N(); x < h.N(); x++ {
+		f := h.FaceOfCopy(x)
+		if leader[f] == -1 || x < leader[f] {
+			leader[f] = x
+		}
+	}
+	return leader
+}

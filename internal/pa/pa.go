@@ -1,0 +1,305 @@
+// Package pa implements low-congestion shortcuts and the part-wise
+// aggregation (PA) primitive (§4.1), the workhorse the minor-aggregation
+// model compiles down to.
+//
+// Given a partition of (a subset of) the vertices into parts, each part's
+// aggregate is routed over the part's Steiner tree inside a global BFS tree
+// — the tree-restricted shortcut construction for planar graphs [14]. The
+// schedule is simulated token-by-token under the CONGEST constraint of one
+// message per directed edge per round, so the reported round count is a
+// measurement of the realized congestion + dilation, not an assumed bound.
+package pa
+
+// Network is the minimal view of a communication graph (satisfied by both
+// the primal graph and the face-disjoint graph Ĝ).
+type Network interface {
+	N() int
+	NeighborsOf(v int) []int
+}
+
+// Op is a commutative, associative aggregation operator (Def. 4.3).
+type Op func(a, b int64) int64
+
+// Min, Max, Sum are the standard operators.
+var (
+	Min Op = func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	Max Op = func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Sum Op = func(a, b int64) int64 { return a + b }
+)
+
+// Tree is a global BFS tree used as the shortcut skeleton.
+type Tree struct {
+	Root   int
+	Parent []int // parent vertex (-1 at root)
+	Depth  []int
+	Height int
+}
+
+// BuildTree constructs a BFS tree from root; distributed cost is
+// Height + O(1) rounds (callers charge it).
+func BuildTree(net Network, root int) *Tree {
+	n := net.N()
+	t := &Tree{Root: root, Parent: make([]int, n), Depth: make([]int, n)}
+	for v := range t.Parent {
+		t.Parent[v] = -1
+		t.Depth[v] = -1
+	}
+	t.Depth[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if t.Depth[v] > t.Height {
+			t.Height = t.Depth[v]
+		}
+		for _, u := range net.NeighborsOf(v) {
+			if t.Depth[u] == -1 {
+				t.Depth[u] = t.Depth[v] + 1
+				t.Parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return t
+}
+
+// Parts assigns vertices to parts: Of[v] is the part of v or -1 for vertices
+// that only relay messages.
+type Parts struct {
+	Of  []int
+	Num int
+}
+
+// Result reports a PA run: per-part aggregates plus the realized cost of the
+// token schedule.
+type Result struct {
+	Value      []int64 // aggregate per part
+	Rounds     int     // measured schedule length (up + down phases)
+	Congestion int     // max tokens over a single tree edge in one phase
+	Dilation   int     // max Steiner-tree height over parts
+}
+
+// steiner describes one part's Steiner tree inside the global tree.
+type steiner struct {
+	root     int
+	nodes    []int
+	children map[int][]int // within the Steiner tree
+	parent   map[int]int
+}
+
+func buildSteiner(t *Tree, members []int) steiner {
+	st := steiner{parent: make(map[int]int), children: make(map[int][]int)}
+	if len(members) == 0 {
+		st.root = -1
+		return st
+	}
+	inTree := make(map[int]bool)
+	isMember := make(map[int]bool, len(members))
+	for _, v := range members {
+		isMember[v] = true
+	}
+	// Union of member-to-root paths.
+	for _, v := range members {
+		for x := v; x != -1 && !inTree[x]; x = t.Parent[x] {
+			inTree[x] = true
+		}
+	}
+	for x := range inTree {
+		p := t.Parent[x]
+		if p != -1 && inTree[p] {
+			st.parent[x] = p
+			st.children[p] = append(st.children[p], x)
+		}
+	}
+	// Trim the chain above the LCA: descend from the global root while the
+	// current node is a non-member with exactly one Steiner child.
+	root := t.Root
+	for !isMember[root] && len(st.children[root]) == 1 {
+		next := st.children[root][0]
+		delete(st.children, root)
+		delete(st.parent, next)
+		root = next
+	}
+	st.root = root
+	// Collect nodes reachable from the trimmed root.
+	stack := []int{root}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.nodes = append(st.nodes, x)
+		stack = append(stack, st.children[x]...)
+	}
+	return st
+}
+
+// Aggregate solves the PA problem: for every part, the op-aggregate of the
+// inputs of its members, computed by convergecast + broadcast over per-part
+// Steiner trees with a round-by-round token schedule.
+func Aggregate(net Network, t *Tree, parts Parts, input []int64, op Op) *Result {
+	res := &Result{Value: make([]int64, parts.Num)}
+	members := make([][]int, parts.Num)
+	for v, p := range parts.Of {
+		if p >= 0 {
+			members[p] = append(members[p], v)
+		}
+	}
+	sts := make([]steiner, parts.Num)
+	for i := range sts {
+		sts[i] = buildSteiner(t, members[i])
+		h := steinerHeight(sts[i])
+		if h > res.Dilation {
+			res.Dilation = h
+		}
+	}
+
+	// ---- Up phase: convergecast one token per Steiner edge. ----
+	type key struct{ part, v int }
+	acc := make(map[key]int64)
+	pendingKids := make(map[key]int)
+	memberSet := make(map[key]bool)
+	for i, st := range sts {
+		if st.root == -1 {
+			continue
+		}
+		for _, v := range st.nodes {
+			pendingKids[key{i, v}] = len(st.children[v])
+		}
+		for _, v := range members[i] {
+			memberSet[key{i, v}] = true
+			acc[key{i, v}] = input[v]
+		}
+	}
+	combine := func(k key, val int64) {
+		if cur, ok := acc[k]; ok {
+			acc[k] = op(cur, val)
+		} else {
+			acc[k] = val
+		}
+	}
+
+	// upQueue[v] holds tokens waiting to traverse the tree edge v->parent(v);
+	// one token crosses per round (CONGEST capacity).
+	upQueue := make([][]key, net.N())
+	edgeLoad := make([]int, net.N()) // tokens ever enqueued on v->parent(v)
+	ready := func(i, v int) {
+		st := &sts[i]
+		if v == st.root {
+			res.Value[i] = acc[key{i, v}]
+			return
+		}
+		upQueue[v] = append(upQueue[v], key{i, v})
+		edgeLoad[v]++
+	}
+	for i, st := range sts {
+		if st.root == -1 {
+			continue
+		}
+		for _, v := range st.nodes {
+			if pendingKids[key{i, v}] == 0 {
+				ready(i, v)
+			}
+		}
+	}
+	upRounds := 0
+	for {
+		moved := false
+		// Deliver at most one token per directed edge this round.
+		type delivery struct {
+			k      key
+			parent int
+		}
+		var ds []delivery
+		for v := range upQueue {
+			if len(upQueue[v]) == 0 {
+				continue
+			}
+			k := upQueue[v][0]
+			upQueue[v] = upQueue[v][1:]
+			ds = append(ds, delivery{k: k, parent: sts[k.part].parent[k.v]})
+			moved = true
+		}
+		if !moved {
+			break
+		}
+		upRounds++
+		for _, d := range ds {
+			pk := key{d.k.part, d.parent}
+			combine(pk, acc[d.k])
+			pendingKids[pk]--
+			if pendingKids[pk] == 0 {
+				ready(d.k.part, d.parent)
+			}
+		}
+	}
+	for v := range edgeLoad {
+		if edgeLoad[v] > res.Congestion {
+			res.Congestion = edgeLoad[v]
+		}
+	}
+
+	// ---- Down phase: broadcast the result over the same Steiner trees.
+	// Token per Steiner edge again; queue keyed by the child endpoint.
+	downQueue := make([][]key, net.N()) // tokens waiting on parent(v)->v
+	for i, st := range sts {
+		if st.root == -1 {
+			continue
+		}
+		for _, c := range st.children[st.root] {
+			downQueue[c] = append(downQueue[c], key{i, c})
+		}
+	}
+	downRounds := 0
+	for {
+		moved := false
+		var arrivals []key
+		for v := range downQueue {
+			if len(downQueue[v]) == 0 {
+				continue
+			}
+			k := downQueue[v][0]
+			downQueue[v] = downQueue[v][1:]
+			arrivals = append(arrivals, k)
+			moved = true
+		}
+		if !moved {
+			break
+		}
+		downRounds++
+		for _, k := range arrivals {
+			for _, c := range sts[k.part].children[k.v] {
+				downQueue[c] = append(downQueue[c], key{k.part, c})
+			}
+		}
+	}
+
+	res.Rounds = upRounds + downRounds
+	return res
+}
+
+func steinerHeight(st steiner) int {
+	if st.root == -1 {
+		return 0
+	}
+	h := 0
+	var rec func(v, d int)
+	rec = func(v, d int) {
+		if d > h {
+			h = d
+		}
+		for _, c := range st.children[v] {
+			rec(c, d+1)
+		}
+	}
+	rec(st.root, 0)
+	return h
+}

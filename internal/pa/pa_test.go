@@ -1,0 +1,220 @@
+package pa
+
+import (
+	"math/rand"
+	"testing"
+
+	"planarflow/internal/hatg"
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+)
+
+func TestAggregateSingleGlobalPart(t *testing.T) {
+	g := planar.Grid(5, 5)
+	net := FromPlanar(g)
+	tree := BuildTree(net, 0)
+	parts := Parts{Of: make([]int, g.N()), Num: 1}
+	input := make([]int64, g.N())
+	var want int64
+	for v := range input {
+		input[v] = int64(v)
+		want += int64(v)
+	}
+	res := Aggregate(net, tree, parts, input, Sum)
+	if res.Value[0] != want {
+		t.Fatalf("sum=%d want %d", res.Value[0], want)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds measured")
+	}
+}
+
+func TestAggregateRowParts(t *testing.T) {
+	rows, cols := 6, 7
+	g := planar.Grid(rows, cols)
+	net := FromPlanar(g)
+	tree := BuildTree(net, 0)
+	parts := Parts{Of: make([]int, g.N()), Num: rows}
+	input := make([]int64, g.N())
+	want := make([]int64, rows)
+	for v := 0; v < g.N(); v++ {
+		r := v / cols
+		parts.Of[v] = r
+		input[v] = int64(v % 10)
+		want[r] += input[v]
+	}
+	res := Aggregate(net, tree, parts, input, Sum)
+	for r := 0; r < rows; r++ {
+		if res.Value[r] != want[r] {
+			t.Fatalf("row %d: %d want %d", r, res.Value[r], want[r])
+		}
+	}
+}
+
+func TestAggregateMinWithRelays(t *testing.T) {
+	g := planar.Grid(4, 8)
+	net := FromPlanar(g)
+	tree := BuildTree(net, 5)
+	// Two parts at opposite corners; everything else relays.
+	parts := Parts{Of: make([]int, g.N()), Num: 2}
+	for v := range parts.Of {
+		parts.Of[v] = -1
+	}
+	input := make([]int64, g.N())
+	parts.Of[0], input[0] = 0, 42
+	parts.Of[1], input[1] = 0, 17
+	last := g.N() - 1
+	parts.Of[last], input[last] = 1, 9
+	parts.Of[last-1], input[last-1] = 1, 23
+	res := Aggregate(net, tree, parts, input, Min)
+	if res.Value[0] != 17 || res.Value[1] != 9 {
+		t.Fatalf("values=%v want [17 9]", res.Value)
+	}
+}
+
+func TestAggregateEmptyPart(t *testing.T) {
+	g := planar.Grid(2, 3)
+	net := FromPlanar(g)
+	tree := BuildTree(net, 0)
+	parts := Parts{Of: []int{0, 0, -1, -1, -1, -1}, Num: 2}
+	input := []int64{3, 4, 0, 0, 0, 0}
+	res := Aggregate(net, tree, parts, input, Sum)
+	if res.Value[0] != 7 {
+		t.Fatalf("part0=%d want 7", res.Value[0])
+	}
+	if res.Value[1] != 0 {
+		t.Fatalf("empty part=%d want 0", res.Value[1])
+	}
+}
+
+func TestAggregateRandomAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		g := planar.StackedTriangulation(5+rng.Intn(60), rng)
+		net := FromPlanar(g)
+		tree := BuildTree(net, rng.Intn(g.N()))
+		num := 1 + rng.Intn(5)
+		parts := Parts{Of: make([]int, g.N()), Num: num}
+		input := make([]int64, g.N())
+		want := make([]int64, num)
+		seen := make([]bool, num)
+		for v := 0; v < g.N(); v++ {
+			parts.Of[v] = rng.Intn(num+1) - 1
+			input[v] = rng.Int63n(1000)
+			if p := parts.Of[v]; p >= 0 {
+				if !seen[p] {
+					want[p], seen[p] = input[v], true
+				} else if input[v] < want[p] {
+					want[p] = input[v]
+				}
+			}
+		}
+		res := Aggregate(net, tree, parts, input, Min)
+		for p := 0; p < num; p++ {
+			if seen[p] && res.Value[p] != want[p] {
+				t.Fatalf("trial %d part %d: %d want %d", trial, p, res.Value[p], want[p])
+			}
+		}
+	}
+}
+
+func TestScheduleCostBound(t *testing.T) {
+	// Rounds must be within a small factor of dilation + congestion.
+	g := planar.Grid(8, 8)
+	net := FromPlanar(g)
+	tree := BuildTree(net, 0)
+	parts := Parts{Of: make([]int, g.N()), Num: 8}
+	input := make([]int64, g.N())
+	for v := range parts.Of {
+		parts.Of[v] = v % 8
+		input[v] = 1
+	}
+	res := Aggregate(net, tree, parts, input, Sum)
+	if res.Rounds > 4*(res.Dilation+res.Congestion)+8 {
+		t.Fatalf("rounds=%d dilation=%d congestion=%d", res.Rounds, res.Dilation, res.Congestion)
+	}
+}
+
+func TestDualPAFacesAsParts(t *testing.T) {
+	// Cor 4.6 on G*: every face its own part; aggregate over each face's
+	// boundary must see exactly its own input.
+	g := planar.Grid(4, 5)
+	h := hatg.New(g)
+	led := ledger.New()
+	d := NewDualPA(h, led)
+	nf := g.Faces().NumFaces()
+	partOf := make([]int, nf)
+	in := make([]int64, nf)
+	for f := 0; f < nf; f++ {
+		partOf[f] = f
+		in[f] = int64(100 + f)
+	}
+	vals := d.AggregateFaces(partOf, nf, in, int64(1<<60), Min)
+	for f := 0; f < nf; f++ {
+		if vals[f] != int64(100+f) {
+			t.Fatalf("face %d: %d want %d", f, vals[f], 100+f)
+		}
+	}
+	if led.Total() == 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestDualPAGroupedFaces(t *testing.T) {
+	// Group faces into two parts (interior quads vs outer face) and sum.
+	g := planar.Grid(3, 6)
+	h := hatg.New(g)
+	d := NewDualPA(h, ledger.New())
+	fd := g.Faces()
+	outer := fd.LargestFace()
+	nf := fd.NumFaces()
+	partOf := make([]int, nf)
+	in := make([]int64, nf)
+	var wantIn int64
+	for f := 0; f < nf; f++ {
+		in[f] = int64(f + 1)
+		if f == outer {
+			partOf[f] = 1
+		} else {
+			partOf[f] = 0
+			wantIn += in[f]
+		}
+	}
+	vals := d.AggregateFaces(partOf, 2, in, 0, Sum)
+	if vals[0] != wantIn {
+		t.Fatalf("interior sum=%d want %d", vals[0], wantIn)
+	}
+	if vals[1] != int64(outer+1) {
+		t.Fatalf("outer=%d want %d", vals[1], outer+1)
+	}
+}
+
+func TestPARoundsScaleWithDiameterOnDual(t *testing.T) {
+	// E7 shape check (coarse): faces-as-parts PA on a long thin grid must
+	// not cost asymptotically more than O(D * polylog); compare against a
+	// square grid of the same size.
+	thin := planar.Grid(2, 50)
+	square := planar.Grid(10, 10)
+	r := func(g *planar.Graph) int64 {
+		led := ledger.New()
+		h := hatg.New(g)
+		d := NewDualPA(h, led)
+		nf := g.Faces().NumFaces()
+		partOf := make([]int, nf)
+		in := make([]int64, nf)
+		for f := range partOf {
+			partOf[f] = f
+			in[f] = 1
+		}
+		d.AggregateFaces(partOf, nf, in, 0, Sum)
+		return led.Total()
+	}
+	rThin, rSquare := r(thin), r(square)
+	if rThin <= 0 || rSquare <= 0 {
+		t.Fatal("no rounds")
+	}
+	// Thin grid has D=50 vs 18; expect strictly more rounds but same order.
+	if rThin <= rSquare {
+		t.Fatalf("expected thin grid to cost more: %d vs %d", rThin, rSquare)
+	}
+}

@@ -1,0 +1,78 @@
+package pa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"planarflow/internal/planar"
+)
+
+func TestQuickAggregateMatchesDirect(t *testing.T) {
+	prop := func(seed int64, numParts, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := planar.StackedTriangulation(4+int(size)%50, rng)
+		net := FromPlanar(g)
+		tree := BuildTree(net, rng.Intn(g.N()))
+		num := 1 + int(numParts)%6
+		parts := Parts{Of: make([]int, g.N()), Num: num}
+		input := make([]int64, g.N())
+		wantSum := make([]int64, num)
+		for v := 0; v < g.N(); v++ {
+			parts.Of[v] = rng.Intn(num+1) - 1
+			input[v] = rng.Int63n(500)
+			if p := parts.Of[v]; p >= 0 {
+				wantSum[p] += input[v]
+			}
+		}
+		res := Aggregate(net, tree, parts, input, Sum)
+		for p := 0; p < num; p++ {
+			if res.Value[p] != wantSum[p] {
+				return false
+			}
+		}
+		// Schedule sanity: rounds within a factor of dilation+congestion.
+		return res.Rounds <= 4*(res.Dilation+res.Congestion)+8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSteinerDilationBounded(t *testing.T) {
+	// Dilation never exceeds twice the BFS tree height.
+	prop := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := planar.StackedTriangulation(4+int(size)%40, rng)
+		net := FromPlanar(g)
+		tree := BuildTree(net, 0)
+		parts := Parts{Of: make([]int, g.N()), Num: 3}
+		input := make([]int64, g.N())
+		for v := range parts.Of {
+			parts.Of[v] = v % 3
+			input[v] = 1
+		}
+		res := Aggregate(net, tree, parts, input, Sum)
+		return res.Dilation <= 2*tree.Height+2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreeCoversGraph(t *testing.T) {
+	g := planar.NestedTriangles(12)
+	net := FromPlanar(g)
+	tree := BuildTree(net, 5)
+	for v := 0; v < g.N(); v++ {
+		if tree.Depth[v] < 0 {
+			t.Fatalf("vertex %d unreached", v)
+		}
+		if v != tree.Root && tree.Parent[v] == -1 {
+			t.Fatalf("vertex %d lacks parent", v)
+		}
+	}
+	if tree.Height < g.Diameter()/2 {
+		t.Fatalf("height %d below D/2 (D=%d)", tree.Height, g.Diameter())
+	}
+}

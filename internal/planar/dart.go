@@ -1,0 +1,35 @@
+// Package planar provides embedded planar graphs: rotation systems, dart
+// algebra, face traversal, dual graphs and planar graph generators.
+//
+// The representation follows the conventions of the centralized planar-graph
+// literature used by the paper (Klein–Mozes style): every undirected edge e
+// is represented by two darts, a forward dart 2e oriented U(e) -> V(e) and a
+// backward dart 2e+1 oriented V(e) -> U(e). A combinatorial embedding is a
+// rotation system: for each vertex, the cyclic order of its outgoing darts.
+// Faces are the orbits of the face-successor permutation; by Euler's formula
+// a connected rotation system is planar iff n - m + f = 2.
+package planar
+
+// Dart identifies one of the two orientations of an edge. The dart 2e is the
+// forward dart of edge e (oriented from Edge.U to Edge.V); 2e+1 is its
+// reversal.
+type Dart int
+
+// NoDart is the sentinel for "no dart" (e.g. absent parent pointers).
+const NoDart Dart = -1
+
+// Rev returns the reversal of d (the same edge traversed the other way).
+func Rev(d Dart) Dart { return d ^ 1 }
+
+// EdgeOf returns the edge the dart belongs to.
+func EdgeOf(d Dart) int { return int(d) >> 1 }
+
+// IsForward reports whether d is the forward dart of its edge (oriented
+// Edge.U -> Edge.V).
+func IsForward(d Dart) bool { return d&1 == 0 }
+
+// ForwardDart returns the forward dart of edge e.
+func ForwardDart(e int) Dart { return Dart(2 * e) }
+
+// BackwardDart returns the backward dart of edge e.
+func BackwardDart(e int) Dart { return Dart(2*e + 1) }

@@ -1,0 +1,99 @@
+package planar
+
+// FaceData holds the face structure of an embedded planar graph: the orbit
+// partition of the face-successor permutation. Each face is a cyclic sequence
+// of darts; every dart belongs to exactly one face.
+type FaceData struct {
+	faceOf []int    // faceOf[d] = face index containing dart d
+	cycles [][]Dart // cycles[f] = boundary darts of face f, in orbit order
+}
+
+// Faces computes (and caches) the face structure.
+func (g *Graph) Faces() *FaceData {
+	if g.faces != nil {
+		return g.faces
+	}
+	nd := g.NumDarts()
+	fd := &FaceData{faceOf: make([]int, nd)}
+	for d := range fd.faceOf {
+		fd.faceOf[d] = -1
+	}
+	for d0 := Dart(0); int(d0) < nd; d0++ {
+		if fd.faceOf[d0] != -1 {
+			continue
+		}
+		f := len(fd.cycles)
+		var cyc []Dart
+		d := d0
+		for {
+			fd.faceOf[d] = f
+			cyc = append(cyc, d)
+			d = g.FaceSuccessor(d)
+			if d == d0 {
+				break
+			}
+		}
+		fd.cycles = append(fd.cycles, cyc)
+	}
+	g.faces = fd
+	return fd
+}
+
+// NumFaces returns the number of faces.
+func (fd *FaceData) NumFaces() int { return len(fd.cycles) }
+
+// FaceOf returns the face containing dart d.
+func (fd *FaceData) FaceOf(d Dart) int { return fd.faceOf[d] }
+
+// Cycle returns the boundary darts of face f in orbit order. The returned
+// slice must not be modified.
+func (fd *FaceData) Cycle(f int) []Dart { return fd.cycles[f] }
+
+// Len returns the number of darts on the boundary of face f.
+func (fd *FaceData) Len(f int) int { return len(fd.cycles[f]) }
+
+// LargestFace returns the face with the most boundary darts (a natural choice
+// of "outer" face for generators that do not fix one).
+func (fd *FaceData) LargestFace() int {
+	best, bestLen := 0, -1
+	for f, c := range fd.cycles {
+		if len(c) > bestLen {
+			best, bestLen = f, len(c)
+		}
+	}
+	return best
+}
+
+// FacesAtVertex returns the distinct faces incident to vertex v, in rotation
+// order (a face may repeat around v in multigraph-like situations; duplicates
+// are removed while preserving first-occurrence order).
+func (g *Graph) FacesAtVertex(v int) []int {
+	fd := g.Faces()
+	seen := make(map[int]bool, len(g.rot[v]))
+	var out []int
+	for _, d := range g.rot[v] {
+		f := fd.FaceOf(d)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CommonFaces returns the faces incident to both u and v (used e.g. by the
+// Hassin reduction, which requires s and t on a common face).
+func (g *Graph) CommonFaces(u, v int) []int {
+	fu := g.FacesAtVertex(u)
+	set := make(map[int]bool, len(fu))
+	for _, f := range fu {
+		set[f] = true
+	}
+	var out []int
+	for _, f := range g.FacesAtVertex(v) {
+		if set[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+package planar
+
+import (
+	"math/rand"
+)
+
+// Grid returns a rows x cols grid graph with unit weights and capacities.
+// Grid graphs are the paper's canonical bounded-diameter planar family: the
+// hop diameter is rows+cols-2, so sweeping the aspect ratio at fixed n sweeps
+// D independently of n.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic("planar: Grid needs at least two vertices")
+	}
+	id := func(r, c int) int { return r*cols + c }
+	var edges []Edge
+	right := make([]int, rows*cols) // edge id of (r,c)-(r,c+1), -1 if none
+	down := make([]int, rows*cols)  // edge id of (r,c)-(r+1,c), -1 if none
+	for i := range right {
+		right[i], down[i] = -1, -1
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				right[id(r, c)] = len(edges)
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1), Weight: 1, Cap: 1})
+			}
+			if r+1 < rows {
+				down[id(r, c)] = len(edges)
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c), Weight: 1, Cap: 1})
+			}
+		}
+	}
+	rot := make([][]Dart, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			// Clockwise: up, right, down, left.
+			if r > 0 {
+				rot[v] = append(rot[v], BackwardDart(down[id(r-1, c)]))
+			}
+			if c+1 < cols {
+				rot[v] = append(rot[v], ForwardDart(right[v]))
+			}
+			if r+1 < rows {
+				rot[v] = append(rot[v], ForwardDart(down[v]))
+			}
+			if c > 0 {
+				rot[v] = append(rot[v], BackwardDart(right[id(r, c-1)]))
+			}
+		}
+	}
+	return MustGraph(rows*cols, edges, rot)
+}
+
+// Cylinder returns a rows x cols cylindrical grid: each row is a cycle of
+// length cols (cols >= 3) and consecutive rows are joined by radial edges.
+// Embedded as an annulus; diameter is about rows + cols/2.
+func Cylinder(rows, cols int) *Graph {
+	if rows < 1 || cols < 3 {
+		panic("planar: Cylinder needs rows >= 1, cols >= 3")
+	}
+	id := func(r, c int) int { return r*cols + c }
+	var edges []Edge
+	ring := make([]int, rows*cols) // edge id of (r,c)-(r,(c+1)%cols)
+	down := make([]int, rows*cols) // edge id of (r,c)-(r+1,c), -1 if none
+	for i := range down {
+		down[i] = -1
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ring[id(r, c)] = len(edges)
+			edges = append(edges, Edge{U: id(r, c), V: id(r, (c+1)%cols), Weight: 1, Cap: 1})
+		}
+	}
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c < cols; c++ {
+			down[id(r, c)] = len(edges)
+			edges = append(edges, Edge{U: id(r, c), V: id(r+1, c), Weight: 1, Cap: 1})
+		}
+	}
+	rot := make([][]Dart, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			// Clockwise around a vertex of the annulus: inner ring (up),
+			// next on circle (right), outer ring (down), previous (left).
+			if r > 0 {
+				rot[v] = append(rot[v], BackwardDart(down[id(r-1, c)]))
+			}
+			rot[v] = append(rot[v], ForwardDart(ring[v]))
+			if r+1 < rows {
+				rot[v] = append(rot[v], ForwardDart(down[v]))
+			}
+			rot[v] = append(rot[v], BackwardDart(ring[id(r, (c+cols-1)%cols)]))
+		}
+	}
+	return MustGraph(rows*cols, edges, rot)
+}
+
+// StackedTriangulation returns a random maximal planar graph ("stacked" /
+// Apollonian) with n >= 3 vertices: starting from a triangle, each new vertex
+// is inserted into a uniformly random face and connected to its three
+// corners. Useful as a high-degree, low-diameter counterpart to grids.
+func StackedTriangulation(n int, rng *rand.Rand) *Graph {
+	if n < 3 {
+		panic("planar: StackedTriangulation needs n >= 3")
+	}
+	edges := []Edge{
+		{U: 0, V: 1, Weight: 1, Cap: 1},
+		{U: 1, V: 2, Weight: 1, Cap: 1},
+		{U: 2, V: 0, Weight: 1, Cap: 1},
+	}
+	rot := make([][]Dart, n)
+	rot[0] = []Dart{ForwardDart(0), BackwardDart(2)}
+	rot[1] = []Dart{ForwardDart(1), BackwardDart(0)}
+	rot[2] = []Dart{ForwardDart(2), BackwardDart(1)}
+
+	tail := func(d Dart) int {
+		e := edges[EdgeOf(d)]
+		if IsForward(d) {
+			return e.U
+		}
+		return e.V
+	}
+	insertAfter := func(after, nd Dart) {
+		v := tail(after)
+		for i, x := range rot[v] {
+			if x == after {
+				rot[v] = append(rot[v], NoDart)
+				copy(rot[v][i+2:], rot[v][i+1:])
+				rot[v][i+1] = nd
+				return
+			}
+		}
+		panic("planar: dart not found in rotation")
+	}
+
+	// faces holds interior triangles as dart triples (d1,d2,d3) where
+	// head(d1)=tail(d2) etc. One of the two initial faces is kept "outer"
+	// and never subdivided, so the outer face stays a triangle.
+	faces := [][3]Dart{{ForwardDart(0), ForwardDart(1), ForwardDart(2)}}
+
+	for w := 3; w < n; w++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		d1, d2, d3 := f[0], f[1], f[2]
+		a, b, c := tail(d1), tail(d2), tail(d3)
+		// New edges (w,a), (w,b), (w,c); use forward darts w->x.
+		ea := len(edges)
+		edges = append(edges, Edge{U: w, V: a, Weight: 1, Cap: 1})
+		eb := len(edges)
+		edges = append(edges, Edge{U: w, V: b, Weight: 1, Cap: 1})
+		ec := len(edges)
+		edges = append(edges, Edge{U: w, V: c, Weight: 1, Cap: 1})
+		// Face-successor constraints (see package tests): insert the dart
+		// x->w immediately after Rev(d_prev) in x's rotation.
+		insertAfter(Rev(d1), BackwardDart(eb)) // at b: b->w after rev(d1)
+		insertAfter(Rev(d2), BackwardDart(ec)) // at c: c->w after rev(d2)
+		insertAfter(Rev(d3), BackwardDart(ea)) // at a: a->w after rev(d3)
+		rot[w] = []Dart{ForwardDart(eb), ForwardDart(ea), ForwardDart(ec)}
+		// Replace face (d1,d2,d3) by (d1, b->w, w->a), (d2, c->w, w->b),
+		// (d3, a->w, w->c).
+		faces[fi] = [3]Dart{d1, BackwardDart(eb), ForwardDart(ea)}
+		faces = append(faces,
+			[3]Dart{d2, BackwardDart(ec), ForwardDart(eb)},
+			[3]Dart{d3, BackwardDart(ea), ForwardDart(ec)})
+	}
+	return MustGraph(n, edges, rot)
+}
+
+// NestedTriangles returns the classic "nested triangles" planar graph with
+// k concentric triangles (n = 3k): consecutive triangles joined corner to
+// corner. Its diameter is Θ(n), the worst case for D-parameterized planar
+// algorithms, complementing the Θ(log n)-diameter triangulations.
+func NestedTriangles(k int) *Graph {
+	if k < 1 {
+		panic("planar: NestedTriangles needs k >= 1")
+	}
+	var edges []Edge
+	ring := make([][3]int, k)  // edge ids of triangle t
+	spoke := make([][3]int, k) // edge ids joining triangle t to t+1
+	for t := 0; t < k; t++ {
+		base := 3 * t
+		for i := 0; i < 3; i++ {
+			ring[t][i] = len(edges)
+			edges = append(edges, Edge{U: base + i, V: base + (i+1)%3, Weight: 1, Cap: 1})
+		}
+		if t+1 < k {
+			for i := 0; i < 3; i++ {
+				spoke[t][i] = len(edges)
+				edges = append(edges, Edge{U: base + i, V: base + 3 + i, Weight: 1, Cap: 1})
+			}
+		}
+	}
+	rot := make([][]Dart, 3*k)
+	for t := 0; t < k; t++ {
+		base := 3 * t
+		for i := 0; i < 3; i++ {
+			v := base + i
+			// Clockwise: ring edge out, spoke inward (to t-1), ring edge in,
+			// spoke outward (to t+1).
+			rot[v] = append(rot[v], ForwardDart(ring[t][i]))
+			if t > 0 {
+				rot[v] = append(rot[v], BackwardDart(spoke[t-1][i]))
+			}
+			rot[v] = append(rot[v], BackwardDart(ring[t][(i+2)%3]))
+			if t+1 < k {
+				rot[v] = append(rot[v], ForwardDart(spoke[t][i]))
+			}
+		}
+	}
+	return MustGraph(3*k, edges, rot)
+}
+
+// BoustrophedonGrid returns a rows x cols grid whose rows alternate
+// direction (even rows eastbound, odd rows westbound) and whose columns
+// alternate likewise — a strongly connected planar orientation, the
+// canonical non-trivial input for directed global minimum cut.
+func BoustrophedonGrid(rows, cols int) *Graph {
+	g := Grid(rows, cols)
+	edges := g.Edges()
+	flip := make([]bool, g.M())
+	for e := range edges {
+		u, v := edges[e].U, edges[e].V
+		if u/cols == v/cols {
+			// Row edge: flip on odd rows (westbound).
+			flip[e] = (u/cols)%2 == 1
+		} else {
+			// Column edge between rows r and r+1 at column c: downward only
+			// at the snake's turn column (last column after an eastbound
+			// row, first column after a westbound row); upward elsewhere,
+			// providing the return paths.
+			r, c := u/cols, u%cols
+			down := (r%2 == 0 && c == cols-1) || (r%2 == 1 && c == 0)
+			flip[e] = !down
+		}
+		if flip[e] {
+			edges[e].U, edges[e].V = edges[e].V, edges[e].U
+		}
+	}
+	rot := make([][]Dart, g.N())
+	for v := range rot {
+		rot[v] = make([]Dart, len(g.Rotation(v)))
+		for i, d := range g.Rotation(v) {
+			if flip[EdgeOf(d)] {
+				d = Rev(d)
+			}
+			rot[v][i] = d
+		}
+	}
+	return MustGraph(g.N(), edges, rot)
+}
+
+// WithEdgeAttrs returns a copy of g whose edge weights/capacities are
+// rewritten by fn; the embedding is shared structure-wise (rotations are
+// copied). The endpoints of each edge must not change.
+func (g *Graph) WithEdgeAttrs(fn func(e int, old Edge) Edge) *Graph {
+	edges := make([]Edge, g.M())
+	for e := range edges {
+		ne := fn(e, g.edges[e])
+		ne.U, ne.V = g.edges[e].U, g.edges[e].V
+		edges[e] = ne
+	}
+	return MustGraph(g.n, edges, g.rot)
+}
+
+// WithRandomWeights returns a copy of g with integer weights drawn uniformly
+// from [lo, hi] and capacities from [capLo, capHi].
+func WithRandomWeights(g *Graph, rng *rand.Rand, lo, hi, capLo, capHi int64) *Graph {
+	return g.WithEdgeAttrs(func(_ int, old Edge) Edge {
+		old.Weight = lo + rng.Int63n(hi-lo+1)
+		old.Cap = capLo + rng.Int63n(capHi-capLo+1)
+		return old
+	})
+}
+
+// WithRandomDirections returns a copy of g where each edge's direction is
+// flipped with probability 1/2 (rotations are rewritten consistently), giving
+// directed planar instances for the directed algorithms.
+func WithRandomDirections(g *Graph, rng *rand.Rand) *Graph {
+	flip := make([]bool, g.M())
+	edges := make([]Edge, g.M())
+	for e := range edges {
+		edges[e] = g.edges[e]
+		if rng.Intn(2) == 0 {
+			flip[e] = true
+			edges[e].U, edges[e].V = edges[e].V, edges[e].U
+		}
+	}
+	rot := make([][]Dart, g.n)
+	for v := range rot {
+		rot[v] = make([]Dart, len(g.rot[v]))
+		for i, d := range g.rot[v] {
+			if flip[EdgeOf(d)] {
+				d = Rev(d)
+			}
+			rot[v][i] = d
+		}
+	}
+	return MustGraph(g.n, edges, rot)
+}
+
+// RemoveRandomEdges returns a connected spanning subgraph of g obtained by
+// deleting up to k random edges while preserving connectivity. Deleting an
+// edge merges its two faces, so the result has larger, irregular faces —
+// useful for exercising face-part bookkeeping.
+func RemoveRandomEdges(g *Graph, rng *rand.Rand, k int) *Graph {
+	keep := make([]bool, g.M())
+	for i := range keep {
+		keep[i] = true
+	}
+	kept := g.M()
+	order := rng.Perm(g.M())
+	for _, e := range order {
+		if k == 0 {
+			break
+		}
+		if kept == g.n-1 {
+			break
+		}
+		keep[e] = false
+		if connectedWithout(g, keep) {
+			kept--
+			k--
+		} else {
+			keep[e] = true
+		}
+	}
+	sub, _ := SubgraphByEdges(g, keep)
+	return sub
+}
+
+func connectedWithout(g *Graph, keep []bool) bool {
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range g.rot[v] {
+			if !keep[EdgeOf(d)] {
+				continue
+			}
+			u := g.Head(d)
+			if !seen[u] {
+				seen[u] = true
+				cnt++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return cnt == g.n
+}
+
+// SubgraphByEdges returns the embedded subgraph of g induced by the kept
+// edges (all vertices retained; the result must remain connected) together
+// with the mapping from old edge ids to new edge ids (-1 for dropped edges).
+func SubgraphByEdges(g *Graph, keep []bool) (*Graph, []int) {
+	edgeMap := make([]int, g.M())
+	var edges []Edge
+	for e := range edgeMap {
+		if keep[e] {
+			edgeMap[e] = len(edges)
+			edges = append(edges, g.edges[e])
+		} else {
+			edgeMap[e] = -1
+		}
+	}
+	rot := make([][]Dart, g.n)
+	for v := range rot {
+		for _, d := range g.rot[v] {
+			ne := edgeMap[EdgeOf(d)]
+			if ne == -1 {
+				continue
+			}
+			nd := ForwardDart(ne)
+			if !IsForward(d) {
+				nd = BackwardDart(ne)
+			}
+			rot[v] = append(rot[v], nd)
+		}
+	}
+	return MustGraph(g.n, edges, rot), edgeMap
+}

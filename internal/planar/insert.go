@@ -1,0 +1,60 @@
+package planar
+
+import "fmt"
+
+// InsertEdgeInFace returns a copy of g with one extra edge (u -> v, given
+// weight/capacity) embedded inside face f, plus the new edge's id. Both u
+// and v must lie on f; the insertion splits f into two faces while
+// preserving planarity (the construction behind Hassin's st-planar flow
+// reduction, §6.1).
+func InsertEdgeInFace(g *Graph, u, v int, f int, weight, capacity int64) (*Graph, int, error) {
+	if u == v {
+		return nil, 0, fmt.Errorf("planar: cannot insert self-loop at %d", u)
+	}
+	fd := g.Faces()
+	// Find a corner of each endpoint on f: a dart d with Tail(d) = x whose
+	// predecessor corner belongs to f, i.e. FaceOf(Rev(prev dart)) == f.
+	// Equivalently: a dart a arriving at x with FaceOf(a) == f; the new dart
+	// leaves x inside that corner, so it is inserted right after Rev(a).
+	cornerDart := func(x int) (Dart, bool) {
+		for _, d := range g.Rotation(x) {
+			a := Rev(d) // arrives at x
+			if fd.FaceOf(a) == f {
+				return d, true // insert new dart after d = Rev(a)
+			}
+		}
+		return NoDart, false
+	}
+	du, okU := cornerDart(u)
+	dv, okV := cornerDart(v)
+	if !okU || !okV {
+		return nil, 0, fmt.Errorf("planar: vertices %d,%d do not both lie on face %d", u, v, f)
+	}
+
+	e := g.M()
+	edges := append(g.Edges(), Edge{U: u, V: v, Weight: weight, Cap: capacity})
+	rot := make([][]Dart, g.N())
+	for x := 0; x < g.N(); x++ {
+		rot[x] = append([]Dart(nil), g.Rotation(x)...)
+	}
+	insertAfter := func(x int, after, nd Dart) {
+		for i, d := range rot[x] {
+			if d == after {
+				rot[x] = append(rot[x], NoDart)
+				copy(rot[x][i+2:], rot[x][i+1:])
+				rot[x][i+1] = nd
+				return
+			}
+		}
+	}
+	insertAfter(u, du, ForwardDart(e))
+	insertAfter(v, dv, BackwardDart(e))
+	ng, err := NewGraph(g.N(), edges, rot)
+	if err != nil {
+		return nil, 0, fmt.Errorf("planar: insertion broke the embedding: %w", err)
+	}
+	if ng.Faces().NumFaces() != fd.NumFaces()+1 {
+		return nil, 0, fmt.Errorf("planar: insertion did not split face %d", f)
+	}
+	return ng, e, nil
+}

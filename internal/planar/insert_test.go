@@ -1,0 +1,99 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertEdgeInOuterFace(t *testing.T) {
+	g := Grid(3, 4)
+	fd := g.Faces()
+	outer := fd.LargestFace()
+	// Opposite corners lie on the outer face.
+	ng, e, err := InsertEdgeInFace(g, 0, 11, outer, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.M() != g.M()+1 {
+		t.Fatalf("m=%d want %d", ng.M(), g.M()+1)
+	}
+	ed := ng.Edge(e)
+	if ed.U != 0 || ed.V != 11 || ed.Weight != 7 || ed.Cap != 9 {
+		t.Fatalf("edge attrs wrong: %+v", ed)
+	}
+	// The insertion splits exactly one face.
+	if ng.Faces().NumFaces() != fd.NumFaces()+1 {
+		t.Fatalf("faces=%d want %d", ng.Faces().NumFaces(), fd.NumFaces()+1)
+	}
+	// The two new faces are the two sides of the new edge.
+	f1 := ng.Faces().FaceOf(ForwardDart(e))
+	f2 := ng.Faces().FaceOf(BackwardDart(e))
+	if f1 == f2 {
+		t.Fatal("new edge has the same face on both sides")
+	}
+	// Original graph untouched.
+	if g.M() != 12+5 {
+		t.Fatalf("original mutated: m=%d", g.M())
+	}
+}
+
+func TestInsertEdgeInInteriorFace(t *testing.T) {
+	g := Grid(3, 3)
+	fd := g.Faces()
+	// Interior quad containing vertices 0,1,3,4: find the face shared by 0
+	// and 4 that is not the outer face.
+	var target = -1
+	for _, f := range g.CommonFaces(0, 4) {
+		if f != fd.LargestFace() {
+			target = f
+		}
+	}
+	if target == -1 {
+		t.Fatal("no interior common face")
+	}
+	ng, _, err := InsertEdgeInFace(g, 0, 4, target, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertEdgeRejectsWrongFace(t *testing.T) {
+	g := Grid(3, 3)
+	fd := g.Faces()
+	outer := fd.LargestFace()
+	// Center vertex 4 is not on the outer face.
+	if _, _, err := InsertEdgeInFace(g, 0, 4, outer, 1, 1); err == nil {
+		t.Fatal("expected error: vertex not on face")
+	}
+}
+
+func TestInsertEdgeRejectsSelfLoop(t *testing.T) {
+	g := Grid(2, 2)
+	if _, _, err := InsertEdgeInFace(g, 1, 1, 0, 1, 1); err == nil {
+		t.Fatal("expected self-loop rejection")
+	}
+}
+
+func TestInsertEdgeRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := StackedTriangulation(30, rng)
+	fd := g.Faces()
+	for f := 0; f < fd.NumFaces(); f++ {
+		cyc := fd.Cycle(f)
+		u := g.Tail(cyc[0])
+		v := g.Tail(cyc[1])
+		if u == v {
+			continue
+		}
+		ng, _, err := InsertEdgeInFace(g, u, v, f, 1, 1)
+		if err != nil {
+			t.Fatalf("face %d (%d,%d): %v", f, u, v, err)
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("face %d: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package planar
+
+import "testing"
+
+func TestNestedTriangles(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 6, 12} {
+		g := NestedTriangles(k)
+		checkEuler(t, g, "nested")
+		if g.N() != 3*k {
+			t.Fatalf("k=%d: n=%d", k, g.N())
+		}
+		wantM := 3*k + 3*(k-1)
+		if g.M() != wantM {
+			t.Fatalf("k=%d: m=%d want %d", k, g.M(), wantM)
+		}
+		// Diameter grows linearly with k.
+		if k >= 3 {
+			if d := g.Diameter(); d < k-1 {
+				t.Fatalf("k=%d: diameter=%d too small", k, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package separator finds balanced cycle separators of embedded planar
+// subgraphs ("bags"), matching the output shape of the distributed separator
+// of Ghaffari–Parter [17] that the BDD of Li–Parter [27] consumes: a cycle
+// S_X consisting of two BFS-tree paths closed by one edge e_X which is
+// either a real edge or a *virtual* edge absent from the graph (the source
+// of the paper's critical-face / face-part machinery, §5.1).
+//
+// The construction is the classic Lipton–Tarjan fundamental-cycle argument
+// made concrete: triangulate every face of the bag with virtual chords,
+// observe that the duals of non-tree edges form a spanning tree of the
+// triangulated dual (the interdigitating tree), and pick the non-tree edge
+// whose fundamental cycle best balances the dart weight of the two regions.
+// Removing that edge's dual-tree arc yields the two regions directly, giving
+// a side assignment for every dart of the bag.
+package separator
+
+import (
+	"planarflow/internal/planar"
+)
+
+// EX describes the cycle-closing edge; when Real is false the edge is
+// virtual: it exists only in the triangulation, splitting the face of the
+// bag it is embedded in (the paper's critical face).
+type EX struct {
+	Real bool
+	Edge int // primal edge id when Real
+	U, V int // endpoints
+}
+
+// Result is a computed cycle separator for one bag.
+type Result struct {
+	Found bool
+	EX    EX
+
+	// CycleVertices lists the separator path u .. lca .. v in path order
+	// (the full cycle closes with EX).
+	CycleVertices []int
+	// CycleEdges are the real edges of the cycle: the tree-path edges plus
+	// EX.Edge when EX is real.
+	CycleEdges []int
+
+	// Side assigns every dart of a bag edge to region 0 or 1 (-1 for darts
+	// of edges outside the bag). The two darts of a cycle edge lie in
+	// different regions; every other bag edge has both darts on one side.
+	Side []int8
+
+	InsideWeight int     // darts in region 1
+	TotalWeight  int     // darts in the bag
+	Balance      float64 // max-region dart fraction
+	TreeDepth    int     // BFS-tree depth of the bag (for round accounting)
+}
+
+// FindCycleSeparator computes a balanced cycle separator of the connected
+// subgraph given by edgeIn; sf must be the subgraph's face structure. It
+// returns Found=false when the bag admits no non-degenerate fundamental
+// cycle (e.g. trees), in which case the caller treats the bag as a leaf.
+func FindCycleSeparator(g *planar.Graph, edgeIn []bool, sf *planar.SubFaces) *Result {
+	res := &Result{Side: make([]int8, g.NumDarts())}
+	for d := range res.Side {
+		res.Side[d] = -1
+	}
+
+	// Root the bag BFS tree at an endpoint of the first kept edge.
+	root := -1
+	for e := 0; e < g.M(); e++ {
+		if edgeIn[e] {
+			root = g.Edge(e).U
+			break
+		}
+	}
+	if root == -1 {
+		return res
+	}
+	bfs := g.BFSWithin(root, func(d planar.Dart) bool { return edgeIn[planar.EdgeOf(d)] })
+	res.TreeDepth = bfs.Depth
+	treeEdge := make([]bool, g.M())
+	for _, p := range bfs.Parent {
+		if p != planar.NoDart {
+			treeEdge[planar.EdgeOf(p)] = true
+		}
+	}
+
+	// ---- Triangulate orbits and assign darts to triangles. ----
+	numTri := 0
+	triOf := make([]int32, g.NumDarts())
+	for d := range triOf {
+		triOf[d] = -1
+	}
+	triW := []int{}
+	type dualEdge struct {
+		t1, t2 int
+		// candidate edge: real primal edge (edge >= 0) or virtual chord
+		// (edge == -1) with endpoints u, v.
+		edge int
+		u, v int
+	}
+	var dualEdges []dualEdge
+	rootOrbit, rootOrbitLen := 0, -1
+	triOfOrbitStart := make([]int, sf.NumFaces())
+
+	for f := 0; f < sf.NumFaces(); f++ {
+		cyc := sf.Cycle(f)
+		k := len(cyc)
+		if k > rootOrbitLen {
+			rootOrbit, rootOrbitLen = f, k
+		}
+		triOfOrbitStart[f] = numTri
+		if k <= 2 {
+			// Degenerate orbit (single edge walked twice): one node.
+			t := numTri
+			numTri++
+			triW = append(triW, k)
+			for _, d := range cyc {
+				triOf[d] = int32(t)
+			}
+			continue
+		}
+		// Fan triangulation from corner 0: triangles t_1..t_{k-2}; dart
+		// cyc[i] -> t_i, with cyc[0] -> t_1 and cyc[k-1] -> t_{k-2}.
+		base := numTri
+		numTri += k - 2
+		for i := 0; i < k-2; i++ {
+			triW = append(triW, 1)
+		}
+		c0 := g.Tail(cyc[0])
+		triOf[cyc[0]] = int32(base)
+		triW[base]++
+		triOf[cyc[k-1]] = int32(base + k - 3)
+		triW[base+k-3]++
+		for i := 1; i <= k-2; i++ {
+			triOf[cyc[i]] = int32(base + i - 1)
+		}
+		// Chords (c0, tail(cyc[i])) between consecutive fan triangles.
+		for i := 2; i <= k-2; i++ {
+			dualEdges = append(dualEdges, dualEdge{
+				t1: base + i - 2, t2: base + i - 1,
+				edge: -1, u: c0, v: g.Tail(cyc[i]),
+			})
+		}
+	}
+
+	// Real non-tree bag edges are dual-tree edges between the triangles of
+	// their two darts.
+	for e := 0; e < g.M(); e++ {
+		if !edgeIn[e] || treeEdge[e] {
+			continue
+		}
+		t1 := int(triOf[planar.ForwardDart(e)])
+		t2 := int(triOf[planar.BackwardDart(e)])
+		if t1 == t2 {
+			continue // degenerate (both darts in one triangle): dual self-loop
+		}
+		dualEdges = append(dualEdges, dualEdge{
+			t1: t1, t2: t2, edge: e, u: g.Edge(e).U, v: g.Edge(e).V,
+		})
+	}
+
+	// ---- Interdigitating tree: BFS spanning tree of the dual edges. ----
+	adj := make([][]int32, numTri) // indices into dualEdges
+	for i, de := range dualEdges {
+		adj[de.t1] = append(adj[de.t1], int32(i))
+		adj[de.t2] = append(adj[de.t2], int32(i))
+	}
+	rootTri := triOfOrbitStart[rootOrbit]
+	parentEdge := make([]int32, numTri) // dual edge to parent (-1 at root)
+	parentTri := make([]int32, numTri)
+	order := make([]int32, 0, numTri)
+	for t := range parentEdge {
+		parentEdge[t] = -2 // unvisited
+		parentTri[t] = -1
+	}
+	parentEdge[rootTri] = -1
+	queue := []int32{int32(rootTri)}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, ei := range adj[t] {
+			de := dualEdges[ei]
+			o := int32(de.t1)
+			if o == t {
+				o = int32(de.t2)
+			}
+			if parentEdge[o] == -2 {
+				parentEdge[o] = ei
+				parentTri[o] = t
+				queue = append(queue, o)
+			}
+		}
+	}
+
+	// Subtree dart weights (children before parents in reverse BFS order).
+	sub := make([]int, numTri)
+	for _, t := range order {
+		sub[t] = triW[t]
+	}
+	for i := len(order) - 1; i >= 1; i-- {
+		t := order[i]
+		sub[parentTri[t]] += sub[t]
+	}
+	total := 0
+	for _, t := range order {
+		if parentTri[t] == -1 {
+			total += sub[t]
+		}
+	}
+	res.TotalWeight = total
+
+	// ---- Pick the most balanced usable dual-tree edge. ----
+	bestEdge, bestScore, bestChild := -1, total+1, -1
+	for i := 1; i < len(order); i++ {
+		t := order[i]
+		ei := parentEdge[t]
+		de := dualEdges[ei]
+		if de.u == de.v {
+			continue // degenerate chord: closed curve, not a cycle through 2 vertices
+		}
+		if bfs.Dist[de.u] < 0 || bfs.Dist[de.v] < 0 {
+			continue // endpoint outside the BFS component (disconnected bag)
+		}
+		inside := sub[t]
+		outside := total - inside
+		if inside == 0 || outside == 0 {
+			continue
+		}
+		score := inside
+		if outside > score {
+			score = outside
+		}
+		if score < bestScore {
+			bestScore, bestEdge, bestChild = score, int(ei), int(t)
+		}
+	}
+	if bestEdge == -1 {
+		return res
+	}
+
+	de := dualEdges[bestEdge]
+	res.Found = true
+	res.EX = EX{Real: de.edge >= 0, Edge: de.edge, U: de.u, V: de.v}
+	res.InsideWeight = sub[bestChild]
+	res.Balance = float64(bestScore) / float64(total)
+
+	// Region assignment: triangles in the subtree below the chosen edge are
+	// side 1.
+	side := make([]int8, numTri)
+	// Mark subtree of bestChild: BFS over dual tree children.
+	children := make([][]int32, numTri)
+	for _, t := range order {
+		if parentTri[t] >= 0 {
+			children[parentTri[t]] = append(children[parentTri[t]], t)
+		}
+	}
+	stack := []int32{int32(bestChild)}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		side[t] = 1
+		stack = append(stack, children[t]...)
+	}
+	for d := 0; d < g.NumDarts(); d++ {
+		if triOf[d] >= 0 {
+			res.Side[d] = side[triOf[d]]
+		}
+	}
+
+	// ---- Fundamental cycle: tree paths from u and v to their LCA. ----
+	res.CycleVertices, res.CycleEdges = treePath(g, bfs, de.u, de.v)
+	if de.edge >= 0 {
+		res.CycleEdges = append(res.CycleEdges, de.edge)
+	}
+	return res
+}
+
+// treePath returns the vertices (u..lca..v) and edges of the tree path
+// between u and v in the BFS tree.
+func treePath(g *planar.Graph, bfs *planar.BFSResult, u, v int) ([]int, []int) {
+	var upU, upV []int
+	var edgesU, edgesV []int
+	a, b := u, v
+	for bfs.Dist[a] > bfs.Dist[b] {
+		upU = append(upU, a)
+		edgesU = append(edgesU, planar.EdgeOf(bfs.Parent[a]))
+		a = g.Tail(bfs.Parent[a])
+	}
+	for bfs.Dist[b] > bfs.Dist[a] {
+		upV = append(upV, b)
+		edgesV = append(edgesV, planar.EdgeOf(bfs.Parent[b]))
+		b = g.Tail(bfs.Parent[b])
+	}
+	for a != b {
+		upU = append(upU, a)
+		edgesU = append(edgesU, planar.EdgeOf(bfs.Parent[a]))
+		a = g.Tail(bfs.Parent[a])
+		upV = append(upV, b)
+		edgesV = append(edgesV, planar.EdgeOf(bfs.Parent[b]))
+		b = g.Tail(bfs.Parent[b])
+	}
+	verts := append(upU, a)
+	for i := len(upV) - 1; i >= 0; i-- {
+		verts = append(verts, upV[i])
+	}
+	edges := edgesU
+	for i := len(edgesV) - 1; i >= 0; i-- {
+		edges = append(edges, edgesV[i])
+	}
+	return verts, edges
+}

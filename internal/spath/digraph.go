@@ -1,0 +1,53 @@
+// Package spath provides centralized shortest-path, flow and cut algorithms.
+//
+// These serve two roles in the reproduction: (1) as the *local computations*
+// the paper's distributed algorithms perform inside bags and DDGs (vertices
+// compute APSP on collected subgraphs locally, §5.3), and (2) as independent
+// baselines that every distributed result is validated against (Dinic for
+// flows, Stoer–Wagner for cuts, Bellman–Ford on the explicit dual for SSSP).
+package spath
+
+import "math"
+
+// Inf is the distance sentinel for "unreachable". It is large enough that
+// Inf + any polynomial weight never overflows int64.
+const Inf int64 = math.MaxInt64 / 4
+
+// Arc is a directed, weighted arc with an opaque caller-assigned identifier
+// (planar callers store the primal Dart here).
+type Arc struct {
+	To  int
+	Len int64
+	ID  int
+}
+
+// Digraph is a mutable directed multigraph used by the centralized
+// algorithms.
+type Digraph struct {
+	adj [][]Arc
+}
+
+// NewDigraph returns an empty digraph on n vertices.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{adj: make([][]Arc, n)}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// AddArc appends a directed arc.
+func (g *Digraph) AddArc(from, to int, length int64, id int) {
+	g.adj[from] = append(g.adj[from], Arc{To: to, Len: length, ID: id})
+}
+
+// Out returns the out-arcs of v. The returned slice must not be modified.
+func (g *Digraph) Out(v int) []Arc { return g.adj[v] }
+
+// NumArcs returns the total number of arcs.
+func (g *Digraph) NumArcs() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package planarflow
+
+import (
+	"fmt"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/duallabel"
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/primallabel"
+	"planarflow/internal/spath"
+)
+
+// DistanceOracle answers vertex-to-vertex and face-to-face (dual) distance
+// queries from the Õ(D)-bit distance labels of [27] and §5. Construction
+// costs Õ(D²) simulated rounds once; afterwards any pair decodes locally
+// from two labels — the paper's observation that the labeling "actually
+// allows computation of all pairs shortest paths" (§5).
+type DistanceOracle struct {
+	g      *Graph
+	primal *primallabel.Labeling
+	dual   *duallabel.Labeling
+	rounds Rounds
+}
+
+// NewDistanceOracle builds primal and dual distance labels for the graph
+// under its edge weights (both traversal directions cost Weight; use
+// NewDirectedDistanceOracle for one-way semantics). Weights may be negative
+// as long as no negative cycle exists; a negative cycle is reported as an
+// error, per Thm 2.1.
+func NewDistanceOracle(gr *Graph) (*DistanceOracle, error) {
+	return newOracle(gr, false)
+}
+
+// NewDirectedDistanceOracle builds labels where each edge is traversable
+// only in its U -> V direction.
+func NewDirectedDistanceOracle(gr *Graph) (*DistanceOracle, error) {
+	return newOracle(gr, true)
+}
+
+func newOracle(gr *Graph, directed bool) (*DistanceOracle, error) {
+	led := ledger.New()
+	tree := bdd.Build(gr.g, 0, led)
+	lens := make([]int64, gr.g.NumDarts())
+	for e := 0; e < gr.g.M(); e++ {
+		w := gr.g.Edge(e).Weight
+		lens[planar.ForwardDart(e)] = w
+		if directed {
+			lens[planar.BackwardDart(e)] = spath.Inf
+		} else {
+			lens[planar.BackwardDart(e)] = w
+		}
+	}
+	pl := primallabel.Compute(tree, lens, led)
+	if pl.NegCycle {
+		return nil, fmt.Errorf("planarflow: graph contains a negative cycle")
+	}
+	dl := duallabel.Compute(tree, lens, led)
+	if dl.NegCycle {
+		return nil, fmt.Errorf("planarflow: dual graph contains a negative cycle")
+	}
+	return &DistanceOracle{g: gr, primal: pl, dual: dl, rounds: roundsOf(led)}, nil
+}
+
+// Rounds reports the construction cost.
+func (o *DistanceOracle) Rounds() Rounds { return o.rounds }
+
+// Dist returns the shortest-path distance from u to v (Inf if unreachable).
+func (o *DistanceOracle) Dist(u, v int) (int64, error) {
+	if u < 0 || v < 0 || u >= o.g.N() || v >= o.g.N() {
+		return 0, fmt.Errorf("planarflow: vertex pair (%d,%d) out of range", u, v)
+	}
+	return o.primal.Dist(u, v), nil
+}
+
+// DualDist returns the shortest-path distance between two faces in the dual
+// graph G* (each edge crossable in both directions at its weight, or one
+// direction for directed oracles).
+func (o *DistanceOracle) DualDist(f1, f2 int) (int64, error) {
+	if f1 < 0 || f2 < 0 || f1 >= o.g.NumFaces() || f2 >= o.g.NumFaces() {
+		return 0, fmt.Errorf("planarflow: face pair (%d,%d) out of range", f1, f2)
+	}
+	return o.dual.Dist(f1, f2), nil
+}
+
+// LabelWords returns the size, in O(log n)-bit words, of vertex v's primal
+// label — the quantity Lemma 5.17 bounds by Õ(D).
+func (o *DistanceOracle) LabelWords(v int) int {
+	l := o.primal.Label(o.primal.T.Root, v)
+	if l == nil {
+		return 0
+	}
+	return l.Words()
+}

@@ -1,0 +1,335 @@
+// Package planarflow is a Go implementation of the distributed planar
+// maximum-flow toolkit of Abd-Elhaleem, Dory, Parter and Weimann,
+// "Distributed Maximum Flow in Planar Graphs" (PODC 2025).
+//
+// The library runs the paper's CONGEST-model algorithms on a simulated
+// synchronous network and reports both their results and their round
+// complexity:
+//
+//   - exact maximum st-flow and minimum st-cut in directed planar graphs in
+//     Õ(D²) rounds (Theorems 1.2 and 6.1), via single-source shortest paths
+//     on the dual graph computed through distance labels over a Bounded
+//     Diameter Decomposition;
+//   - (1-ε)-approximate maximum st-flow and minimum st-cut when s and t
+//     share a face (Theorems 1.3 and 6.2), via Hassin's reduction simulated
+//     in the minor-aggregation model on the dual;
+//   - weighted girth in Õ(D) rounds (Theorem 1.7), via a dual minimum cut;
+//   - directed global minimum cut in Õ(D²) rounds (Theorem 1.5), via
+//     minimum directed cycles in the dual.
+//
+// Graphs are built with the Builder (or the generators in GridGraph etc.);
+// every algorithm returns a Rounds report derived from the simulation's
+// measured message schedules. See DESIGN.md for the correspondence between
+// packages and the paper's sections, and EXPERIMENTS.md for the reproduced
+// complexity measurements.
+package planarflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/core"
+	"planarflow/internal/duallabel"
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+// Inf is the "unreachable / acyclic" sentinel used by distance- and
+// girth-valued results.
+const Inf = spath.Inf
+
+// Graph is an embedded planar network. Edge directions carry flow/weight
+// semantics; the embedding (rotation system) is fixed at construction.
+type Graph struct {
+	g *planar.Graph
+}
+
+// Edge describes one directed, weighted, capacitated edge.
+type Edge struct {
+	U, V   int
+	Weight int64
+	Cap    int64
+}
+
+// Builder assembles a planar graph from edges plus an explicit combinatorial
+// embedding: for every vertex, the cyclic order of its incident edge-ends.
+type Builder struct {
+	n     int
+	edges []planar.Edge
+	rot   [][]planar.Dart
+}
+
+// NewBuilder starts a builder for n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, rot: make([][]planar.Dart, n)}
+}
+
+// AddEdge appends a directed edge u -> v and returns its id. The edge is not
+// embedded until it appears in both endpoints' rotations.
+func (b *Builder) AddEdge(u, v int, weight, capacity int64) int {
+	b.edges = append(b.edges, planar.Edge{U: u, V: v, Weight: weight, Cap: capacity})
+	return len(b.edges) - 1
+}
+
+// SetRotation fixes the clockwise cyclic order of edge-ends at vertex v.
+// Each element is an edge id previously returned by AddEdge; an edge
+// incident to v twice (self-loops are not supported) cannot occur in simple
+// graphs.
+func (b *Builder) SetRotation(v int, edgeOrder []int) error {
+	darts := make([]planar.Dart, len(edgeOrder))
+	for i, e := range edgeOrder {
+		if e < 0 || e >= len(b.edges) {
+			return fmt.Errorf("planarflow: rotation of %d references unknown edge %d", v, e)
+		}
+		switch {
+		case b.edges[e].U == v:
+			darts[i] = planar.ForwardDart(e)
+		case b.edges[e].V == v:
+			darts[i] = planar.BackwardDart(e)
+		default:
+			return fmt.Errorf("planarflow: edge %d not incident to vertex %d", e, v)
+		}
+	}
+	b.rot[v] = darts
+	return nil
+}
+
+// Build validates the embedding (connectivity + Euler's formula) and returns
+// the graph.
+func (b *Builder) Build() (*Graph, error) {
+	g, err := planar.NewGraph(b.n, b.edges, b.rot)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// GridGraph returns a rows x cols grid with unit weights and capacities
+// (hop diameter rows+cols-2).
+func GridGraph(rows, cols int) *Graph { return &Graph{g: planar.Grid(rows, cols)} }
+
+// CylinderGraph returns a rows x cols cylindrical grid (cols >= 3).
+func CylinderGraph(rows, cols int) *Graph { return &Graph{g: planar.Cylinder(rows, cols)} }
+
+// BoustrophedonGridGraph returns a strongly connected one-way grid (rows
+// alternate direction, snake-style) — the canonical non-trivial input for
+// directed global minimum cut and directed girth.
+func BoustrophedonGridGraph(rows, cols int) *Graph {
+	return &Graph{g: planar.BoustrophedonGrid(rows, cols)}
+}
+
+// TriangulationGraph returns a random maximal planar graph on n >= 3
+// vertices (seeded).
+func TriangulationGraph(n int, seed int64) *Graph {
+	return &Graph{g: planar.StackedTriangulation(n, rand.New(rand.NewSource(seed)))}
+}
+
+// WithAttrs returns a copy with edge weights/capacities rewritten by fn.
+func (gr *Graph) WithAttrs(fn func(e int, old Edge) Edge) *Graph {
+	return &Graph{g: gr.g.WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
+		ne := fn(e, Edge{U: old.U, V: old.V, Weight: old.Weight, Cap: old.Cap})
+		return planar.Edge{U: old.U, V: old.V, Weight: ne.Weight, Cap: ne.Cap}
+	})}
+}
+
+// WithRandomAttrs returns a copy with weights in [wLo, wHi] and capacities
+// in [cLo, cHi] drawn from the seeded generator.
+func (gr *Graph) WithRandomAttrs(seed, wLo, wHi, cLo, cHi int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return &Graph{g: planar.WithRandomWeights(gr.g, rng, wLo, wHi, cLo, cHi)}
+}
+
+// WithRandomDirections flips each edge's direction with probability 1/2.
+func (gr *Graph) WithRandomDirections(seed int64) *Graph {
+	return &Graph{g: planar.WithRandomDirections(gr.g, rand.New(rand.NewSource(seed)))}
+}
+
+// N returns the number of vertices.
+func (gr *Graph) N() int { return gr.g.N() }
+
+// M returns the number of edges.
+func (gr *Graph) M() int { return gr.g.M() }
+
+// EdgeAt returns edge e.
+func (gr *Graph) EdgeAt(e int) Edge {
+	ed := gr.g.Edge(e)
+	return Edge{U: ed.U, V: ed.V, Weight: ed.Weight, Cap: ed.Cap}
+}
+
+// Diameter returns the exact unweighted hop diameter (O(n·m); for large
+// graphs use DiameterEstimate).
+func (gr *Graph) Diameter() int { return gr.g.Diameter() }
+
+// DiameterEstimate returns a 2-sweep BFS lower bound on the diameter.
+func (gr *Graph) DiameterEstimate() int { return gr.g.DiameterLowerBound() }
+
+// NumFaces returns the number of faces of the embedding.
+func (gr *Graph) NumFaces() int { return gr.g.Faces().NumFaces() }
+
+// SharedFace reports whether u and v lie on a common face (the st-planarity
+// precondition of the approximate flow algorithms).
+func (gr *Graph) SharedFace(u, v int) bool { return len(gr.g.CommonFaces(u, v)) > 0 }
+
+// Rounds reports the CONGEST cost of one algorithm run.
+type Rounds struct {
+	Total    int64
+	Measured int64            // rounds counted by executing message schedules
+	Charged  int64            // rounds derived from measured quantities
+	ByPhase  map[string]int64 // per-phase totals
+}
+
+func roundsOf(l *ledger.Ledger) Rounds {
+	m, c := l.Split()
+	return Rounds{Total: m + c, Measured: m, Charged: c, ByPhase: l.ByPhase()}
+}
+
+// FlowResult is a maximum st-flow: value, per-edge assignment and cost.
+type FlowResult struct {
+	Value      int64
+	Flow       []int64 // per edge, in [0, Cap] along the edge direction
+	Iterations int     // Miller–Naor binary-search steps
+	Rounds     Rounds
+}
+
+// MaxFlow computes the exact maximum st-flow of the directed planar graph
+// (Thm 1.2, Õ(D²) rounds).
+func MaxFlow(gr *Graph, s, t int) (*FlowResult, error) {
+	led := ledger.New()
+	res, err := core.MaxFlow(gr.g, s, t, core.Options{}, led)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowResult{Value: res.Value, Flow: res.Flow, Iterations: res.Iterations, Rounds: roundsOf(led)}, nil
+}
+
+// CutResult is an st-cut or global cut: value, one side of the bisection,
+// and the crossing edges.
+type CutResult struct {
+	Value    int64
+	Side     []bool
+	CutEdges []int
+	Rounds   Rounds
+}
+
+// MinSTCut computes the exact directed minimum st-cut (Thm 6.1).
+func MinSTCut(gr *Graph, s, t int) (*CutResult, error) {
+	led := ledger.New()
+	res, err := core.MinSTCut(gr.g, s, t, core.Options{}, led)
+	if err != nil {
+		return nil, err
+	}
+	return &CutResult{Value: res.Value, Side: res.Side, CutEdges: res.CutEdges, Rounds: roundsOf(led)}, nil
+}
+
+// ApproxFlowResult is a (1-ε)-approximate undirected st-planar flow.
+type ApproxFlowResult struct {
+	Value   int64
+	Flow    []int64 // signed per edge: positive U->V
+	Epsilon float64
+	Rounds  Rounds
+}
+
+// ApproxMaxFlowSTPlanar computes a (1-eps)-approximate maximum st-flow of an
+// undirected planar graph with s, t on a common face (Thm 1.3); eps = 0 runs
+// the exact oracle.
+func ApproxMaxFlowSTPlanar(gr *Graph, s, t int, eps float64) (*ApproxFlowResult, error) {
+	led := ledger.New()
+	res, err := core.STPlanarMaxFlow(gr.g, s, t, eps, led)
+	if err != nil {
+		return nil, err
+	}
+	return &ApproxFlowResult{Value: res.Value, Flow: res.Flow, Epsilon: eps, Rounds: roundsOf(led)}, nil
+}
+
+// ApproxMinCutSTPlanar computes the corresponding (approximate) minimum
+// st-cut with its bisection and cut edges (Thm 6.2).
+func ApproxMinCutSTPlanar(gr *Graph, s, t int, eps float64) (*CutResult, error) {
+	led := ledger.New()
+	res, err := core.STPlanarMinCut(gr.g, s, t, eps, led)
+	if err != nil {
+		return nil, err
+	}
+	return &CutResult{Value: res.Value, Side: res.Side, CutEdges: res.CutEdges, Rounds: roundsOf(led)}, nil
+}
+
+// GirthResult is a minimum-weight cycle.
+type GirthResult struct {
+	Weight     int64 // Inf when acyclic
+	CycleEdges []int
+	Rounds     Rounds
+}
+
+// Girth computes the weighted girth of the undirected planar graph with
+// positive weights (Thm 1.7, Õ(D) rounds).
+func Girth(gr *Graph) (*GirthResult, error) {
+	led := ledger.New()
+	res, err := core.Girth(gr.g, led)
+	if err != nil {
+		return nil, err
+	}
+	return &GirthResult{Weight: res.Weight, CycleEdges: res.CycleEdges, Rounds: roundsOf(led)}, nil
+}
+
+// DirectedGirth computes the minimum weight of a directed cycle (Inf if the
+// orientation is acyclic) via the SSSP/BDD route of [36] in Õ(D²) rounds —
+// the algorithm the paper's Õ(D) undirected Girth improves upon
+// (Question 1.6).
+func DirectedGirth(gr *Graph) (*GirthResult, error) {
+	led := ledger.New()
+	w, err := core.DirectedGirth(gr.g, core.Options{}, led)
+	if err != nil {
+		return nil, err
+	}
+	return &GirthResult{Weight: w, Rounds: roundsOf(led)}, nil
+}
+
+// GlobalMinCut computes the directed global minimum cut (Thm 1.5, Õ(D²)
+// rounds).
+func GlobalMinCut(gr *Graph) (*CutResult, error) {
+	led := ledger.New()
+	res, err := core.GlobalMinCut(gr.g, core.Options{}, led)
+	if err != nil {
+		return nil, err
+	}
+	return &CutResult{Value: res.Value, Side: res.Side, CutEdges: res.CutEdges, Rounds: roundsOf(led)}, nil
+}
+
+// DualSSSPResult holds single-source shortest-path distances on the dual
+// graph G* (per face of the embedding).
+type DualSSSPResult struct {
+	Source   int
+	Dist     []int64
+	NegCycle bool
+	Rounds   Rounds
+}
+
+// DualSSSP computes shortest paths in the dual graph from the given source
+// face, with per-edge lengths taken from edge weights applied to both
+// crossing directions (Thm 2.1 / Lemma 2.2, Õ(D²) rounds). Negative weights
+// are allowed; a negative dual cycle is reported instead of distances.
+func DualSSSP(gr *Graph, sourceFace int) (*DualSSSPResult, error) {
+	if sourceFace < 0 || sourceFace >= gr.NumFaces() {
+		return nil, fmt.Errorf("planarflow: face %d out of range", sourceFace)
+	}
+	led := ledger.New()
+	leaf := gr.g.DiameterLowerBound() * 8
+	tree := bdd.Build(gr.g, leaf, led)
+	la := duallabel.Compute(tree, duallabel.UniformLengths(gr.g, false), led)
+	if la.NegCycle {
+		return &DualSSSPResult{Source: sourceFace, NegCycle: true, Rounds: roundsOf(led)}, nil
+	}
+	res := la.SSSP(sourceFace, led)
+	return &DualSSSPResult{Source: sourceFace, Dist: res.Dist, Rounds: roundsOf(led)}, nil
+}
+
+// CheckFlow verifies a directed flow assignment (capacities + conservation).
+func CheckFlow(gr *Graph, s, t int, flow []int64, value int64) error {
+	return core.CheckFlow(gr.g, s, t, flow, value)
+}
+
+// CheckUndirectedFlow verifies a signed undirected flow assignment.
+func CheckUndirectedFlow(gr *Graph, s, t int, flow []int64, value int64) error {
+	return core.CheckUndirectedFlow(gr.g, s, t, flow, value)
+}
