@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"planarflow/internal/cmdtest"
+)
+
+func TestSmokePrimal(t *testing.T) {
+	out := cmdtest.RunMain(t, "-kind", "grid", "-rows", "3", "-cols", "3", "-view", "primal")
+	cmdtest.ExpectMarkers(t, out, "digraph", "->")
+}
+
+func TestSmokeDual(t *testing.T) {
+	out := cmdtest.RunMain(t, "-kind", "grid", "-rows", "3", "-cols", "3", "-view", "dual")
+	cmdtest.ExpectMarkers(t, out, "graph")
+}

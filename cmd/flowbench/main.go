@@ -1,5 +1,9 @@
 // Command flowbench regenerates the paper's complexity claims as measured
-// tables (experiments E1–E9 of DESIGN.md / EXPERIMENTS.md).
+// tables (experiments E1–E10 of DESIGN.md / EXPERIMENTS.md) and doubles as
+// a reproducible experiment runner: every instance run emits one Record to
+// optional CSV/JSONL sinks, runs can be repeated over derived seeds, and a
+// run can be diffed against a stored baseline to flag round-count
+// regressions.
 //
 // Two sweeps recur. "Squares" grow n and D together (D ≈ 2√n): an Õ(D²)
 // claim predicts rounds/(D²·log²n) stays roughly flat. "Fixed-D" holds the
@@ -8,9 +12,12 @@
 //
 // Usage:
 //
-//	flowbench -exp E1        # one experiment
-//	flowbench -exp all       # everything (default)
-//	flowbench -exp all -full # larger instances
+//	flowbench -exp E1                          # one experiment
+//	flowbench -exp all                         # everything (default)
+//	flowbench -exp all -full                   # larger instances
+//	flowbench -exp E1 -repeats 3 -jsonl out.jsonl -csv out.csv
+//	flowbench -exp sched -write-baseline BENCH_sched.json
+//	flowbench -exp sched -baseline BENCH_sched.json   # exit 1 on regression
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"planarflow/internal/bdd"
+	"planarflow/internal/congest"
 	"planarflow/internal/core"
 	"planarflow/internal/duallabel"
 	"planarflow/internal/hatg"
@@ -31,27 +40,98 @@ import (
 	"planarflow/internal/spath"
 )
 
+// cfg is the shared run configuration handed to every experiment.
+type cfg struct {
+	full    bool
+	repeats int
+	seed    int64 // 0 = use the experiment's traditional seed
+}
+
+// seedFor derives the RNG seed of one repeat: repeat 0 with the default
+// seed uses each experiment's traditional base seed, so a given
+// (exp, repeats, seed) configuration is fully reproducible.
+func (c cfg) seedFor(traditional int64, rep int) int64 {
+	base := traditional
+	if c.seed != 0 {
+		base = c.seed
+	}
+	return base + int64(rep)*1000
+}
+
+type experiment func(s *sink, c cfg)
+
+var experiments = []struct {
+	id string
+	fn experiment
+}{
+	{"E1", e1ExactFlow}, {"E2", e2ApproxFlow}, {"E3", e3GlobalCut},
+	{"E4", e4Girth}, {"E5", e5Labels}, {"E6", e6MinCut},
+	{"E7", e7PA}, {"E8", e8BDD}, {"E9", e9Crossover}, {"E10", e10GirthAblation},
+	{"SCHED", schedBench},
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E9 or all)")
+	exp := flag.String("exp", "all", "experiment id (E1..E10, SCHED, or all)")
 	full := flag.Bool("full", false, "run larger instances")
+	repeats := flag.Int("repeats", 1, "repeat each experiment with derived seeds")
+	csvPath := flag.String("csv", "", "write one CSV row per instance run")
+	jsonlPath := flag.String("jsonl", "", "write one JSON object per instance run")
+	basePath := flag.String("baseline", "", "diff run against this baseline JSON; exit 1 on regression")
+	writeBase := flag.String("write-baseline", "", "store this run's rounds as a baseline JSON")
+	tol := flag.Float64("tol", 0, "fractional rounds tolerance for -baseline comparison")
+	seed := flag.Int64("seed", 0, "override base RNG seed (0 = per-experiment default)")
 	flag.Parse()
-	known := map[string]func(bool){
-		"E1": e1ExactFlow, "E2": e2ApproxFlow, "E3": e3GlobalCut,
-		"E4": e4Girth, "E5": e5Labels, "E6": e6MinCut,
-		"E7": e7PA, "E8": e8BDD, "E9": e9Crossover, "E10": e10GirthAblation,
+
+	if *repeats < 1 {
+		*repeats = 1
 	}
-	if *exp == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
-			known[id](*full)
+	s, err := newSink(*csvPath, *jsonlPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	c := cfg{full: *full, repeats: *repeats, seed: *seed}
+
+	ran := false
+	for _, e := range experiments {
+		if strings.EqualFold(*exp, "all") || strings.EqualFold(*exp, e.id) {
+			e.fn(s, c)
+			ran = true
 		}
-		return
 	}
-	fn, ok := known[strings.ToUpper(*exp)]
-	if !ok {
+	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	// Flush the sinks before any baseline handling can exit: the run's
+	// records must survive even if the baseline file is bad.
+	if err := s.close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Compare before writing: passing the same file to -baseline and
+	// -write-baseline gates against the old trajectory point, then
+	// refreshes it.
+	regressions := 0
+	if *basePath != "" {
+		b, err := loadBaseline(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		regressions = compare(b, s.records, *tol)
+	}
+	if *writeBase != "" {
+		if err := writeBaseline(*writeBase, s.records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nbaseline written to %s (%d records)\n", *writeBase, len(s.records))
+	}
+	if regressions > 0 {
 		os.Exit(1)
 	}
-	fn(*full)
 }
 
 func squares(full bool) [][2]int {
@@ -79,11 +159,14 @@ func triSizes(full bool) []int {
 	return []int{100, 200, 400, 800}
 }
 
-func triangulation(n int) *planar.Graph {
-	return planar.StackedTriangulation(n, rand.New(rand.NewSource(int64(n))))
+func triangulation(n int, rng *rand.Rand) *planar.Graph {
+	return planar.StackedTriangulation(n, rng)
 }
 
-func header(id, claim string, cols ...string) {
+func header(rep int, id, claim string, cols ...string) {
+	if rep != 0 {
+		return
+	}
 	fmt.Printf("\n## %s — %s\n", id, claim)
 	for _, c := range cols {
 		fmt.Printf("%13s", c)
@@ -91,7 +174,10 @@ func header(id, claim string, cols ...string) {
 	fmt.Println()
 }
 
-func row(vals ...interface{}) {
+func row(rep int, vals ...interface{}) {
+	if rep != 0 {
+		return
+	}
 	for _, v := range vals {
 		switch x := v.(type) {
 		case float64:
@@ -105,321 +191,463 @@ func row(vals ...interface{}) {
 
 func log2(n int) float64 { return math.Log2(float64(n)) }
 
-func e1ExactFlow(full bool) {
-	rng := rand.New(rand.NewSource(1))
-	runOne := func(a [2]int) (int, int64, int64, bool) {
-		g := planar.Grid(a[0], a[1])
-		g = planar.WithRandomWeights(g, rng, 1, 1, 1, 64)
-		s, t := 0, g.N()-1
-		led := ledger.New()
-		res, err := core.MaxFlow(g, s, t, core.Options{}, led)
-		if err != nil {
-			fmt.Println("error:", err)
-			return 0, 0, 0, false
-		}
-		ok := res.Value == core.DinicValue(g, s, t) &&
-			core.CheckFlow(g, s, t, res.Flow, res.Value) == nil
-		return a[0] + a[1] - 2, led.Total(), res.Value, ok
-	}
-	header("E1a", "Thm 1.2 (growing D): rounds/(D² log²n) stays flat",
-		"grid", "n", "D", "rounds", "r/(D²lg²n)", "value", "==dinic")
-	for _, a := range squares(full) {
-		n := a[0] * a[1]
-		d, rounds, val, ok := runOne(a)
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), n, d, rounds,
-			float64(rounds)/(float64(d*d)*log2(n)*log2(n)), val, ok)
-	}
-	header("E1b", "Thm 1.2 (low D, growing n): rounds track D, not n",
-		"graph", "n", "D", "rounds", "rounds/n", "value", "==dinic")
-	for _, n := range triSizes(full) {
-		g := planar.WithRandomWeights(triangulation(n), rng, 1, 1, 1, 64)
-		g = planar.WithRandomDirections(g, rng)
-		s, t := 0, g.N()-1
-		led := ledger.New()
-		res, err := core.MaxFlow(g, s, t, core.Options{}, led)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		ok := res.Value == core.DinicValue(g, s, t) &&
-			core.CheckFlow(g, s, t, res.Flow, res.Value) == nil
-		row(fmt.Sprintf("tri%d", n), n, g.DiameterLowerBound(), led.Total(),
-			float64(led.Total())/float64(n), res.Value, ok)
+// record fills the ledger-derived fields shared by all core experiments.
+func record(exp, instance string, n, d int, led *ledger.Ledger, start time.Time, rep int, seed int64, ok bool) Record {
+	m, ch := led.Split()
+	return Record{
+		Exp: exp, Instance: instance, N: n, D: d,
+		Rounds: led.Total(), Measured: m, Charged: ch,
+		WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		Repeat: rep, Seed: seed, OK: ok,
 	}
 }
 
-func e2ApproxFlow(full bool) {
-	header("E2", "Thm 1.3: (1-eps) st-planar flow in D·n^{o(1)} rounds",
-		"grid", "n", "D", "rounds", "rounds/D", "val/opt", "feasible")
-	rng := rand.New(rand.NewSource(2))
+func e1ExactFlow(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(1, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E1a", "Thm 1.2 (growing D): rounds/(D² log²n) stays flat",
+			"grid", "n", "D", "rounds", "r/(D²lg²n)", "value", "==dinic")
+		for _, a := range squares(c.full) {
+			g := planar.Grid(a[0], a[1])
+			g = planar.WithRandomWeights(g, rng, 1, 1, 1, 64)
+			st, t := 0, g.N()-1
+			led := ledger.New()
+			begin := time.Now()
+			res, err := core.MaxFlow(g, st, t, core.Options{}, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ok := res.Value == core.DinicValue(g, st, t) &&
+				core.CheckFlow(g, st, t, res.Flow, res.Value) == nil
+			n, d := g.N(), a[0]+a[1]-2
+			s.add(record("E1", fmt.Sprintf("a:grid%dx%d", a[0], a[1]), n, d, led, begin, rep, seed, ok))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), n, d, led.Total(),
+				float64(led.Total())/(float64(d*d)*log2(n)*log2(n)), res.Value, ok)
+		}
+		header(rep, "E1b", "Thm 1.2 (low D, growing n): rounds track D, not n",
+			"graph", "n", "D", "rounds", "rounds/n", "value", "==dinic")
+		for _, n := range triSizes(c.full) {
+			g := planar.WithRandomWeights(triangulation(n, rng), rng, 1, 1, 1, 64)
+			g = planar.WithRandomDirections(g, rng)
+			st, t := 0, g.N()-1
+			led := ledger.New()
+			begin := time.Now()
+			res, err := core.MaxFlow(g, st, t, core.Options{}, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ok := res.Value == core.DinicValue(g, st, t) &&
+				core.CheckFlow(g, st, t, res.Flow, res.Value) == nil
+			d := g.DiameterLowerBound()
+			s.add(record("E1", fmt.Sprintf("b:tri%d", n), n, d, led, begin, rep, seed, ok))
+			row(rep, fmt.Sprintf("tri%d", n), n, d, led.Total(),
+				float64(led.Total())/float64(n), res.Value, ok)
+		}
+	}
+}
+
+func e2ApproxFlow(s *sink, c cfg) {
 	const eps = 0.1
-	for _, a := range append(squares(full), fixedD(full)...) {
-		g := planar.Grid(a[0], a[1])
-		g = planar.WithRandomWeights(g, rng, 1, 1, 100, 1000)
-		s, t := 0, g.N()-1
-		led := ledger.New()
-		res, err := core.STPlanarMaxFlow(g, s, t, eps, led)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		d := a[0] + a[1] - 2
-		opt := core.UndirectedDinicValue(g, s, t)
-		feas := core.CheckUndirectedFlow(g, s, t, res.Flow, res.Value) == nil
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), g.N(), d, led.Total(),
-			float64(led.Total())/float64(d),
-			float64(res.Value)/float64(opt), feas)
-	}
-}
-
-func e3GlobalCut(full bool) {
-	header("E3", "Thm 1.5: directed global min cut in Õ(D²) rounds",
-		"graph", "n", "D", "rounds", "r/(D²lg²n)", "value", "==base")
-	rng := rand.New(rand.NewSource(3))
-	for _, a := range squares(full) {
-		g := planar.BoustrophedonGrid(a[0], a[1])
-		g = planar.WithRandomWeights(g, rng, 1, 40, 1, 1)
-		led := ledger.New()
-		res, err := core.GlobalMinCut(g, core.Options{}, led)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		d := a[0] + a[1] - 2
-		check := "-"
-		if g.N() <= 200 {
-			us, vs, ws := triples(g)
-			check = fmt.Sprint(res.Value == spath.DirectedGlobalMinCut(g.N(), us, vs, ws))
-		}
-		n := g.N()
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), n, d, led.Total(),
-			float64(led.Total())/(float64(d*d)*log2(n)*log2(n)), res.Value, check)
-	}
-}
-
-func e4Girth(full bool) {
-	rng := rand.New(rand.NewSource(4))
-	runOne := func(a [2]int) (int, int64, int64) {
-		g := planar.Grid(a[0], a[1])
-		g = planar.WithRandomWeights(g, rng, 1, 1000000, 1, 1)
-		led := ledger.New()
-		res, err := core.Girth(g, led)
-		if err != nil {
-			fmt.Println("error:", err)
-			return 0, 0, 0
-		}
-		return a[0] + a[1] - 2, led.Total(), res.Weight
-	}
-	header("E4a", "Thm 1.7 (growing D): girth rounds/(D·lg²n) flat — Õ(D), not Õ(D²)",
-		"grid", "n", "D", "rounds", "r/(D·lg²n)", "r/D²", "girth")
-	for _, a := range squares(full) {
-		n := a[0] * a[1]
-		d, rounds, w := runOne(a)
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), n, d, rounds,
-			float64(rounds)/(float64(d)*log2(n)*log2(n)),
-			float64(rounds)/float64(d*d), w)
-	}
-	header("E4b", "Thm 1.7 (low D, growing n): rounds track D, not n",
-		"graph", "n", "D", "rounds", "rounds/n", "girth")
-	for _, n := range triSizes(full) {
-		g := planar.WithRandomWeights(triangulation(n), rng, 1, 1000000, 1, 1)
-		led := ledger.New()
-		res, err := core.Girth(g, led)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		row(fmt.Sprintf("tri%d", n), n, g.DiameterLowerBound(), led.Total(),
-			float64(led.Total())/float64(n), res.Weight)
-	}
-}
-
-func e5Labels(full bool) {
-	rng := rand.New(rand.NewSource(5))
-	runOne := func(a [2]int) (int, int64, int) {
-		g := planar.Grid(a[0], a[1])
-		lens := make([]int64, g.NumDarts())
-		for d := range lens {
-			lens[d] = 1 + rng.Int63n(64)
-		}
-		led := ledger.New()
-		tree := bdd.Build(g, 0, led)
-		la := duallabel.Compute(tree, lens, led)
-		if la.NegCycle {
-			fmt.Println("unexpected negative cycle")
-			return 0, 0, 0
-		}
-		maxWords := 0
-		for f := 0; f < g.Faces().NumFaces(); f++ {
-			if w := la.RootLabel(f).Words(); w > maxWords {
-				maxWords = w
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(2, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E2", "Thm 1.3: (1-eps) st-planar flow in D·n^{o(1)} rounds",
+			"grid", "n", "D", "rounds", "rounds/D", "val/opt", "feasible")
+		for _, a := range append(squares(c.full), fixedD(c.full)...) {
+			g := planar.Grid(a[0], a[1])
+			g = planar.WithRandomWeights(g, rng, 1, 1, 100, 1000)
+			st, t := 0, g.N()-1
+			led := ledger.New()
+			begin := time.Now()
+			res, err := core.STPlanarMaxFlow(g, st, t, eps, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
 			}
+			d := a[0] + a[1] - 2
+			opt := core.UndirectedDinicValue(g, st, t)
+			feas := core.CheckUndirectedFlow(g, st, t, res.Flow, res.Value) == nil
+			ok := feas && float64(res.Value) >= (1-eps)*float64(opt)
+			s.add(record("E2", fmt.Sprintf("grid%dx%d", a[0], a[1]), g.N(), d, led, begin, rep, seed, ok))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), g.N(), d, led.Total(),
+				float64(led.Total())/float64(d),
+				float64(res.Value)/float64(opt), feas)
 		}
-		return a[0] + a[1] - 2, led.Total(), maxWords
 	}
-	header("E5a", "Thm 2.1 (growing D): labels Õ(D) words, Õ(D²) rounds",
-		"grid", "n", "D", "rounds", "r/(D²lg²n)", "maxWords", "words/D")
-	for _, a := range squares(full) {
-		n := a[0] * a[1]
-		d, rounds, w := runOne(a)
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), n, d, rounds,
-			float64(rounds)/(float64(d*d)*log2(n)*log2(n)), w, float64(w)/float64(d))
-	}
-	header("E5b", "Thm 2.1 (low D, growing n): label words track D, not n",
-		"graph", "n", "D", "rounds", "maxWords", "words/n")
-	for _, n := range triSizes(full) {
-		g := triangulation(n)
-		lens := make([]int64, g.NumDarts())
-		for d := range lens {
-			lens[d] = 1 + rng.Int63n(64)
-		}
-		led := ledger.New()
-		tree := bdd.Build(g, 0, led)
-		la := duallabel.Compute(tree, lens, led)
-		if la.NegCycle {
-			fmt.Println("unexpected negative cycle")
-			continue
-		}
-		maxWords := 0
-		for f := 0; f < g.Faces().NumFaces(); f++ {
-			if w := la.RootLabel(f).Words(); w > maxWords {
-				maxWords = w
+}
+
+func e3GlobalCut(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(3, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E3", "Thm 1.5: directed global min cut in Õ(D²) rounds",
+			"graph", "n", "D", "rounds", "r/(D²lg²n)", "value", "==base")
+		for _, a := range squares(c.full) {
+			g := planar.BoustrophedonGrid(a[0], a[1])
+			g = planar.WithRandomWeights(g, rng, 1, 40, 1, 1)
+			led := ledger.New()
+			begin := time.Now()
+			res, err := core.GlobalMinCut(g, core.Options{}, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
 			}
-		}
-		row(fmt.Sprintf("tri%d", n), n, g.DiameterLowerBound(), led.Total(),
-			maxWords, float64(maxWords)/float64(n))
-	}
-}
-
-func e6MinCut(full bool) {
-	header("E6", "Thm 6.1/6.2: min st-cut equals max st-flow",
-		"grid", "n", "exact cut", "exact flow", "eq", "apx cut", "apx==opt")
-	rng := rand.New(rand.NewSource(6))
-	for _, a := range squares(full) {
-		g := planar.Grid(a[0], a[1])
-		g = planar.WithRandomWeights(g, rng, 1, 1, 1, 32)
-		s, t := 0, g.N()-1
-		cut, err := core.MinSTCut(g, s, t, core.Options{}, ledger.New())
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		fv := core.DinicValue(g, s, t)
-		apx, err := core.STPlanarMinCut(g, s, t, 0, ledger.New())
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), g.N(), cut.Value, fv,
-			cut.Value == fv, apx.Value, apx.Value == core.UndirectedDinicValue(g, s, t))
-	}
-}
-
-func e7PA(full bool) {
-	header("E7", "Cor 4.6/Thm 4.10: faces-as-parts PA on G* in Õ(D) rounds",
-		"grid", "n", "faces", "D", "rounds", "congest", "dilate", "rounds/D")
-	for _, a := range append(squares(full), fixedD(full)...) {
-		g := planar.Grid(a[0], a[1])
-		h := hatg.New(g)
-		net := pa.FromHatG(h)
-		tree := pa.BuildTree(net, 0)
-		nf := g.Faces().NumFaces()
-		parts := pa.Parts{Of: make([]int, h.N()), Num: nf}
-		input := make([]int64, h.N())
-		for x := 0; x < h.N(); x++ {
-			parts.Of[x] = -1
-			if !h.IsStarCenter(x) {
-				parts.Of[x] = h.FaceOfCopy(x)
-				input[x] = 1
+			d := a[0] + a[1] - 2
+			check := "-"
+			ok := true
+			if g.N() <= 200 {
+				us, vs, ws := triples(g)
+				ok = res.Value == spath.DirectedGlobalMinCut(g.N(), us, vs, ws)
+				check = fmt.Sprint(ok)
 			}
+			n := g.N()
+			s.add(record("E3", fmt.Sprintf("snake%dx%d", a[0], a[1]), n, d, led, begin, rep, seed, ok))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), n, d, led.Total(),
+				float64(led.Total())/(float64(d*d)*log2(n)*log2(n)), res.Value, check)
 		}
-		res := pa.Aggregate(net, tree, parts, input, pa.Sum)
-		d := a[0] + a[1] - 2
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), g.N(), nf, d, 2*res.Rounds,
-			res.Congestion, res.Dilation, float64(2*res.Rounds)/float64(d))
 	}
 }
 
-func e8BDD(full bool) {
-	header("E8", "Lem 5.1/Thm 5.2: BDD structure (depth, S_X, F_X, face-parts)",
-		"graph", "n", "D", "depth", "maxSX", "maxFX", "faceparts", "lg(n)")
-	rng := rand.New(rand.NewSource(8))
-	type gcase struct {
-		name string
-		g    *planar.Graph
-	}
-	var cases []gcase
-	for _, a := range append(squares(full), fixedD(full)...) {
-		cases = append(cases, gcase{fmt.Sprintf("grid%dx%d", a[0], a[1]), planar.Grid(a[0], a[1])})
-	}
-	cases = append(cases,
-		gcase{"stack300", planar.StackedTriangulation(300, rng)},
-		gcase{"nested50", planar.NestedTriangles(50)})
-	for _, c := range cases {
-		// Fixed small leaf limit so the full logarithmic depth is visible.
-		tree := bdd.Build(c.g, 16, ledger.New())
-		d := c.g.DiameterLowerBound()
-		row(c.name, c.g.N(), d, tree.Depth, tree.MaxSXSize(), tree.MaxFX(),
-			tree.MaxFaceParts(), log2(c.g.N()))
-	}
-}
-
-func e9Crossover(full bool) {
-	header("E9", "planar Õ(D²) vs general-graph Õ(√n+D) [16] at low D (modeled)",
-		"graph", "n", "D", "planar", "general", "winner", "n*xover")
-	rng := rand.New(rand.NewSource(9))
-	for _, n := range triSizes(full) {
-		g := planar.WithRandomWeights(triangulation(n), rng, 1, 1, 1, 16)
-		led := ledger.New()
-		if _, err := core.MaxFlow(g, 0, g.N()-1, core.Options{}, led); err != nil {
-			fmt.Println("error:", err)
-			continue
+func e4Girth(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(4, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E4a", "Thm 1.7 (growing D): girth rounds/(D·lg²n) flat — Õ(D), not Õ(D²)",
+			"grid", "n", "D", "rounds", "r/(D·lg²n)", "r/D²", "girth")
+		for _, a := range squares(c.full) {
+			g := planar.Grid(a[0], a[1])
+			g = planar.WithRandomWeights(g, rng, 1, 1000000, 1, 1)
+			led := ledger.New()
+			begin := time.Now()
+			res, err := core.Girth(g, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			n, d := a[0]*a[1], a[0]+a[1]-2
+			s.add(record("E4", fmt.Sprintf("a:grid%dx%d", a[0], a[1]), n, d, led, begin, rep, seed, res.Weight > 0))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), n, d, led.Total(),
+				float64(led.Total())/(float64(d)*log2(n)*log2(n)),
+				float64(led.Total())/float64(d*d), res.Weight)
 		}
-		d := g.DiameterLowerBound()
-		general := func(nn float64) float64 {
-			l := math.Log2(nn)
-			return (math.Sqrt(nn) + float64(d)) * l * l
+		header(rep, "E4b", "Thm 1.7 (low D, growing n): rounds track D, not n",
+			"graph", "n", "D", "rounds", "rounds/n", "girth")
+		for _, n := range triSizes(c.full) {
+			g := planar.WithRandomWeights(triangulation(n, rng), rng, 1, 1000000, 1, 1)
+			led := ledger.New()
+			begin := time.Now()
+			res, err := core.Girth(g, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			d := g.DiameterLowerBound()
+			s.add(record("E4", fmt.Sprintf("b:tri%d", n), n, d, led, begin, rep, seed, res.Weight > 0))
+			row(rep, fmt.Sprintf("tri%d", n), n, d, led.Total(),
+				float64(led.Total())/float64(n), res.Weight)
 		}
-		ours := led.Total()
-		winner := "planar"
-		if int64(general(float64(n))) < ours {
-			winner = "general"
-		}
-		// Planar rounds are ~flat in n at fixed D; find n* where the
-		// general-graph bound overtakes the measured planar cost.
-		nx := float64(n)
-		for nx < 1e12 && general(nx) < float64(ours) {
-			nx *= 2
-		}
-		row(fmt.Sprintf("tri%d", n), n, d, ours,
-			int64(general(float64(n))), winner, fmt.Sprintf("%.0e", nx))
 	}
 }
 
-func e10GirthAblation(full bool) {
-	header("E10", "Question 1.6 ablation: girth via dual cut Õ(D) vs SSSP route [36] Õ(D²)",
-		"grid", "n", "D", "dualcut", "ssspRoute", "ratio")
-	rng := rand.New(rand.NewSource(10))
-	for _, a := range squares(full) {
-		gU := planar.WithRandomWeights(planar.Grid(a[0], a[1]), rng, 1, 100, 1, 1)
-		ledA := ledger.New()
-		if _, err := core.Girth(gU, ledA); err != nil {
-			fmt.Println("error:", err)
-			continue
+func e5Labels(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(5, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E5a", "Thm 2.1 (growing D): labels Õ(D) words, Õ(D²) rounds",
+			"grid", "n", "D", "rounds", "r/(D²lg²n)", "maxWords", "words/D")
+		for _, a := range squares(c.full) {
+			g := planar.Grid(a[0], a[1])
+			lens := make([]int64, g.NumDarts())
+			for d := range lens {
+				lens[d] = 1 + rng.Int63n(64)
+			}
+			led := ledger.New()
+			begin := time.Now()
+			tree := bdd.Build(g, 0, led)
+			la := duallabel.Compute(tree, lens, led)
+			if la.NegCycle {
+				fmt.Println("unexpected negative cycle")
+				continue
+			}
+			maxWords := 0
+			for f := 0; f < g.Faces().NumFaces(); f++ {
+				if w := la.RootLabel(f).Words(); w > maxWords {
+					maxWords = w
+				}
+			}
+			n, d := a[0]*a[1], a[0]+a[1]-2
+			s.add(record("E5", fmt.Sprintf("a:grid%dx%d", a[0], a[1]), n, d, led, begin, rep, seed, true))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), n, d, led.Total(),
+				float64(led.Total())/(float64(d*d)*log2(n)*log2(n)), maxWords, float64(maxWords)/float64(d))
 		}
-		gD := planar.BoustrophedonGrid(a[0], a[1])
-		gD = gD.WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
-			old.Weight = 1 + rng.Int63n(100)
-			return old
+		header(rep, "E5b", "Thm 2.1 (low D, growing n): label words track D, not n",
+			"graph", "n", "D", "rounds", "maxWords", "words/n")
+		for _, n := range triSizes(c.full) {
+			g := triangulation(n, rng)
+			lens := make([]int64, g.NumDarts())
+			for d := range lens {
+				lens[d] = 1 + rng.Int63n(64)
+			}
+			led := ledger.New()
+			begin := time.Now()
+			tree := bdd.Build(g, 0, led)
+			la := duallabel.Compute(tree, lens, led)
+			if la.NegCycle {
+				fmt.Println("unexpected negative cycle")
+				continue
+			}
+			maxWords := 0
+			for f := 0; f < g.Faces().NumFaces(); f++ {
+				if w := la.RootLabel(f).Words(); w > maxWords {
+					maxWords = w
+				}
+			}
+			d := g.DiameterLowerBound()
+			s.add(record("E5", fmt.Sprintf("b:tri%d", n), n, d, led, begin, rep, seed, true))
+			row(rep, fmt.Sprintf("tri%d", n), n, d, led.Total(),
+				maxWords, float64(maxWords)/float64(n))
+		}
+	}
+}
+
+func e6MinCut(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(6, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E6", "Thm 6.1/6.2: min st-cut equals max st-flow",
+			"grid", "n", "exact cut", "exact flow", "eq", "apx cut", "apx==opt")
+		for _, a := range squares(c.full) {
+			g := planar.Grid(a[0], a[1])
+			g = planar.WithRandomWeights(g, rng, 1, 1, 1, 32)
+			st, t := 0, g.N()-1
+			led := ledger.New()
+			begin := time.Now()
+			cut, err := core.MinSTCut(g, st, t, core.Options{}, led)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fv := core.DinicValue(g, st, t)
+			apx, err := core.STPlanarMinCut(g, st, t, 0, ledger.New())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			apxOK := apx.Value == core.UndirectedDinicValue(g, st, t)
+			ok := cut.Value == fv && apxOK
+			d := a[0] + a[1] - 2
+			s.add(record("E6", fmt.Sprintf("grid%dx%d", a[0], a[1]), g.N(), d, led, begin, rep, seed, ok))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), g.N(), cut.Value, fv,
+				cut.Value == fv, apx.Value, apxOK)
+		}
+	}
+}
+
+func e7PA(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(7, rep)
+		header(rep, "E7", "Cor 4.6/Thm 4.10: faces-as-parts PA on G* in Õ(D) rounds",
+			"grid", "n", "faces", "D", "rounds", "congest", "dilate", "rounds/D")
+		for _, a := range append(squares(c.full), fixedD(c.full)...) {
+			g := planar.Grid(a[0], a[1])
+			begin := time.Now()
+			h := hatg.New(g)
+			net := pa.FromHatG(h)
+			tree := pa.BuildTree(net, 0)
+			nf := g.Faces().NumFaces()
+			parts := pa.Parts{Of: make([]int, h.N()), Num: nf}
+			input := make([]int64, h.N())
+			for x := 0; x < h.N(); x++ {
+				parts.Of[x] = -1
+				if !h.IsStarCenter(x) {
+					parts.Of[x] = h.FaceOfCopy(x)
+					input[x] = 1
+				}
+			}
+			res := pa.Aggregate(net, tree, parts, input, pa.Sum)
+			d := a[0] + a[1] - 2
+			rounds := int64(2 * res.Rounds)
+			s.add(Record{
+				Exp: "E7", Instance: fmt.Sprintf("grid%dx%d", a[0], a[1]),
+				N: g.N(), D: d, Rounds: rounds, Measured: rounds,
+				WallMS: float64(time.Since(begin).Microseconds()) / 1000,
+				Repeat: rep, Seed: seed, OK: true,
+			})
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), g.N(), nf, d, 2*res.Rounds,
+				res.Congestion, res.Dilation, float64(2*res.Rounds)/float64(d))
+		}
+	}
+}
+
+func e8BDD(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(8, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E8", "Lem 5.1/Thm 5.2: BDD structure (depth, S_X, F_X, face-parts)",
+			"graph", "n", "D", "depth", "maxSX", "maxFX", "faceparts", "lg(n)")
+		type gcase struct {
+			name string
+			g    *planar.Graph
+		}
+		var cases []gcase
+		for _, a := range append(squares(c.full), fixedD(c.full)...) {
+			cases = append(cases, gcase{fmt.Sprintf("grid%dx%d", a[0], a[1]), planar.Grid(a[0], a[1])})
+		}
+		cases = append(cases,
+			gcase{"stack300", planar.StackedTriangulation(300, rng)},
+			gcase{"nested50", planar.NestedTriangles(50)})
+		for _, gc := range cases {
+			// Fixed small leaf limit so the full logarithmic depth is visible.
+			led := ledger.New()
+			begin := time.Now()
+			tree := bdd.Build(gc.g, 16, led)
+			d := gc.g.DiameterLowerBound()
+			ok := float64(tree.Depth) <= 4*log2(gc.g.N())+8
+			s.add(record("E8", gc.name, gc.g.N(), d, led, begin, rep, seed, ok))
+			row(rep, gc.name, gc.g.N(), d, tree.Depth, tree.MaxSXSize(), tree.MaxFX(),
+				tree.MaxFaceParts(), log2(gc.g.N()))
+		}
+	}
+}
+
+func e9Crossover(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(9, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E9", "planar Õ(D²) vs general-graph Õ(√n+D) [16] at low D (modeled)",
+			"graph", "n", "D", "planar", "general", "winner", "n*xover")
+		for _, n := range triSizes(c.full) {
+			g := planar.WithRandomWeights(triangulation(n, rng), rng, 1, 1, 1, 16)
+			led := ledger.New()
+			begin := time.Now()
+			if _, err := core.MaxFlow(g, 0, g.N()-1, core.Options{}, led); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			d := g.DiameterLowerBound()
+			general := func(nn float64) float64 {
+				l := math.Log2(nn)
+				return (math.Sqrt(nn) + float64(d)) * l * l
+			}
+			ours := led.Total()
+			winner := "planar"
+			if int64(general(float64(n))) < ours {
+				winner = "general"
+			}
+			// Planar rounds are ~flat in n at fixed D; find n* where the
+			// general-graph bound overtakes the measured planar cost.
+			nx := float64(n)
+			for nx < 1e12 && general(nx) < float64(ours) {
+				nx *= 2
+			}
+			s.add(record("E9", fmt.Sprintf("tri%d", n), n, d, led, begin, rep, seed, true))
+			row(rep, fmt.Sprintf("tri%d", n), n, d, ours,
+				int64(general(float64(n))), winner, fmt.Sprintf("%.0e", nx))
+		}
+	}
+}
+
+func e10GirthAblation(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(10, rep)
+		rng := rand.New(rand.NewSource(seed))
+		header(rep, "E10", "Question 1.6 ablation: girth via dual cut Õ(D) vs SSSP route [36] Õ(D²)",
+			"grid", "n", "D", "dualcut", "ssspRoute", "ratio")
+		for _, a := range squares(c.full) {
+			gU := planar.WithRandomWeights(planar.Grid(a[0], a[1]), rng, 1, 100, 1, 1)
+			ledA := ledger.New()
+			beginA := time.Now()
+			if _, err := core.Girth(gU, ledA); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			d := a[0] + a[1] - 2
+			s.add(record("E10", fmt.Sprintf("dualcut:grid%dx%d", a[0], a[1]), a[0]*a[1], d, ledA, beginA, rep, seed, true))
+			gD := planar.BoustrophedonGrid(a[0], a[1])
+			gD = gD.WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
+				old.Weight = 1 + rng.Int63n(100)
+				return old
+			})
+			ledB := ledger.New()
+			beginB := time.Now()
+			if _, err := core.DirectedGirth(gD, core.Options{}, ledB); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			s.add(record("E10", fmt.Sprintf("sssp:snake%dx%d", a[0], a[1]), a[0]*a[1], d, ledB, beginB, rep, seed, true))
+			row(rep, fmt.Sprintf("%dx%d", a[0], a[1]), a[0]*a[1], d, ledA.Total(), ledB.Total(),
+				float64(ledB.Total())/float64(ledA.Total()))
+		}
+	}
+}
+
+// schedBench runs the engine-level workloads that measure the simulation
+// substrate itself: BFS (sparse wavefront) and FloodMin (dense activity) on
+// Grid(32,32), on both the flat-mailbox scheduler and the reference channel
+// engine. Its records carry real engine Stats (messages, bits) and are the
+// trajectory points stored in BENCH_sched.json.
+func schedBench(s *sink, c cfg) {
+	g := planar.Grid(32, 32)
+	d := 32 + 32 - 2
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(0, rep)
+		header(rep, "SCHED", "flat-mailbox scheduler vs channel engine on Grid(32,32)",
+			"workload", "engine", "rounds", "messages", "bits", "wall_ms", "halted")
+		type run struct {
+			workload, engine string
+			stats            congest.Stats
+			wallMS           float64
+		}
+		var runs []run
+		time1 := func(workload, engine string, fn func() congest.Stats) {
+			begin := time.Now()
+			st := fn()
+			runs = append(runs, run{workload, engine, st, float64(time.Since(begin).Microseconds()) / 1000})
+		}
+		vals := make([]int64, g.N())
+		for v := range vals {
+			vals[v] = int64(g.N() - v)
+		}
+		time1("bfs", "sched", func() congest.Stats {
+			_, st := congest.DistributedBFS(congest.NewEngine(g), 0)
+			return st
 		})
-		ledB := ledger.New()
-		if _, err := core.DirectedGirth(gD, core.Options{}, ledB); err != nil {
-			fmt.Println("error:", err)
-			continue
+		time1("bfs", "chan", func() congest.Stats {
+			_, st := congest.DistributedBFS(congest.NewChanEngine(g), 0)
+			return st
+		})
+		time1("floodmin", "sched", func() congest.Stats {
+			_, st := congest.FloodMin(congest.NewEngine(g), vals)
+			return st
+		})
+		time1("floodmin", "chan", func() congest.Stats {
+			_, st := congest.FloodMin(congest.NewChanEngine(g), vals)
+			return st
+		})
+		// Each workload's two engines must agree exactly.
+		agree := map[string]bool{}
+		byKey := map[string]congest.Stats{}
+		for _, r := range runs {
+			byKey[r.workload+"/"+r.engine] = r.stats
 		}
-		d := a[0] + a[1] - 2
-		row(fmt.Sprintf("%dx%d", a[0], a[1]), a[0]*a[1], d, ledA.Total(), ledB.Total(),
-			float64(ledB.Total())/float64(ledA.Total()))
+		for _, w := range []string{"bfs", "floodmin"} {
+			agree[w] = byKey[w+"/sched"] == byKey[w+"/chan"]
+		}
+		for _, r := range runs {
+			s.add(Record{
+				Exp: "SCHED", Instance: r.workload + "-grid32x32:" + r.engine,
+				N: g.N(), D: d,
+				Rounds: int64(r.stats.Rounds), Measured: int64(r.stats.Rounds),
+				Messages: r.stats.Messages, Bits: r.stats.Bits,
+				WallMS: r.wallMS, Repeat: rep, Seed: seed,
+				OK: agree[r.workload] && r.stats.Violations == 0 && r.stats.HaltedNormal,
+			})
+			row(rep, r.workload, r.engine, r.stats.Rounds, r.stats.Messages,
+				r.stats.Bits, r.wallMS, r.stats.HaltedNormal)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"planarflow/internal/cmdtest"
+)
+
+// TestSmokeE8 runs the cheapest table-producing experiment end-to-end with
+// repeats and both sinks, and checks the contract the harness promises:
+// parseable CSV/JSONL with one record per instance per repeat.
+func TestSmokeE8(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "out.jsonl")
+	csvPath := filepath.Join(dir, "out.csv")
+	out := cmdtest.RunMain(t, "-exp", "E8", "-repeats", "2", "-jsonl", jsonl, "-csv", csvPath)
+	cmdtest.ExpectMarkers(t, out, "## E8", "grid6x6")
+
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("unparseable JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) == 0 || len(recs)%2 != 0 {
+		t.Fatalf("want an even, positive number of records (2 repeats), got %d", len(recs))
+	}
+	perRepeat := map[int]int{}
+	for _, r := range recs {
+		if r.Exp != "E8" || r.N <= 0 || r.Rounds <= 0 {
+			t.Fatalf("malformed record: %+v", r)
+		}
+		perRepeat[r.Repeat]++
+	}
+	if perRepeat[0] != perRepeat[1] {
+		t.Fatalf("repeats differ in record count: %v", perRepeat)
+	}
+
+	cf, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	rows, err := csv.NewReader(cf).ReadAll()
+	if err != nil {
+		t.Fatalf("unparseable CSV: %v", err)
+	}
+	if len(rows) != len(recs)+1 {
+		t.Fatalf("CSV rows=%d want %d (header + one per record)", len(rows), len(recs)+1)
+	}
+}
+
+// TestSmokeBaselineRoundTrip writes a baseline from a SCHED run, verifies a
+// second identical run passes against it, and that a doctored baseline is
+// flagged as a regression (exit code 1).
+func TestSmokeBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cmdtest.RunMain(t, "-exp", "sched", "-write-baseline", base)
+	out := cmdtest.RunMain(t, "-exp", "sched", "-baseline", base)
+	cmdtest.ExpectMarkers(t, out, "no round-count regressions")
+
+	b, err := loadBaseline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Points) == 0 {
+		t.Fatal("baseline carries no trajectory points")
+	}
+	for k := range b.Records {
+		b.Records[k] = 1 // everything becomes a regression
+	}
+	if regs := compare(b, b.Points, 0); regs == 0 {
+		t.Fatal("doctored baseline not flagged as regression")
+	}
+}

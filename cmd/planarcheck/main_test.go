@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"planarflow/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.RunMain(t, "-kind", "grid", "-rows", "4", "-cols", "5")
+	cmdtest.ExpectMarkers(t, out, "Euler:", "face cycles verified", "diameter:")
+}
+
+func TestSmokeTriangulation(t *testing.T) {
+	out := cmdtest.RunMain(t, "-kind", "triangulation", "-n", "24", "-seed", "3")
+	cmdtest.ExpectMarkers(t, out, "Euler:", "face-disjoint graph")
+}

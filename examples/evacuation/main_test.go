@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"planarflow/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.RunMain(t)
+	cmdtest.ExpectMarkers(t, out,
+		"evacuation rate",
+		"plan verified",
+		"optimal rate:")
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"planarflow/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.RunMain(t)
+	cmdtest.ExpectMarkers(t, out,
+		"max st-flow value:",
+		"flow assignment verified",
+		"max-flow = min-cut: true",
+		"simulated CONGEST cost:")
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"planarflow/internal/cmdtest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := cmdtest.RunMain(t)
+	cmdtest.ExpectMarkers(t, out,
+		"cheapest region-stranding failure:",
+		"shortest possible routing loop:")
+}

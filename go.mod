@@ -1,0 +1,3 @@
+module planarflow
+
+go 1.22

@@ -1,0 +1,36 @@
+// Package cmdtest runs main packages end-to-end for smoke tests: every
+// cmd/ and examples/ binary gets a test that builds it, runs it with tiny
+// inputs, and asserts exit 0 plus expected stdout markers.
+package cmdtest
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// RunMain executes `go run . args...` in the calling test's working
+// directory (go test runs each test in its package source directory, so
+// "." is the main package under test). It fails the test on a non-zero
+// exit and returns captured stdout.
+func RunMain(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	var out, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run . %s: %v\nstderr:\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out.String()
+}
+
+// ExpectMarkers asserts that stdout contains every marker.
+func ExpectMarkers(t *testing.T, out string, markers ...string) {
+	t.Helper()
+	for _, m := range markers {
+		if !strings.Contains(out, m) {
+			t.Fatalf("stdout missing marker %q; got:\n%s", m, out)
+		}
+	}
+}

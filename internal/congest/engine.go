@@ -4,20 +4,24 @@
 // Each vertex is a computational unit executing the same step function.
 // Communication proceeds in synchronous rounds; in every round each vertex
 // may send one message of at most B = Θ(log n) bits along each incident
-// dart. Messages are delivered through per-dart Go channels at the start of
-// the next round ("channels model message rounds"); vertex steps within a
-// round run concurrently on a worker pool, mirroring the model's parallelism
-// while keeping runs deterministic (inboxes are ordered by dart).
+// dart. Messages are written into a flat double-buffered mailbox (one slot
+// per dart) and delivered at the start of the next round; vertex steps
+// within a round run concurrently on a persistent worker pool, mirroring
+// the model's parallelism while keeping runs deterministic (inboxes are
+// ordered by dart). A vertex that calls Halt sleeps until a message
+// arrives for it; the run ends when every vertex sleeps in a round that
+// sends nothing.
 //
 // The engine measures rounds, message counts and bandwidth violations; tests
-// assert that algorithms never exceed the per-edge budget.
+// assert that algorithms never exceed the per-edge budget. The original
+// channel-per-dart implementation is retained as ChanEngine (see legacy.go)
+// and used as a differential-testing reference.
 package congest
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"planarflow/internal/planar"
 )
@@ -37,7 +41,7 @@ type Ctx struct {
 	Round int
 	In    []Received
 
-	eng    *Engine
+	g      *planar.Graph
 	out    []outMsg
 	halted bool
 }
@@ -56,12 +60,12 @@ func (c *Ctx) Send(d planar.Dart, payload any, bits int) {
 	c.out = append(c.out, outMsg{d: d, payload: payload, bits: bits})
 }
 
-// Halt marks this vertex as willing to terminate. The engine stops when all
-// vertices halt in a round that delivers no messages.
+// Halt puts this vertex to sleep until a message arrives for it. The run
+// ends when every vertex is asleep in a round that sends no messages.
 func (c *Ctx) Halt() { c.halted = true }
 
 // Graph returns the communication graph (vertices know their local topology).
-func (c *Ctx) Graph() *planar.Graph { return c.eng.g }
+func (c *Ctx) Graph() *planar.Graph { return c.g }
 
 // StepFunc is the code run by every vertex in every round.
 type StepFunc func(c *Ctx)
@@ -76,12 +80,21 @@ type Stats struct {
 	HaltedNormal bool  // true if run ended by unanimous halt (vs round cap)
 }
 
+// Runner is the engine surface the primitives in this package are written
+// against; *Engine and the reference *ChanEngine both implement it.
+type Runner interface {
+	Run(step StepFunc, maxRounds int) Stats
+	B() int
+	Graph() *planar.Graph
+}
+
 // Engine executes CONGEST algorithms on a fixed communication graph.
 type Engine struct {
 	g *planar.Graph
 	b int // per-message bit budget
 
 	workers int
+	topo    *topology
 }
 
 // MessageBits returns the CONGEST per-message budget for an n-vertex network:
@@ -98,7 +111,7 @@ func MessageBits(n int) int {
 // NewEngine returns an engine for g with the standard O(log n) message
 // budget.
 func NewEngine(g *planar.Graph) *Engine {
-	return &Engine{g: g, b: MessageBits(g.N()), workers: runtime.GOMAXPROCS(0)}
+	return &Engine{g: g, b: MessageBits(g.N()), workers: runtime.GOMAXPROCS(0), topo: newDartTopology(g)}
 }
 
 // B returns the per-message bit budget.
@@ -107,106 +120,54 @@ func (e *Engine) B() int { return e.b }
 // Graph returns the communication graph.
 func (e *Engine) Graph() *planar.Graph { return e.g }
 
-// Run executes step on every vertex each round until every vertex halts in a
-// round with no message deliveries, or maxRounds is reached.
+// newDartTopology flattens g for the scheduler: out-slot s is dart s, it
+// delivers to Head(s), and inboxes are ordered by arriving dart id (the
+// order the channel engine produced by sorting).
+func newDartTopology(g *planar.Graph) *topology {
+	n := g.N()
+	nd := g.NumDarts()
+	t := &topology{n: n, dest: make([]int32, nd), in: make([][]inRef, n)}
+	for d := 0; d < nd; d++ {
+		t.dest[d] = int32(g.Head(planar.Dart(d)))
+	}
+	for v := 0; v < n; v++ {
+		rot := g.Rotation(v)
+		refs := make([]inRef, 0, len(rot))
+		for _, d := range rot {
+			in := int32(planar.Rev(d))
+			refs = append(refs, inRef{slot: in, key: in})
+		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i].slot < refs[j].slot })
+		t.in[v] = refs
+	}
+	t.finishOffsets()
+	return t
+}
+
+// Run executes step on every vertex each round until every vertex sleeps in
+// a round with no message sends, or maxRounds is reached.
 func (e *Engine) Run(step StepFunc, maxRounds int) Stats {
-	n := e.g.N()
-	var stats Stats
-
-	// mailbox[d] carries the message sent along dart d, delivered one round
-	// after it is sent.
-	mailbox := make([]chan Received, e.g.NumDarts())
-	for d := range mailbox {
-		mailbox[d] = make(chan Received, 1)
-	}
-
-	ctxs := make([]*Ctx, n)
+	ctxs := make([]*Ctx, e.g.N())
 	for v := range ctxs {
-		ctxs[v] = &Ctx{V: v, eng: e}
+		ctxs[v] = &Ctx{V: v, g: e.g}
 	}
-
-	inflight := 0
-	for round := 0; round < maxRounds; round++ {
-		// Deliver: drain each vertex's incoming darts into its inbox.
-		delivered := 0
-		for v := 0; v < n; v++ {
+	return runSched(e.topo, e.b, e.workers, maxRounds,
+		func(key int32, payload any, bits int32) Received {
+			return Received{In: planar.Dart(key), Payload: payload, Bits: int(bits)}
+		},
+		func(v, round int, in []Received, out outbox[Received]) bool {
 			c := ctxs[v]
-			c.In = c.In[:0]
-			for _, d := range e.g.Rotation(v) {
-				in := planar.Rev(d) // dart pointing at v
-				select {
-				case m := <-mailbox[in]:
-					c.In = append(c.In, m)
-					delivered++
-				default:
-				}
-			}
-			sort.Slice(c.In, func(i, j int) bool { return c.In[i].In < c.In[j].In })
-		}
-		if round > 0 && delivered == 0 && allHalted(ctxs) {
-			stats.HaltedNormal = true
-			return stats
-		}
-		stats.Messages += int64(delivered)
-		if delivered > stats.MaxInflight {
-			stats.MaxInflight = delivered
-		}
-
-		// Compute: run all vertex steps for this round concurrently.
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < e.workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for v := range work {
-					c := ctxs[v]
-					c.Round = round
-					c.halted = false
-					c.out = c.out[:0]
-					step(c)
-				}
-			}()
-		}
-		for v := 0; v < n; v++ {
-			work <- v
-		}
-		close(work)
-		wg.Wait()
-		stats.Rounds++
-
-		// Route: push outboxes into the per-dart channels.
-		inflight = 0
-		for v := 0; v < n; v++ {
-			for _, m := range ctxs[v].out {
+			c.Round = round
+			c.In = in
+			c.halted = false
+			c.out = c.out[:0]
+			step(c)
+			for _, m := range c.out {
 				if e.g.Tail(m.d) != v {
 					panic(fmt.Sprintf("congest: vertex %d sent on dart %d it does not own", v, m.d))
 				}
-				if m.bits > e.b {
-					stats.Violations++
-				}
-				select {
-				case mailbox[m.d] <- Received{In: m.d, Payload: m.payload, Bits: m.bits}:
-					stats.Bits += int64(m.bits)
-					inflight++
-				default:
-					stats.Violations++ // two messages on one dart in one round
-				}
+				out.post(int32(m.d), m.payload, m.bits)
 			}
-		}
-		if inflight == 0 && allHalted(ctxs) {
-			stats.HaltedNormal = true
-			return stats
-		}
-	}
-	return stats
-}
-
-func allHalted(ctxs []*Ctx) bool {
-	for _, c := range ctxs {
-		if !c.halted {
-			return false
-		}
-	}
-	return true
+			return c.halted
+		})
 }

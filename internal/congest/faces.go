@@ -21,7 +21,7 @@ type faceToken struct {
 // token along the face-successor of d; a vertex receiving a token on dart d
 // forwards it along FaceSuccessor(d) until the token has traveled the whole
 // boundary. One message per dart per round: CONGEST-legal.
-func IdentifyFaces(e *Engine) ([]planar.Dart, Stats) {
+func IdentifyFaces(e Runner) ([]planar.Dart, Stats) {
 	g := e.Graph()
 	nd := g.NumDarts()
 	minOf := make([]planar.Dart, nd)

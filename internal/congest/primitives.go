@@ -35,7 +35,7 @@ type bfsToken struct{ dist int }
 
 // DistributedBFS builds a BFS tree from root by flooding; it takes ecc(root)
 // + O(1) measured rounds.
-func DistributedBFS(e *Engine, root int) (*Tree, Stats) {
+func DistributedBFS(e Runner, root int) (*Tree, Stats) {
 	g := e.Graph()
 	n := g.N()
 	tree := &Tree{Root: root, Parent: make([]planar.Dart, n), Depth: make([]int, n)}
@@ -84,7 +84,7 @@ type floodToken struct{ id int64 }
 
 // FloodMin floods the minimum of the per-vertex values to every vertex
 // (leader election when values are IDs); takes diameter + O(1) rounds.
-func FloodMin(e *Engine, values []int64) ([]int64, Stats) {
+func FloodMin(e Runner, values []int64) ([]int64, Stats) {
 	g := e.Graph()
 	best := make([]int64, g.N())
 	copy(best, values)
@@ -133,7 +133,7 @@ type downToken struct{ val int64 }
 // TreeAggregate convergecasts op over the per-vertex inputs up the given
 // tree, then broadcasts the result back down; every vertex learns the
 // aggregate. Takes O(height) measured rounds.
-func TreeAggregate(e *Engine, tree *Tree, input []int64, op AggregateOp) (int64, Stats) {
+func TreeAggregate(e Runner, tree *Tree, input []int64, op AggregateOp) (int64, Stats) {
 	g := e.Graph()
 	n := g.N()
 	children := tree.Children(g)
@@ -187,7 +187,7 @@ type pipeToken struct {
 // PipelinedBroadcast sends the k root values down the tree so every vertex
 // receives all of them; pipelining makes this take height + k + O(1) rounds
 // rather than height*k.
-func PipelinedBroadcast(e *Engine, tree *Tree, values []int64) ([][]int64, Stats) {
+func PipelinedBroadcast(e Runner, tree *Tree, values []int64) ([][]int64, Stats) {
 	g := e.Graph()
 	n := g.N()
 	children := tree.Children(g)
@@ -208,7 +208,11 @@ func PipelinedBroadcast(e *Engine, tree *Tree, values []int64) ([][]int64, Stats
 				}
 			}
 		}
-		c.Halt()
+		// The root keeps itself awake (Halt sleeps until a message arrives,
+		// and nobody messages the root) until its last value is injected.
+		if v != tree.Root || c.Round >= len(values)-1 {
+			c.Halt()
+		}
 	}, 8*(n+len(values))+16)
 	return got, stats
 }
@@ -217,7 +221,7 @@ func PipelinedBroadcast(e *Engine, tree *Tree, values []int64) ([][]int64, Stats
 // the root, deduplicating en route (the paper's "pass each message only
 // once" broadcasts, §5.1.3). Returns the distinct values seen at the root;
 // takes O(height + #distinct) measured rounds.
-func PipelinedUpcastDistinct(e *Engine, tree *Tree, input [][]int64) ([]int64, Stats) {
+func PipelinedUpcastDistinct(e Runner, tree *Tree, input [][]int64) ([]int64, Stats) {
 	g := e.Graph()
 	n := g.N()
 	queue := make([][]int64, n)
@@ -244,7 +248,11 @@ func PipelinedUpcastDistinct(e *Engine, tree *Tree, input [][]int64) ([]int64, S
 			queue[v] = queue[v][1:]
 			c.Send(planar.Rev(tree.Parent[v]), pipeToken{val: x}, e.B())
 		}
-		c.Halt()
+		// A vertex still holding queued values must stay awake to keep
+		// draining one per round; everyone else sleeps until woken.
+		if v == tree.Root || len(queue[v]) == 0 {
+			c.Halt()
+		}
 	}, 16*n+16)
 	var out []int64
 	for x := range seen[tree.Root] {
