@@ -6,9 +6,9 @@ package planarflow
 // cmd/flowbench; these benches track wall-clock and round costs per change.
 
 import (
-	"math/rand"
 	"testing"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/bdd"
 	"planarflow/internal/congest"
 	"planarflow/internal/core"
@@ -26,12 +26,12 @@ func reportRounds(b *testing.B, led *ledger.Ledger) {
 
 // BenchmarkE1ExactMaxFlow — Thm 1.2: exact max st-flow, Õ(D²) rounds.
 func BenchmarkE1ExactMaxFlow(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := planar.NewRand(1)
 	g := planar.WithRandomWeights(planar.Grid(12, 12), rng, 1, 1, 1, 64)
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
 		led = ledger.New()
-		if _, err := core.MaxFlow(g, 0, g.N()-1, core.Options{}, led); err != nil {
+		if _, err := core.MaxFlow(artifact.New(g), 0, g.N()-1, core.Options{}, led); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,12 +40,12 @@ func BenchmarkE1ExactMaxFlow(b *testing.B) {
 
 // BenchmarkE2ApproxFlow — Thm 1.3: (1-eps) st-planar flow, D·n^{o(1)} rounds.
 func BenchmarkE2ApproxFlow(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
+	rng := planar.NewRand(2)
 	g := planar.WithRandomWeights(planar.Grid(12, 12), rng, 1, 1, 100, 1000)
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
 		led = ledger.New()
-		if _, err := core.STPlanarMaxFlow(g, 0, g.N()-1, 0.1, led); err != nil {
+		if _, err := core.STPlanarMaxFlow(artifact.New(g), 0, g.N()-1, 0.1, led); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,12 +54,12 @@ func BenchmarkE2ApproxFlow(b *testing.B) {
 
 // BenchmarkE3GlobalMinCut — Thm 1.5: directed global min cut, Õ(D²) rounds.
 func BenchmarkE3GlobalMinCut(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
+	rng := planar.NewRand(3)
 	g := planar.WithRandomWeights(planar.BoustrophedonGrid(10, 10), rng, 1, 40, 1, 1)
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
 		led = ledger.New()
-		if _, err := core.GlobalMinCut(g, core.Options{}, led); err != nil {
+		if _, err := core.GlobalMinCut(artifact.New(g), core.Options{}, led); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,12 +68,12 @@ func BenchmarkE3GlobalMinCut(b *testing.B) {
 
 // BenchmarkE4Girth — Thm 1.7: weighted girth, Õ(D) rounds.
 func BenchmarkE4Girth(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
+	rng := planar.NewRand(4)
 	g := planar.WithRandomWeights(planar.Grid(12, 12), rng, 1, 1000000, 1, 1)
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
 		led = ledger.New()
-		if _, err := core.Girth(g, led); err != nil {
+		if _, err := core.Girth(artifact.New(g), led); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,11 +82,11 @@ func BenchmarkE4Girth(b *testing.B) {
 
 // BenchmarkE5DualLabeling — Thm 2.1: Õ(D)-word labels in Õ(D²) rounds.
 func BenchmarkE5DualLabeling(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
+	rng := planar.NewRand(5)
 	g := planar.Grid(12, 12)
 	lens := make([]int64, g.NumDarts())
 	for d := range lens {
-		lens[d] = 1 + rng.Int63n(64)
+		lens[d] = 1 + rng.Int64N(64)
 	}
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
@@ -101,12 +101,12 @@ func BenchmarkE5DualLabeling(b *testing.B) {
 
 // BenchmarkE6MinSTCut — Thm 6.1: exact directed min st-cut.
 func BenchmarkE6MinSTCut(b *testing.B) {
-	rng := rand.New(rand.NewSource(6))
+	rng := planar.NewRand(6)
 	g := planar.WithRandomWeights(planar.Grid(10, 10), rng, 1, 1, 1, 32)
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
 		led = ledger.New()
-		if _, err := core.MinSTCut(g, 0, g.N()-1, core.Options{}, led); err != nil {
+		if _, err := core.MinSTCut(artifact.New(g), 0, g.N()-1, core.Options{}, led); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +150,7 @@ func BenchmarkE8BDDBuild(b *testing.B) {
 
 // BenchmarkE9DinicBaseline — the centralized comparator used throughout.
 func BenchmarkE9DinicBaseline(b *testing.B) {
-	rng := rand.New(rand.NewSource(9))
+	rng := planar.NewRand(9)
 	g := planar.WithRandomWeights(planar.Grid(16, 16), rng, 1, 1, 1, 64)
 	for i := 0; i < b.N; i++ {
 		core.DinicValue(g, 0, g.N()-1)
@@ -163,7 +163,7 @@ func BenchmarkE10GirthSSSPRoute(b *testing.B) {
 	var led *ledger.Ledger
 	for i := 0; i < b.N; i++ {
 		led = ledger.New()
-		if _, err := core.DirectedGirth(g, core.Options{}, led); err != nil {
+		if _, err := core.DirectedGirth(artifact.New(g), core.Options{}, led); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -177,10 +177,10 @@ func BenchmarkE10GirthSSSPRoute(b *testing.B) {
 // too large degenerates to the centralized leaf computation.
 func BenchmarkAblationLeafLimit(b *testing.B) {
 	g := planar.Grid(14, 14)
-	rng := rand.New(rand.NewSource(12))
+	rng := planar.NewRand(12)
 	lens := make([]int64, g.NumDarts())
 	for d := range lens {
-		lens[d] = 1 + rng.Int63n(32)
+		lens[d] = 1 + rng.Int64N(32)
 	}
 	for _, leaf := range []int{8, 32, bdd.DefaultLeafLimit(g), 4 * bdd.DefaultLeafLimit(g)} {
 		b.Run(leafName(leaf, g), func(b *testing.B) {
@@ -221,14 +221,14 @@ func itoa(v int) string {
 // BenchmarkAblationGirthRoutes compares the paper's Õ(D) dual-cut girth
 // against the Õ(D²) SSSP route on the same size.
 func BenchmarkAblationGirthRoutes(b *testing.B) {
-	rng := rand.New(rand.NewSource(13))
+	rng := planar.NewRand(13)
 	gU := planar.WithRandomWeights(planar.Grid(14, 14), rng, 1, 100, 1, 1)
 	gD := planar.BoustrophedonGrid(14, 14)
 	b.Run("dual-cut", func(b *testing.B) {
 		var led *ledger.Ledger
 		for i := 0; i < b.N; i++ {
 			led = ledger.New()
-			if _, err := core.Girth(gU, led); err != nil {
+			if _, err := core.Girth(artifact.New(gU), led); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -238,7 +238,7 @@ func BenchmarkAblationGirthRoutes(b *testing.B) {
 		var led *ledger.Ledger
 		for i := 0; i < b.N; i++ {
 			led = ledger.New()
-			if _, err := core.DirectedGirth(gD, core.Options{}, led); err != nil {
+			if _, err := core.DirectedGirth(artifact.New(gD), core.Options{}, led); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -10,7 +10,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 
 	"planarflow/internal/bdd"
@@ -34,7 +33,7 @@ func main() {
 	case "cylinder":
 		g = planar.Cylinder(*rows, *cols)
 	case "triangulation":
-		g = planar.StackedTriangulation(*n, rand.New(rand.NewSource(*seed)))
+		g = planar.StackedTriangulation(*n, planar.NewRand(*seed))
 	case "snake":
 		g = planar.BoustrophedonGrid(*rows, *cols)
 	default:

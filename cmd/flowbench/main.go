@@ -18,17 +18,19 @@
 //	flowbench -exp E1 -repeats 3 -jsonl out.jsonl -csv out.csv
 //	flowbench -exp sched -write-baseline BENCH_sched.json
 //	flowbench -exp sched -baseline BENCH_sched.json   # exit 1 on regression
+//	flowbench -exp serve -full -baseline BENCH_serve.json  # serving gate
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"os"
 	"strings"
 	"time"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/bdd"
 	"planarflow/internal/congest"
 	"planarflow/internal/core"
@@ -67,7 +69,7 @@ var experiments = []struct {
 	{"E1", e1ExactFlow}, {"E2", e2ApproxFlow}, {"E3", e3GlobalCut},
 	{"E4", e4Girth}, {"E5", e5Labels}, {"E6", e6MinCut},
 	{"E7", e7PA}, {"E8", e8BDD}, {"E9", e9Crossover}, {"E10", e10GirthAblation},
-	{"SCHED", schedBench},
+	{"SCHED", schedBench}, {"SERVE", serveBench},
 }
 
 func main() {
@@ -205,7 +207,7 @@ func record(exp, instance string, n, d int, led *ledger.Ledger, start time.Time,
 func e1ExactFlow(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(1, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E1a", "Thm 1.2 (growing D): rounds/(D² log²n) stays flat",
 			"grid", "n", "D", "rounds", "r/(D²lg²n)", "value", "==dinic")
 		for _, a := range squares(c.full) {
@@ -214,7 +216,7 @@ func e1ExactFlow(s *sink, c cfg) {
 			st, t := 0, g.N()-1
 			led := ledger.New()
 			begin := time.Now()
-			res, err := core.MaxFlow(g, st, t, core.Options{}, led)
+			res, err := core.MaxFlow(artifact.New(g), st, t, core.Options{}, led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -234,7 +236,7 @@ func e1ExactFlow(s *sink, c cfg) {
 			st, t := 0, g.N()-1
 			led := ledger.New()
 			begin := time.Now()
-			res, err := core.MaxFlow(g, st, t, core.Options{}, led)
+			res, err := core.MaxFlow(artifact.New(g), st, t, core.Options{}, led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -253,7 +255,7 @@ func e2ApproxFlow(s *sink, c cfg) {
 	const eps = 0.1
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(2, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E2", "Thm 1.3: (1-eps) st-planar flow in D·n^{o(1)} rounds",
 			"grid", "n", "D", "rounds", "rounds/D", "val/opt", "feasible")
 		for _, a := range append(squares(c.full), fixedD(c.full)...) {
@@ -262,7 +264,7 @@ func e2ApproxFlow(s *sink, c cfg) {
 			st, t := 0, g.N()-1
 			led := ledger.New()
 			begin := time.Now()
-			res, err := core.STPlanarMaxFlow(g, st, t, eps, led)
+			res, err := core.STPlanarMaxFlow(artifact.New(g), st, t, eps, led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -282,7 +284,7 @@ func e2ApproxFlow(s *sink, c cfg) {
 func e3GlobalCut(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(3, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E3", "Thm 1.5: directed global min cut in Õ(D²) rounds",
 			"graph", "n", "D", "rounds", "r/(D²lg²n)", "value", "==base")
 		for _, a := range squares(c.full) {
@@ -290,7 +292,7 @@ func e3GlobalCut(s *sink, c cfg) {
 			g = planar.WithRandomWeights(g, rng, 1, 40, 1, 1)
 			led := ledger.New()
 			begin := time.Now()
-			res, err := core.GlobalMinCut(g, core.Options{}, led)
+			res, err := core.GlobalMinCut(artifact.New(g), core.Options{}, led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -314,7 +316,7 @@ func e3GlobalCut(s *sink, c cfg) {
 func e4Girth(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(4, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E4a", "Thm 1.7 (growing D): girth rounds/(D·lg²n) flat — Õ(D), not Õ(D²)",
 			"grid", "n", "D", "rounds", "r/(D·lg²n)", "r/D²", "girth")
 		for _, a := range squares(c.full) {
@@ -322,7 +324,7 @@ func e4Girth(s *sink, c cfg) {
 			g = planar.WithRandomWeights(g, rng, 1, 1000000, 1, 1)
 			led := ledger.New()
 			begin := time.Now()
-			res, err := core.Girth(g, led)
+			res, err := core.Girth(artifact.New(g), led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -339,7 +341,7 @@ func e4Girth(s *sink, c cfg) {
 			g := planar.WithRandomWeights(triangulation(n, rng), rng, 1, 1000000, 1, 1)
 			led := ledger.New()
 			begin := time.Now()
-			res, err := core.Girth(g, led)
+			res, err := core.Girth(artifact.New(g), led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -355,14 +357,14 @@ func e4Girth(s *sink, c cfg) {
 func e5Labels(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(5, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E5a", "Thm 2.1 (growing D): labels Õ(D) words, Õ(D²) rounds",
 			"grid", "n", "D", "rounds", "r/(D²lg²n)", "maxWords", "words/D")
 		for _, a := range squares(c.full) {
 			g := planar.Grid(a[0], a[1])
 			lens := make([]int64, g.NumDarts())
 			for d := range lens {
-				lens[d] = 1 + rng.Int63n(64)
+				lens[d] = 1 + rng.Int64N(64)
 			}
 			led := ledger.New()
 			begin := time.Now()
@@ -389,7 +391,7 @@ func e5Labels(s *sink, c cfg) {
 			g := triangulation(n, rng)
 			lens := make([]int64, g.NumDarts())
 			for d := range lens {
-				lens[d] = 1 + rng.Int63n(64)
+				lens[d] = 1 + rng.Int64N(64)
 			}
 			led := ledger.New()
 			begin := time.Now()
@@ -416,7 +418,7 @@ func e5Labels(s *sink, c cfg) {
 func e6MinCut(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(6, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E6", "Thm 6.1/6.2: min st-cut equals max st-flow",
 			"grid", "n", "exact cut", "exact flow", "eq", "apx cut", "apx==opt")
 		for _, a := range squares(c.full) {
@@ -425,13 +427,13 @@ func e6MinCut(s *sink, c cfg) {
 			st, t := 0, g.N()-1
 			led := ledger.New()
 			begin := time.Now()
-			cut, err := core.MinSTCut(g, st, t, core.Options{}, led)
+			cut, err := core.MinSTCut(artifact.New(g), st, t, core.Options{}, led)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fv := core.DinicValue(g, st, t)
-			apx, err := core.STPlanarMinCut(g, st, t, 0, ledger.New())
+			apx, err := core.STPlanarMinCut(artifact.New(g), st, t, 0, ledger.New())
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -485,7 +487,7 @@ func e7PA(s *sink, c cfg) {
 func e8BDD(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(8, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E8", "Lem 5.1/Thm 5.2: BDD structure (depth, S_X, F_X, face-parts)",
 			"graph", "n", "D", "depth", "maxSX", "maxFX", "faceparts", "lg(n)")
 		type gcase struct {
@@ -516,14 +518,14 @@ func e8BDD(s *sink, c cfg) {
 func e9Crossover(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(9, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E9", "planar Õ(D²) vs general-graph Õ(√n+D) [16] at low D (modeled)",
 			"graph", "n", "D", "planar", "general", "winner", "n*xover")
 		for _, n := range triSizes(c.full) {
 			g := planar.WithRandomWeights(triangulation(n, rng), rng, 1, 1, 1, 16)
 			led := ledger.New()
 			begin := time.Now()
-			if _, err := core.MaxFlow(g, 0, g.N()-1, core.Options{}, led); err != nil {
+			if _, err := core.MaxFlow(artifact.New(g), 0, g.N()-1, core.Options{}, led); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
@@ -553,14 +555,14 @@ func e9Crossover(s *sink, c cfg) {
 func e10GirthAblation(s *sink, c cfg) {
 	for rep := 0; rep < c.repeats; rep++ {
 		seed := c.seedFor(10, rep)
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		header(rep, "E10", "Question 1.6 ablation: girth via dual cut Õ(D) vs SSSP route [36] Õ(D²)",
 			"grid", "n", "D", "dualcut", "ssspRoute", "ratio")
 		for _, a := range squares(c.full) {
 			gU := planar.WithRandomWeights(planar.Grid(a[0], a[1]), rng, 1, 100, 1, 1)
 			ledA := ledger.New()
 			beginA := time.Now()
-			if _, err := core.Girth(gU, ledA); err != nil {
+			if _, err := core.Girth(artifact.New(gU), ledA); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
@@ -568,12 +570,12 @@ func e10GirthAblation(s *sink, c cfg) {
 			s.add(record("E10", fmt.Sprintf("dualcut:grid%dx%d", a[0], a[1]), a[0]*a[1], d, ledA, beginA, rep, seed, true))
 			gD := planar.BoustrophedonGrid(a[0], a[1])
 			gD = gD.WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
-				old.Weight = 1 + rng.Int63n(100)
+				old.Weight = 1 + rng.Int64N(100)
 				return old
 			})
 			ledB := ledger.New()
 			beginB := time.Now()
-			if _, err := core.DirectedGirth(gD, core.Options{}, ledB); err != nil {
+			if _, err := core.DirectedGirth(artifact.New(gD), core.Options{}, ledB); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}

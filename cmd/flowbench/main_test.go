@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"planarflow/internal/cmdtest"
@@ -60,6 +61,66 @@ func TestSmokeE8(t *testing.T) {
 	}
 	if len(rows) != len(recs)+1 {
 		t.Fatalf("CSV rows=%d want %d (header + one per record)", len(rows), len(recs)+1)
+	}
+}
+
+// TestSmokeServe runs the SERVE experiment at smoke size and checks the
+// serving contract: per-query equality between cold and prepared paths (OK
+// bit), prepared rounds strictly below cold rounds for every workload, and
+// an amortized speedup ≥ 5x for the label-decode (dist) workload — the
+// pattern whose full-size trajectory lives in BENCH_serve.json.
+func TestSmokeServe(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "serve.jsonl")
+	out := cmdtest.RunMain(t, "-exp", "serve", "-jsonl", jsonl)
+	cmdtest.ExpectMarkers(t, out, "## SERVE", "dist", "prepared")
+
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	byInstance := map[string]Record{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("unparseable JSONL line %q: %v", sc.Text(), err)
+		}
+		if !r.OK {
+			t.Fatalf("cold/prepared results diverged: %+v", r)
+		}
+		byInstance[r.Instance] = r
+	}
+	if len(byInstance) != 6 {
+		t.Fatalf("want 6 serve records (3 workloads x 2 paths), got %d", len(byInstance))
+	}
+	for _, workload := range []string{"dist", "dualsssp", "maxflow"} {
+		var cold, prep *Record
+		for inst, r := range byInstance {
+			r := r
+			if strings.HasPrefix(inst, workload+"-") {
+				if strings.HasSuffix(inst, ":cold") {
+					cold = &r
+				} else if strings.HasSuffix(inst, ":prepared") {
+					prep = &r
+				}
+			}
+		}
+		if cold == nil || prep == nil {
+			t.Fatalf("workload %s missing cold/prepared records", workload)
+		}
+		if prep.Rounds >= cold.Rounds {
+			t.Fatalf("%s: prepared rounds %d not below cold %d", workload, prep.Rounds, cold.Rounds)
+		}
+		if prep.Queries != serveQueries {
+			t.Fatalf("%s: queries=%d want %d", workload, prep.Queries, serveQueries)
+		}
+	}
+	for inst, r := range byInstance {
+		if strings.HasPrefix(inst, "dist-") && strings.HasSuffix(inst, ":prepared") && r.Speedup < 5 {
+			t.Fatalf("dist amortized speedup %.2f below 5x", r.Speedup)
+		}
 	}
 }
 

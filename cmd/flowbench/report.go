@@ -17,19 +17,24 @@ import (
 
 // Record is one experiment run on one instance.
 type Record struct {
-	Exp      string  `json:"exp"`      // experiment id (E1..E10, SCHED)
-	Instance string  `json:"instance"` // instance label, e.g. "a:grid12x12"
-	N        int     `json:"n"`        // vertices
-	D        int     `json:"d"`        // hop diameter (lower bound for random families)
-	Rounds   int64   `json:"rounds"`   // total simulated CONGEST rounds
+	Exp      string  `json:"exp"`             // experiment id (E1..E10, SCHED, SERVE)
+	Instance string  `json:"instance"`        // instance label, e.g. "a:grid12x12"
+	N        int     `json:"n"`               // vertices
+	D        int     `json:"d"`               // hop diameter (lower bound for random families)
+	Rounds   int64   `json:"rounds"`          // total simulated CONGEST rounds
 	Measured int64   `json:"measured_rounds"` // rounds counted by the engine
 	Charged  int64   `json:"charged_rounds"`  // rounds derived by pipelining bounds
-	Messages int64   `json:"messages"` // engine messages delivered (engine-level experiments only)
-	Bits     int64   `json:"bits"`     // engine payload bits delivered (engine-level experiments only)
-	WallMS   float64 `json:"wall_ms"`  // host wall-clock of the run
-	Repeat   int     `json:"repeat"`   // 0-based repeat index
-	Seed     int64   `json:"seed"`     // RNG seed the repeat ran with
-	OK       bool    `json:"ok"`       // experiment-specific correctness check
+	Messages int64   `json:"messages"`        // engine messages delivered (engine-level experiments only)
+	Bits     int64   `json:"bits"`            // engine payload bits delivered (engine-level experiments only)
+	WallMS   float64 `json:"wall_ms"`         // host wall-clock of the run
+	Repeat   int     `json:"repeat"`          // 0-based repeat index
+	Seed     int64   `json:"seed"`            // RNG seed the repeat ran with
+	OK       bool    `json:"ok"`              // experiment-specific correctness check
+
+	// Serving metrics (SERVE experiment only).
+	Queries int     `json:"queries,omitempty"`   // number of queries in the batch
+	Speedup float64 `json:"speedup_x,omitempty"` // cold rounds / prepared rounds
+	QPS     float64 `json:"qps,omitempty"`       // wall-clock queries per second
 }
 
 // key identifies a record across runs for baseline comparison. Wall-clock
@@ -52,6 +57,7 @@ type sink struct {
 var csvHeader = []string{
 	"exp", "instance", "n", "d", "rounds", "measured_rounds", "charged_rounds",
 	"messages", "bits", "wall_ms", "repeat", "seed", "ok",
+	"queries", "speedup_x", "qps",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -88,6 +94,8 @@ func (s *sink) add(r Record) {
 			strconv.FormatInt(r.Charged, 10), strconv.FormatInt(r.Messages, 10),
 			strconv.FormatInt(r.Bits, 10), strconv.FormatFloat(r.WallMS, 'f', 3, 64),
 			strconv.Itoa(r.Repeat), strconv.FormatInt(r.Seed, 10), strconv.FormatBool(r.OK),
+			strconv.Itoa(r.Queries), strconv.FormatFloat(r.Speedup, 'f', 2, 64),
+			strconv.FormatFloat(r.QPS, 'f', 2, 64),
 		})
 	}
 	if s.enc != nil {

@@ -1,0 +1,246 @@
+package main
+
+// SERVE experiment: amortized serving over the prepared-graph artifact
+// layer. Each workload fires K queries per instance twice — cold (one-shot
+// path: every query rebuilds its own BDD/labelings) and prepared (one
+// PreparedGraph shared by all K queries) — and records total simulated
+// rounds, amortized speedup (cold rounds / prepared rounds), and wall-clock
+// queries/sec. Results of the two paths are checked for equality per query;
+// a mismatch flips the record's OK bit.
+
+import (
+	"fmt"
+	"time"
+
+	"planarflow"
+	"planarflow/internal/planar"
+)
+
+const serveQueries = 16 // K: queries per instance and path
+
+// serveBench runs the serving workloads (sizes shown are -full; the default
+// run shrinks them for smoke speed):
+//
+//   - dist on Grid(32,32): vertex-to-vertex distance queries. The whole
+//     cost is label construction; prepared queries decode locally, so the
+//     amortized speedup approaches K.
+//   - dualsssp on Grid(16,16): dual SSSP from K source faces. Build
+//     dominates but each query pays a label broadcast.
+//   - maxflow on Grid(12,12): exact max st-flow for K (s,t) pairs. Only
+//     the BDD is shared — the Miller–Naor search recomputes residual
+//     labelings per λ — so the speedup is honest but modest.
+func serveBench(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(20, rep)
+		header(rep, "SERVE", fmt.Sprintf("prepared-graph serving: K=%d queries, cold vs prepared", serveQueries),
+			"workload", "path", "rounds", "build", "query", "speedup", "qps", "ok")
+		serveDist(s, c, rep, seed)
+		serveDualSSSP(s, c, rep, seed)
+		serveMaxFlow(s, c, rep, seed)
+	}
+}
+
+// serveRecord emits one Record of a serving run and prints its table row.
+func serveRecord(s *sink, rep int, seed int64, instance, workload, path string,
+	n, d int, rounds, build, query int64, wall time.Duration, speedup float64, ok bool) {
+	qps := float64(serveQueries) / wall.Seconds()
+	s.add(Record{
+		Exp: "SERVE", Instance: instance, N: n, D: d,
+		// Every phase of these workloads is pipelining-derived, so the whole
+		// total is charged rounds.
+		Rounds: rounds, Charged: rounds,
+		WallMS: float64(wall.Microseconds()) / 1000,
+		Repeat: rep, Seed: seed, OK: ok,
+		Queries: serveQueries, Speedup: speedup, QPS: qps,
+	})
+	row(rep, workload, path, rounds, build, query, speedup, qps, ok)
+}
+
+// serveDist: K point-to-point distance queries; Grid(32,32) under -full
+// (the headline amortization instance recorded in BENCH_serve.json), a small
+// grid otherwise so smoke runs stay fast.
+func serveDist(s *sink, c cfg, rep int, seed int64) {
+	rows, cols := 12, 12
+	if c.full {
+		rows, cols = 32, 32
+	}
+	g := planarflow.GridGraph(rows, cols).WithRandomAttrs(seed, 1, 9, 1, 16)
+	n, d := g.N(), rows+cols-2
+	rng := planar.NewRand(seed)
+	type pair struct{ u, v int }
+	pairs := make([]pair, serveQueries)
+	for i := range pairs {
+		pairs[i] = pair{rng.IntN(n), rng.IntN(n)}
+	}
+
+	// Cold path: every query prepares its own artifact from scratch, so the
+	// whole cold cost is build rounds (point queries decode for free).
+	coldVals := make([]int64, serveQueries)
+	var coldRounds int64
+	coldStart := time.Now()
+	for i, pr := range pairs {
+		p, err := planarflow.Prepare(g)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		v, err := p.Dist(pr.u, pr.v)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		coldVals[i] = v
+		coldRounds += p.BuildRounds().Total
+	}
+	coldWall := time.Since(coldStart)
+
+	// Prepared path: one artifact serves all K queries.
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ok := true
+	prepStart := time.Now()
+	for i, pr := range pairs {
+		v, err := p.Dist(pr.u, pr.v)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		ok = ok && v == coldVals[i]
+	}
+	prepWall := time.Since(prepStart)
+	build := p.BuildRounds().Total
+	prepRounds := build // point queries decode locally: zero per-query rounds
+	speedup := float64(coldRounds) / float64(prepRounds)
+
+	inst := fmt.Sprintf("dist-grid%dx%d", rows, cols)
+	serveRecord(s, rep, seed, inst+":cold", "dist", "cold", n, d, coldRounds, coldRounds, 0, coldWall, 1, ok)
+	serveRecord(s, rep, seed, inst+":prepared", "dist", "prepared", n, d, prepRounds, build, prepRounds-build, prepWall, speedup, ok)
+}
+
+// serveDualSSSP: K dual SSSP queries from distinct source faces.
+func serveDualSSSP(s *sink, c cfg, rep int, seed int64) {
+	rows, cols := 8, 8
+	if c.full {
+		rows, cols = 16, 16
+	}
+	g := planarflow.GridGraph(rows, cols).WithRandomAttrs(seed+1, 1, 9, 1, 16)
+	n, d := g.N(), rows+cols-2
+	rng := planar.NewRand(seed + 1)
+	faces := make([]int, serveQueries)
+	for i := range faces {
+		faces[i] = rng.IntN(g.NumFaces())
+	}
+
+	coldDist := make([][]int64, serveQueries)
+	var coldRounds, coldBuild int64
+	coldStart := time.Now()
+	for i, f := range faces {
+		res, err := planarflow.DualSSSP(g, f)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		coldDist[i] = res.Dist
+		coldRounds += res.Rounds.Total
+		coldBuild += res.Rounds.Build
+	}
+	coldWall := time.Since(coldStart)
+
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ok := true
+	var prepRounds, build int64
+	prepStart := time.Now()
+	for i, f := range faces {
+		res, err := p.DualSSSP(f)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		prepRounds += res.Rounds.Total
+		build += res.Rounds.Build
+		ok = ok && equalInt64s(res.Dist, coldDist[i])
+	}
+	prepWall := time.Since(prepStart)
+	speedup := float64(coldRounds) / float64(prepRounds)
+
+	inst := fmt.Sprintf("dualsssp-grid%dx%d", rows, cols)
+	serveRecord(s, rep, seed, inst+":cold", "dualsssp", "cold", n, d, coldRounds, coldBuild, coldRounds-coldBuild, coldWall, 1, ok)
+	serveRecord(s, rep, seed, inst+":prepared", "dualsssp", "prepared", n, d, prepRounds, build, prepRounds-build, prepWall, speedup, ok)
+}
+
+// serveMaxFlow: K exact max-flow queries for distinct (s,t) pairs.
+func serveMaxFlow(s *sink, c cfg, rep int, seed int64) {
+	rows, cols := 6, 6
+	if c.full {
+		rows, cols = 12, 12
+	}
+	g := planarflow.GridGraph(rows, cols).WithRandomAttrs(seed+2, 1, 1, 1, 16)
+	n, d := g.N(), rows+cols-2
+	rng := planar.NewRand(seed + 2)
+	type pair struct{ s, t int }
+	pairs := make([]pair, serveQueries)
+	for i := range pairs {
+		st := rng.IntN(n / 2)
+		tt := n/2 + rng.IntN(n/2)
+		pairs[i] = pair{st, tt}
+	}
+
+	coldVals := make([]int64, serveQueries)
+	var coldRounds, coldBuild int64
+	coldStart := time.Now()
+	for i, pr := range pairs {
+		res, err := planarflow.MaxFlow(g, pr.s, pr.t)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		coldVals[i] = res.Value
+		coldRounds += res.Rounds.Total
+		coldBuild += res.Rounds.Build
+	}
+	coldWall := time.Since(coldStart)
+
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ok := true
+	var prepRounds, build int64
+	prepStart := time.Now()
+	for i, pr := range pairs {
+		res, err := p.MaxFlow(pr.s, pr.t)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		prepRounds += res.Rounds.Total
+		build += res.Rounds.Build
+		ok = ok && res.Value == coldVals[i]
+	}
+	prepWall := time.Since(prepStart)
+	speedup := float64(coldRounds) / float64(prepRounds)
+
+	inst := fmt.Sprintf("maxflow-grid%dx%d", rows, cols)
+	serveRecord(s, rep, seed, inst+":cold", "maxflow", "cold", n, d, coldRounds, coldBuild, coldRounds-coldBuild, coldWall, 1, ok)
+	serveRecord(s, rep, seed, inst+":prepared", "maxflow", "prepared", n, d, prepRounds, build, prepRounds-build, prepWall, speedup, ok)
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

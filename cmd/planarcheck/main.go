@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"planarflow/internal/bdd"
 	"planarflow/internal/hatg"
@@ -31,7 +30,7 @@ func main() {
 	case "cylinder":
 		g = planar.Cylinder(*rows, *cols)
 	case "triangulation":
-		g = planar.StackedTriangulation(*n, rand.New(rand.NewSource(*seed)))
+		g = planar.StackedTriangulation(*n, planar.NewRand(*seed))
 	case "nested":
 		g = planar.NestedTriangles(*n / 3)
 	case "snake":

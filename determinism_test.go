@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/core"
 	"planarflow/internal/ledger"
 	"planarflow/internal/planar"
@@ -27,7 +28,7 @@ func TestMaxFlowLedgerDeterministic(t *testing.T) {
 	run := func() (int64, string) {
 		g := GridGraph(9, 9).WithRandomAttrs(17, 1, 1, 1, 64)
 		led := ledger.New()
-		res, err := core.MaxFlow(g.raw(), 0, g.N()-1, core.Options{}, led)
+		res, err := core.MaxFlow(artifact.New(g.raw()), 0, g.N()-1, core.Options{}, led)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func TestGirthLedgerDeterministic(t *testing.T) {
 	run := func() (int64, string) {
 		g := CylinderGraph(4, 12).WithRandomAttrs(23, 5, 40, 1, 1)
 		led := ledger.New()
-		res, err := core.Girth(g.raw(), led)
+		res, err := core.Girth(artifact.New(g.raw()), led)
 		if err != nil {
 			t.Fatal(err)
 		}

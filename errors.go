@@ -1,0 +1,35 @@
+package planarflow
+
+import "errors"
+
+// Sentinel errors for argument validation, applied uniformly across the
+// public API. Every error returned for an invalid argument wraps one of
+// these, so callers dispatch with errors.Is instead of string matching;
+// the wrapping message carries the offending values.
+var (
+	// ErrVertexRange reports a vertex id outside [0, N).
+	ErrVertexRange = errors.New("vertex out of range")
+	// ErrFaceRange reports a face id outside [0, NumFaces).
+	ErrFaceRange = errors.New("face out of range")
+	// ErrSameVertex reports s == t where distinct endpoints are required.
+	ErrSameVertex = errors.New("s and t must differ")
+	// ErrSameFaceRequired reports an st-planar precondition violation: the
+	// approximate flow/cut algorithms need s and t on a common face.
+	ErrSameFaceRequired = errors.New("s and t must share a face")
+	// ErrEpsilonRange reports an approximation parameter outside [0, 1).
+	ErrEpsilonRange = errors.New("epsilon out of [0, 1)")
+	// ErrNegativeCycle reports a (primal or dual) negative cycle where
+	// distances were requested; per Thm 2.1 the labeling detects and
+	// reports it instead of returning invalid distances.
+	ErrNegativeCycle = errors.New("negative cycle")
+	// ErrNegativeWeight reports negative edge weights passed to an
+	// algorithm requiring non-negative weights (global min cut, directed
+	// girth).
+	ErrNegativeWeight = errors.New("negative edge weights not supported")
+	// ErrNonPositiveWeight reports non-positive edge weights passed to an
+	// algorithm requiring strictly positive weights (girth).
+	ErrNonPositiveWeight = errors.New("edge weights must be positive")
+	// ErrNilGraph reports a nil *Graph handed to Prepare or a one-shot
+	// entry point.
+	ErrNilGraph = errors.New("nil graph")
+)

@@ -1,0 +1,125 @@
+package planarflow
+
+import (
+	"errors"
+	"testing"
+)
+
+// Every public entry point validates its arguments with typed sentinel
+// errors, dispatchable via errors.Is.
+
+func TestSentinelVertexRange(t *testing.T) {
+	g := GridGraph(3, 3)
+	cases := []error{
+		func() error { _, err := MaxFlow(g, -1, 2); return err }(),
+		func() error { _, err := MaxFlow(g, 0, 99); return err }(),
+		func() error { _, err := MinSTCut(g, 42, 0); return err }(),
+		func() error { _, err := ApproxMaxFlowSTPlanar(g, -3, 1, 0.1); return err }(),
+		func() error { _, err := ApproxMinCutSTPlanar(g, 0, 100, 0); return err }(),
+	}
+	for i, err := range cases {
+		if !errors.Is(err, ErrVertexRange) {
+			t.Fatalf("case %d: got %v, want ErrVertexRange", i, err)
+		}
+	}
+	o, err := NewDistanceOracle(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Dist(0, 99); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("oracle dist: got %v, want ErrVertexRange", err)
+	}
+}
+
+func TestSentinelSameVertex(t *testing.T) {
+	g := GridGraph(3, 3)
+	if _, err := MaxFlow(g, 4, 4); !errors.Is(err, ErrSameVertex) {
+		t.Fatalf("got %v, want ErrSameVertex", err)
+	}
+	if _, err := MinSTCut(g, 0, 0); !errors.Is(err, ErrSameVertex) {
+		t.Fatalf("got %v, want ErrSameVertex", err)
+	}
+}
+
+func TestSentinelFaceRange(t *testing.T) {
+	g := GridGraph(3, 3)
+	if _, err := DualSSSP(g, -1); !errors.Is(err, ErrFaceRange) {
+		t.Fatalf("got %v, want ErrFaceRange", err)
+	}
+	if _, err := DualSSSP(g, g.NumFaces()); !errors.Is(err, ErrFaceRange) {
+		t.Fatalf("got %v, want ErrFaceRange", err)
+	}
+	o, err := NewDistanceOracle(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.DualDist(0, g.NumFaces()); !errors.Is(err, ErrFaceRange) {
+		t.Fatalf("oracle dual dist: got %v, want ErrFaceRange", err)
+	}
+}
+
+func TestSentinelSameFaceRequired(t *testing.T) {
+	g := GridGraph(5, 5)
+	// Center vertex 12 and corner 0 share no face.
+	if _, err := ApproxMaxFlowSTPlanar(g, 12, 0, 0.1); !errors.Is(err, ErrSameFaceRequired) {
+		t.Fatalf("got %v, want ErrSameFaceRequired", err)
+	}
+	if _, err := ApproxMinCutSTPlanar(g, 12, 0, 0); !errors.Is(err, ErrSameFaceRequired) {
+		t.Fatalf("got %v, want ErrSameFaceRequired", err)
+	}
+}
+
+func TestSentinelEpsilonRange(t *testing.T) {
+	g := GridGraph(3, 3)
+	for _, eps := range []float64{-0.1, 1.0, 2.5} {
+		if _, err := ApproxMaxFlowSTPlanar(g, 0, 8, eps); !errors.Is(err, ErrEpsilonRange) {
+			t.Fatalf("eps=%v: got %v, want ErrEpsilonRange", eps, err)
+		}
+	}
+}
+
+func TestSentinelNegativeCycle(t *testing.T) {
+	g := GridGraph(3, 3).WithAttrs(func(e int, old Edge) Edge {
+		old.Weight = -1
+		return old
+	})
+	if _, err := NewDistanceOracle(g); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("got %v, want ErrNegativeCycle", err)
+	}
+	p, err := Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Dist(0, 1); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("prepared dist: got %v, want ErrNegativeCycle", err)
+	}
+}
+
+func TestSentinelWeightSigns(t *testing.T) {
+	neg := GridGraph(3, 3).WithAttrs(func(e int, old Edge) Edge {
+		old.Weight = -2
+		return old
+	})
+	if _, err := GlobalMinCut(neg); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("global cut: got %v, want ErrNegativeWeight", err)
+	}
+	if _, err := DirectedGirth(neg); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("directed girth: got %v, want ErrNegativeWeight", err)
+	}
+	zero := GridGraph(3, 3).WithAttrs(func(e int, old Edge) Edge {
+		old.Weight = 0
+		return old
+	})
+	if _, err := Girth(zero); !errors.Is(err, ErrNonPositiveWeight) {
+		t.Fatalf("girth: got %v, want ErrNonPositiveWeight", err)
+	}
+}
+
+func TestSentinelNilGraph(t *testing.T) {
+	if _, err := Prepare(nil); !errors.Is(err, ErrNilGraph) {
+		t.Fatalf("got %v, want ErrNilGraph", err)
+	}
+	if _, err := MaxFlow(nil, 0, 1); !errors.Is(err, ErrNilGraph) {
+		t.Fatalf("one-shot: got %v, want ErrNilGraph", err)
+	}
+}

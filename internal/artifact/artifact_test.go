@@ -1,0 +1,155 @@
+package artifact
+
+import (
+	"sync"
+	"testing"
+
+	"planarflow/internal/ledger"
+	"planarflow/internal/planar"
+	"planarflow/internal/spath"
+)
+
+func TestLengthsKinds(t *testing.T) {
+	g := planar.Grid(3, 3).WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
+		old.Weight = int64(e + 1)
+		return old
+	})
+	und := Lengths(g, Undirected)
+	dir := Lengths(g, Directed)
+	fr := Lengths(g, FreeReversal)
+	for e := 0; e < g.M(); e++ {
+		w := g.Edge(e).Weight
+		fw, bw := planar.ForwardDart(e), planar.BackwardDart(e)
+		if und[fw] != w || und[bw] != w {
+			t.Fatalf("undirected lengths of edge %d: %d/%d want %d/%d", e, und[fw], und[bw], w, w)
+		}
+		if dir[fw] != w || dir[bw] != spath.Inf {
+			t.Fatalf("directed lengths of edge %d: %d/%d", e, dir[fw], dir[bw])
+		}
+		if fr[fw] != w || fr[bw] != 0 {
+			t.Fatalf("free-reversal lengths of edge %d: %d/%d", e, fr[fw], fr[bw])
+		}
+	}
+}
+
+func TestTreeCachedPerLeafLimit(t *testing.T) {
+	p := New(planar.Grid(5, 5))
+	led1 := ledger.New()
+	t1 := p.Tree(0, led1)
+	if b, _ := led1.BuildSplit(); b <= 0 {
+		t.Fatalf("first build charged %d build rounds", b)
+	}
+	led2 := ledger.New()
+	if t2 := p.Tree(0, led2); t2 != t1 {
+		t.Fatal("default-leaf-limit tree not cached")
+	}
+	if led2.Total() != 0 {
+		t.Fatalf("cache hit charged %d rounds", led2.Total())
+	}
+	// A different leaf limit is a different substrate.
+	led3 := ledger.New()
+	if t3 := p.Tree(8, led3); t3 == t1 {
+		t.Fatal("distinct leaf limits share a tree")
+	}
+	if led3.Total() == 0 {
+		t.Fatal("distinct leaf limit built for free")
+	}
+	// Explicitly passing the resolved default hits the same slot as 0.
+	led4 := ledger.New()
+	if t4 := p.Tree(p.ResolveLeafLimit(0), led4); t4 != t1 || led4.Total() != 0 {
+		t.Fatal("resolved default limit did not share the default slot")
+	}
+}
+
+func TestLabelingsCachedAndShareTree(t *testing.T) {
+	p := New(planar.Grid(4, 4))
+	led := ledger.New()
+	dl := p.DualLabels(Undirected, 0, led)
+	if dl.NegCycle {
+		t.Fatal("unexpected negative cycle")
+	}
+	buildFirst, _ := led.BuildSplit()
+	if buildFirst <= 0 {
+		t.Fatal("no build cost charged for first labeling")
+	}
+
+	// Second kind reuses the cached tree: its build cost must be smaller
+	// than the first (tree + labels) but positive (labels).
+	led2 := ledger.New()
+	pl := p.PrimalLabels(Directed, 0, led2)
+	if pl.NegCycle {
+		t.Fatal("unexpected negative cycle")
+	}
+	buildSecond, _ := led2.BuildSplit()
+	if buildSecond <= 0 || buildSecond >= buildFirst {
+		t.Fatalf("second-substrate build cost %d, want in (0, %d)", buildSecond, buildFirst)
+	}
+
+	// Hits are free and return the identical object.
+	led3 := ledger.New()
+	if p.DualLabels(Undirected, 0, led3) != dl || led3.Total() != 0 {
+		t.Fatal("dual labeling cache hit not free")
+	}
+	led4 := ledger.New()
+	if p.PrimalLabels(Directed, 0, led4) != pl || led4.Total() != 0 {
+		t.Fatal("primal labeling cache hit not free")
+	}
+
+	// The cumulative build ledger counts every substrate exactly once.
+	wantTotal := buildFirst + buildSecond
+	if got := p.BuildLedger().Total(); got != wantTotal {
+		t.Fatalf("cumulative build ledger %d, want %d", got, wantTotal)
+	}
+}
+
+func TestBuildEntriesAreBuildScoped(t *testing.T) {
+	p := New(planar.Grid(4, 4))
+	led := ledger.New()
+	p.DualLabels(Undirected, 0, led)
+	if _, q := led.BuildSplit(); q != 0 {
+		t.Fatalf("substrate construction leaked %d query-scoped rounds", q)
+	}
+	for _, e := range p.BuildLedger().Entries() {
+		if e.Scope != ledger.Build {
+			t.Fatalf("build ledger entry %+v not build-scoped", e)
+		}
+	}
+}
+
+func TestConcurrentFirstUseBuildsOnce(t *testing.T) {
+	p := New(planar.Grid(6, 6))
+	const workers = 16
+	vals := make([]any, workers)
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			led := ledger.New()
+			vals[i] = p.DualLabels(Undirected, 0, led)
+			totals[i] = led.Total()
+		}(i)
+	}
+	wg.Wait()
+	var paid int
+	for i := 1; i < workers; i++ {
+		if vals[i] != vals[0] {
+			t.Fatal("concurrent first use produced distinct labelings")
+		}
+	}
+	for _, tot := range totals {
+		if tot > 0 {
+			paid++
+		}
+	}
+	if paid != 1 {
+		t.Fatalf("%d workers paid build cost, want exactly 1", paid)
+	}
+	// Exactly one tree + one labeling in the cumulative ledger.
+	led := ledger.New()
+	p.DualLabels(Undirected, 0, led)
+	if led.Total() != 0 {
+		t.Fatal("post-race call rebuilt the labeling")
+	}
+}

@@ -2,7 +2,6 @@ package bdd
 
 import (
 	"math/bits"
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/ledger"
@@ -150,7 +149,7 @@ func TestDepthLogarithmic(t *testing.T) {
 func TestAtMostOneWholeFaceSplitPerBag(t *testing.T) {
 	// Lemma 5.3: at most one face that is whole in X is partitioned between
 	// X's children.
-	rng := rand.New(rand.NewSource(77))
+	rng := planar.NewRand(77)
 	graphs := []*planar.Graph{
 		planar.Grid(9, 9),
 		planar.Cylinder(5, 9),

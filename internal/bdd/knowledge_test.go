@@ -1,7 +1,6 @@
 package bdd
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/ledger"
@@ -9,7 +8,7 @@ import (
 )
 
 func TestKnowledgeOnFamilies(t *testing.T) {
-	rng := rand.New(rand.NewSource(19))
+	rng := planar.NewRand(19)
 	graphs := []*planar.Graph{
 		planar.Grid(8, 8),
 		planar.Grid(3, 20),

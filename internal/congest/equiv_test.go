@@ -2,7 +2,6 @@ package congest
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"testing"
 
@@ -21,7 +20,7 @@ func equivGraphs() map[string]*planar.Graph {
 		"grid16x16":  planar.Grid(16, 16),
 		"cyl4x12":    planar.Cylinder(4, 12),
 		"longthin":   planar.Grid(2, 40),
-		"stacked120": planar.StackedTriangulation(120, rand.New(rand.NewSource(7))),
+		"stacked120": planar.StackedTriangulation(120, planar.NewRand(7)),
 	}
 }
 
@@ -49,10 +48,10 @@ func TestEquivalenceBFS(t *testing.T) {
 
 func TestEquivalenceFloodMin(t *testing.T) {
 	for name, g := range equivGraphs() {
-		rng := rand.New(rand.NewSource(42))
+		rng := planar.NewRand(42)
 		vals := make([]int64, g.N())
 		for v := range vals {
-			vals[v] = rng.Int63n(1 << 30)
+			vals[v] = rng.Int64N(1 << 30)
 		}
 		outC, statsC := FloodMin(NewChanEngine(g), vals)
 		outS, statsS := FloodMin(NewEngine(g), vals)
@@ -104,11 +103,11 @@ func TestEquivalencePipelinedBroadcast(t *testing.T) {
 
 func TestEquivalencePipelinedUpcast(t *testing.T) {
 	for name, g := range equivGraphs() {
-		rng := rand.New(rand.NewSource(11))
+		rng := planar.NewRand(11)
 		input := make([][]int64, g.N())
 		for v := range input {
 			for i := 0; i < 3; i++ {
-				input[v] = append(input[v], int64(rng.Intn(17)))
+				input[v] = append(input[v], int64(rng.IntN(17)))
 			}
 		}
 		ec, es := NewChanEngine(g), NewEngine(g)
@@ -158,8 +157,8 @@ func TestEquivalenceViolationAccounting(t *testing.T) {
 	step := func(c *Ctx) {
 		if c.Round == 0 && c.V == 0 {
 			d := c.Graph().Rotation(0)[0]
-			c.Send(d, 1, 999)               // oversized: delivered + violation
-			c.Send(d, 2, 1)                 // duplicate: dropped + violation
+			c.Send(d, 1, 999)                      // oversized: delivered + violation
+			c.Send(d, 2, 1)                        // duplicate: dropped + violation
 			c.Send(c.Graph().Rotation(0)[1], 3, 1) // clean
 		}
 		c.Halt()
@@ -204,7 +203,7 @@ func stepTrace(e Runner, g *planar.Graph, inner StepFunc, maxRounds int) []byte 
 // inbox contents in the same rounds both times, despite concurrent step
 // execution.
 func TestSchedulerDeterministic(t *testing.T) {
-	g := planar.StackedTriangulation(150, rand.New(rand.NewSource(5)))
+	g := planar.StackedTriangulation(150, planar.NewRand(5))
 	mkStep := func() StepFunc {
 		best := make([]int64, g.N())
 		for v := range best {

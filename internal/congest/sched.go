@@ -42,9 +42,9 @@ type inRef struct {
 // in-slots in deterministic inbox order.
 type topology struct {
 	n     int
-	dest  []int32  // dest[s] = vertex that slot s delivers to
+	dest  []int32   // dest[s] = vertex that slot s delivers to
 	in    [][]inRef // in[v] = v's in-slots, inbox order
-	inOff []int32  // arena segment of v is [inOff[v], inOff[v+1])
+	inOff []int32   // arena segment of v is [inOff[v], inOff[v+1])
 }
 
 func (t *topology) finishOffsets() {

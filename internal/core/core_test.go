@@ -1,9 +1,9 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/ledger"
 	"planarflow/internal/planar"
 	"planarflow/internal/spath"
@@ -23,7 +23,7 @@ func edgeTriples(g *planar.Graph) ([]int, []int, []int64) {
 func TestGirthGrid(t *testing.T) {
 	// Unit-weight grid: minimum cycle is a unit square of weight 4.
 	g := planar.Grid(4, 5)
-	res, err := Girth(g, ledger.New())
+	res, err := Girth(prep(g), ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestGirthGrid(t *testing.T) {
 
 func TestGirthTree(t *testing.T) {
 	g := planar.Grid(1, 6)
-	res, err := Girth(g, ledger.New())
+	res, err := Girth(prep(g), ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,19 +47,19 @@ func TestGirthTree(t *testing.T) {
 }
 
 func TestGirthMatchesBruteForce(t *testing.T) {
-	rng := rand.New(rand.NewSource(41))
+	rng := planar.NewRand(41)
 	for trial := 0; trial < 12; trial++ {
 		var g *planar.Graph
 		switch trial % 3 {
 		case 0:
-			g = planar.Grid(2+rng.Intn(4), 2+rng.Intn(5))
+			g = planar.Grid(2+rng.IntN(4), 2+rng.IntN(5))
 		case 1:
-			g = planar.StackedTriangulation(8+rng.Intn(25), rng)
+			g = planar.StackedTriangulation(8+rng.IntN(25), rng)
 		default:
 			g = planar.RemoveRandomEdges(planar.StackedTriangulation(20, rng), rng, 10)
 		}
 		g = planar.WithRandomWeights(g, rng, 1, 30, 1, 1)
-		res, err := Girth(g, ledger.New())
+		res, err := Girth(prep(g), ledger.New())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -81,7 +81,7 @@ func TestGirthRejectsNonPositiveWeights(t *testing.T) {
 		old.Weight = 0
 		return old
 	})
-	if _, err := Girth(g, ledger.New()); err == nil {
+	if _, err := Girth(prep(g), ledger.New()); err == nil {
 		t.Fatal("expected error for zero weights")
 	}
 }
@@ -89,7 +89,7 @@ func TestGirthRejectsNonPositiveWeights(t *testing.T) {
 func TestGlobalMinCutNotStronglyConnected(t *testing.T) {
 	// All grid edges point right/down: no cycles at all, cut value 0.
 	g := planar.Grid(3, 3)
-	res, err := GlobalMinCut(g, Options{LeafLimit: 8}, ledger.New())
+	res, err := GlobalMinCut(prep(g), Options{LeafLimit: 8}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,18 +103,18 @@ func TestGlobalMinCutNotStronglyConnected(t *testing.T) {
 }
 
 func TestGlobalMinCutMatchesBaseline(t *testing.T) {
-	rng := rand.New(rand.NewSource(55))
+	rng := planar.NewRand(55)
 	done := 0
 	for trial := 0; trial < 40 && done < 10; trial++ {
 		var g *planar.Graph
 		if trial%2 == 0 {
-			g = planar.Grid(2+rng.Intn(3), 2+rng.Intn(4))
+			g = planar.Grid(2+rng.IntN(3), 2+rng.IntN(4))
 		} else {
-			g = planar.StackedTriangulation(6+rng.Intn(12), rng)
+			g = planar.StackedTriangulation(6+rng.IntN(12), rng)
 		}
 		g = planar.WithRandomWeights(g, rng, 1, 20, 1, 1)
 		g = planar.WithRandomDirections(g, rng)
-		res, err := GlobalMinCut(g, Options{LeafLimit: 10}, ledger.New())
+		res, err := GlobalMinCut(prep(g), Options{LeafLimit: 10}, ledger.New())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -136,13 +136,13 @@ func TestGlobalMinCutMatchesBaseline(t *testing.T) {
 }
 
 func TestMinSTCutMatchesFlow(t *testing.T) {
-	rng := rand.New(rand.NewSource(61))
+	rng := planar.NewRand(61)
 	for trial := 0; trial < 6; trial++ {
-		g := planar.Grid(2+rng.Intn(3), 3+rng.Intn(3))
+		g := planar.Grid(2+rng.IntN(3), 3+rng.IntN(3))
 		g = planar.WithRandomWeights(g, rng, 1, 5, 1, 12)
 		g = planar.WithRandomDirections(g, rng)
 		s, tt := 0, g.N()-1
-		res, err := MinSTCut(g, s, tt, Options{LeafLimit: 10}, ledger.New())
+		res, err := MinSTCut(prep(g), s, tt, Options{LeafLimit: 10}, ledger.New())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -170,13 +170,13 @@ func TestMinSTCutMatchesFlow(t *testing.T) {
 }
 
 func TestSTPlanarExactMatchesDinic(t *testing.T) {
-	rng := rand.New(rand.NewSource(71))
+	rng := planar.NewRand(71)
 	for trial := 0; trial < 8; trial++ {
-		g := planar.Grid(2+rng.Intn(4), 2+rng.Intn(5))
+		g := planar.Grid(2+rng.IntN(4), 2+rng.IntN(5))
 		g = planar.WithRandomWeights(g, rng, 1, 1, 1, 40)
 		// s, t on the outer face: two corners.
 		s, tt := 0, g.N()-1
-		res, err := STPlanarMaxFlow(g, s, tt, 0, ledger.New())
+		res, err := STPlanarMaxFlow(prep(g), s, tt, 0, ledger.New())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -191,13 +191,13 @@ func TestSTPlanarExactMatchesDinic(t *testing.T) {
 }
 
 func TestSTPlanarApproximate(t *testing.T) {
-	rng := rand.New(rand.NewSource(73))
+	rng := planar.NewRand(73)
 	for trial := 0; trial < 6; trial++ {
-		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(3))
+		g := planar.Grid(3+rng.IntN(3), 3+rng.IntN(3))
 		g = planar.WithRandomWeights(g, rng, 1, 1, 100, 1000)
 		s, tt := 0, g.N()-1
 		eps := 0.1
-		res, err := STPlanarMaxFlow(g, s, tt, eps, ledger.New())
+		res, err := STPlanarMaxFlow(prep(g), s, tt, eps, ledger.New())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -218,18 +218,18 @@ func TestSTPlanarApproximate(t *testing.T) {
 func TestSTPlanarRequiresCommonFace(t *testing.T) {
 	g := planar.Grid(5, 5)
 	// Center vertex and a corner share no face.
-	if _, err := STPlanarMaxFlow(g, 12, 0, 0, ledger.New()); err == nil {
+	if _, err := STPlanarMaxFlow(prep(g), 12, 0, 0, ledger.New()); err == nil {
 		t.Fatal("expected error for non-st-planar pair")
 	}
 }
 
 func TestSTPlanarMinCut(t *testing.T) {
-	rng := rand.New(rand.NewSource(79))
+	rng := planar.NewRand(79)
 	for trial := 0; trial < 6; trial++ {
-		g := planar.Grid(2+rng.Intn(4), 3+rng.Intn(3))
+		g := planar.Grid(2+rng.IntN(4), 3+rng.IntN(3))
 		g = planar.WithRandomWeights(g, rng, 1, 1, 1, 25)
 		s, tt := 0, g.N()-1
-		res, err := STPlanarMinCut(g, s, tt, 0, ledger.New())
+		res, err := STPlanarMinCut(prep(g), s, tt, 0, ledger.New())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -240,5 +240,73 @@ func TestSTPlanarMinCut(t *testing.T) {
 		if !res.Side[s] || res.Side[tt] {
 			t.Fatalf("trial %d: side does not separate", trial)
 		}
+	}
+}
+
+// prep wraps a graph in a fresh one-query artifact; tests exercising the
+// cache share a Prepared explicitly instead.
+func prep(g *planar.Graph) *artifact.Prepared { return artifact.New(g) }
+
+// TestArtifactAmortizesAcrossQueries pins the serving contract: the first
+// query on a Prepared pays the BDD/labeling build, later queries on the same
+// Prepared report zero build rounds, and results are identical to one-shot.
+func TestArtifactAmortizesAcrossQueries(t *testing.T) {
+	g := planar.WithRandomWeights(planar.Grid(6, 6), planar.NewRand(5), 1, 9, 1, 9)
+	p := artifact.New(g)
+
+	led1 := ledger.New()
+	r1, err := MaxFlow(p, 0, g.N()-1, Options{}, led1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := led1.BuildSplit()
+	if b1 <= 0 {
+		t.Fatalf("first query build rounds = %d, want > 0", b1)
+	}
+
+	led2 := ledger.New()
+	r2, err := MaxFlow(p, 0, g.N()-1, Options{}, led2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, q2 := led2.BuildSplit()
+	if b2 != 0 {
+		t.Fatalf("second query build rounds = %d, want 0", b2)
+	}
+	if q2 <= 0 {
+		t.Fatal("second query charged no query rounds")
+	}
+	if r1.Value != r2.Value {
+		t.Fatalf("values diverge: %d vs %d", r1.Value, r2.Value)
+	}
+
+	// A different entry point sharing the same tree pays only its own
+	// labeling, never a second BDD construction.
+	led3 := ledger.New()
+	if _, err := DirectedGirth(p, Options{}, led3); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range led3.Entries() {
+		if e.Phase == "bdd/construct-level" {
+			t.Fatal("DirectedGirth rebuilt the BDD despite the shared artifact")
+		}
+	}
+
+	// One-shot (fresh artifact) equals the prepared result bit for bit.
+	ledCold := ledger.New()
+	cold, err := MaxFlow(artifact.New(g), 0, g.N()-1, Options{}, ledCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Value != r1.Value || len(cold.Flow) != len(r1.Flow) {
+		t.Fatal("one-shot and prepared results diverge")
+	}
+	for e := range cold.Flow {
+		if cold.Flow[e] != r1.Flow[e] {
+			t.Fatalf("flow[%d] diverges: %d vs %d", e, cold.Flow[e], r1.Flow[e])
+		}
+	}
+	if ledCold.Total() != led1.Total() {
+		t.Fatalf("cold total %d != first-prepared total %d", ledCold.Total(), led1.Total())
 	}
 }

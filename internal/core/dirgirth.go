@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/bdd"
 	"planarflow/internal/ledger"
 	"planarflow/internal/planar"
@@ -18,19 +20,19 @@ import (
 // closing arc (u -> v) plus a shortest v-to-u path decoded from the primal
 // distance labels. Runs in Õ(D²) charged rounds — the ablation partner of
 // Girth's Õ(D).
-func DirectedGirth(g *planar.Graph, opt Options, led *ledger.Ledger) (int64, error) {
+func DirectedGirth(p *artifact.Prepared, opt Options, led *ledger.Ledger) (int64, error) {
+	g := p.Graph()
 	for e := 0; e < g.M(); e++ {
 		if g.Edge(e).Weight < 0 {
-			return 0, errors.New("core: directed girth requires non-negative weights")
+			return 0, fmt.Errorf("core: directed girth: edge %d has weight %d: %w", e, g.Edge(e).Weight, ErrNegativeWeight)
 		}
 	}
-	lengths := make([]int64, g.NumDarts())
-	for e := 0; e < g.M(); e++ {
-		lengths[planar.ForwardDart(e)] = g.Edge(e).Weight
-		lengths[planar.BackwardDart(e)] = spath.Inf
-	}
-	tree := bdd.Build(g, Options.leafLimit(opt, g), led)
-	la := primallabel.Compute(tree, lengths, led)
+	// The directed length function (weight forward, deactivated backward) is
+	// exactly the directed distance oracle's, so the labeling is a shared
+	// artifact: repeated directed-girth queries, or a directed oracle on the
+	// same graph, reuse it.
+	tree := p.Tree(opt.LeafLimit, led)
+	la := p.PrimalLabels(artifact.Directed, opt.LeafLimit, led)
 	if la.NegCycle {
 		return 0, errors.New("core: internal: negative cycle with non-negative weights")
 	}
@@ -38,7 +40,7 @@ func DirectedGirth(g *planar.Graph, opt Options, led *ledger.Ledger) (int64, err
 	best := spath.Inf
 	for _, b := range tree.Bags {
 		if b.IsLeaf() {
-			if c := leafDirMinCycle(g, b, lengths); c < best {
+			if c := leafDirMinCycle(g, b); c < best {
 				best = c
 			}
 			continue
@@ -94,7 +96,7 @@ func sharedVertices(g *planar.Graph, b *bdd.Bag) map[int]bool {
 
 // leafDirMinCycle finds the minimum directed cycle inside a leaf bag
 // explicitly: min over arcs (u -> v) of w + dist(v -> u).
-func leafDirMinCycle(g *planar.Graph, b *bdd.Bag, lengths []int64) int64 {
+func leafDirMinCycle(g *planar.Graph, b *bdd.Bag) int64 {
 	verts := map[int]int{}
 	id := func(v int) int {
 		if i, ok := verts[v]; ok {

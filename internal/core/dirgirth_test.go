@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/ledger"
@@ -21,7 +20,7 @@ func primalDigraph(g *planar.Graph) *spath.Digraph {
 func TestDirectedGirthAcyclic(t *testing.T) {
 	// Default grids point right/down: no directed cycles.
 	g := planar.Grid(4, 4)
-	c, err := DirectedGirth(g, Options{LeafLimit: 8}, ledger.New())
+	c, err := DirectedGirth(prep(g), Options{LeafLimit: 8}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +31,7 @@ func TestDirectedGirthAcyclic(t *testing.T) {
 
 func TestDirectedGirthBoustrophedon(t *testing.T) {
 	g := planar.BoustrophedonGrid(4, 4)
-	c, err := DirectedGirth(g, Options{LeafLimit: 8}, ledger.New())
+	c, err := DirectedGirth(prep(g), Options{LeafLimit: 8}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,23 +42,23 @@ func TestDirectedGirthBoustrophedon(t *testing.T) {
 }
 
 func TestDirectedGirthMatchesBaseline(t *testing.T) {
-	rng := rand.New(rand.NewSource(91))
+	rng := planar.NewRand(91)
 	for trial := 0; trial < 12; trial++ {
 		var g *planar.Graph
 		switch trial % 3 {
 		case 0:
-			g = planar.BoustrophedonGrid(2+rng.Intn(5), 2+rng.Intn(5))
+			g = planar.BoustrophedonGrid(2+rng.IntN(5), 2+rng.IntN(5))
 		case 1:
-			g = planar.WithRandomDirections(planar.Grid(3+rng.Intn(3), 3+rng.Intn(4)), rng)
+			g = planar.WithRandomDirections(planar.Grid(3+rng.IntN(3), 3+rng.IntN(4)), rng)
 		default:
-			g = planar.WithRandomDirections(planar.StackedTriangulation(8+rng.Intn(25), rng), rng)
+			g = planar.WithRandomDirections(planar.StackedTriangulation(8+rng.IntN(25), rng), rng)
 		}
 		g = g.WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
-			old.Weight = rng.Int63n(40)
+			old.Weight = rng.Int64N(40)
 			return old
 		})
 		led := ledger.New()
-		c, err := DirectedGirth(g, Options{LeafLimit: 10}, led)
+		c, err := DirectedGirth(prep(g), Options{LeafLimit: 10}, led)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -78,7 +77,7 @@ func TestDirectedGirthRejectsNegative(t *testing.T) {
 		old.Weight = -1
 		return old
 	})
-	if _, err := DirectedGirth(g, Options{}, ledger.New()); err == nil {
+	if _, err := DirectedGirth(prep(g), Options{}, ledger.New()); err == nil {
 		t.Fatal("expected negative-weight rejection")
 	}
 }
@@ -90,12 +89,12 @@ func TestGirthVsSSSPRouteRounds(t *testing.T) {
 	ratio := func(k int) float64 {
 		g := planar.Grid(k, k)
 		ledA := ledger.New()
-		if _, err := Girth(planar.WithRandomWeights(g, rand.New(rand.NewSource(1)), 1, 100, 1, 1), ledA); err != nil {
+		if _, err := Girth(prep(planar.WithRandomWeights(g, planar.NewRand(1), 1, 100, 1, 1)), ledA); err != nil {
 			t.Fatal(err)
 		}
 		ledB := ledger.New()
 		gb := planar.BoustrophedonGrid(k, k)
-		if _, err := DirectedGirth(gb, Options{}, ledB); err != nil {
+		if _, err := DirectedGirth(prep(gb), Options{}, ledB); err != nil {
 			t.Fatal(err)
 		}
 		return float64(ledB.Total()) / float64(ledA.Total())

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/ledger"
@@ -11,12 +10,12 @@ import (
 
 func TestMaxFlowNestedTriangles(t *testing.T) {
 	// Worst-case-diameter family: D = Θ(n).
-	rng := rand.New(rand.NewSource(101))
+	rng := planar.NewRand(101)
 	g := planar.NestedTriangles(6)
 	g = planar.WithRandomWeights(g, rng, 1, 5, 1, 10)
 	g = planar.WithRandomDirections(g, rng)
 	s, tt := 0, g.N()-1
-	res, err := MaxFlow(g, s, tt, Options{}, ledger.New())
+	res, err := MaxFlow(prep(g), s, tt, Options{}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +29,7 @@ func TestMaxFlowNestedTriangles(t *testing.T) {
 
 func TestMaxFlowAdjacentPair(t *testing.T) {
 	g := planar.Grid(3, 3)
-	res, err := MaxFlow(g, 0, 1, Options{LeafLimit: 6}, ledger.New())
+	res, err := MaxFlow(prep(g), 0, 1, Options{LeafLimit: 6}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +39,13 @@ func TestMaxFlowAdjacentPair(t *testing.T) {
 }
 
 func TestMaxFlowZeroCapacityEdges(t *testing.T) {
-	rng := rand.New(rand.NewSource(103))
+	rng := planar.NewRand(103)
 	g := planar.Grid(3, 4).WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
-		old.Cap = rng.Int63n(4) // zeros included
+		old.Cap = rng.Int64N(4) // zeros included
 		return old
 	})
 	s, tt := 0, g.N()-1
-	res, err := MaxFlow(g, s, tt, Options{LeafLimit: 8}, ledger.New())
+	res, err := MaxFlow(prep(g), s, tt, Options{LeafLimit: 8}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +76,7 @@ func TestMaxFlowSaturatedSource(t *testing.T) {
 		}
 		return old
 	})
-	res, err := MaxFlow(g, 0, 5, Options{LeafLimit: 6}, ledger.New())
+	res, err := MaxFlow(prep(g), 0, 5, Options{LeafLimit: 6}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,22 +90,22 @@ func TestMaxFlowSaturatedSource(t *testing.T) {
 
 func TestMaxFlowErrors(t *testing.T) {
 	g := planar.Grid(2, 2)
-	if _, err := MaxFlow(g, 1, 1, Options{}, ledger.New()); err == nil {
+	if _, err := MaxFlow(prep(g), 1, 1, Options{}, ledger.New()); err == nil {
 		t.Fatal("s==t must error")
 	}
-	if _, err := MaxFlow(g, -1, 2, Options{}, ledger.New()); err == nil {
+	if _, err := MaxFlow(prep(g), -1, 2, Options{}, ledger.New()); err == nil {
 		t.Fatal("out-of-range s must error")
 	}
-	if _, err := MaxFlow(g, 0, 99, Options{}, ledger.New()); err == nil {
+	if _, err := MaxFlow(prep(g), 0, 99, Options{}, ledger.New()); err == nil {
 		t.Fatal("out-of-range t must error")
 	}
 }
 
 func TestGirthNestedTriangles(t *testing.T) {
-	rng := rand.New(rand.NewSource(107))
+	rng := planar.NewRand(107)
 	g := planar.NestedTriangles(8)
 	g = planar.WithRandomWeights(g, rng, 1, 50, 1, 1)
-	res, err := Girth(g, ledger.New())
+	res, err := Girth(prep(g), ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +125,10 @@ func TestGirthNestedTriangles(t *testing.T) {
 func TestGirthCylinder(t *testing.T) {
 	// Cylinders have many parallel dual edges (ring faces share several
 	// edges with the disk faces): stresses deactivation.
-	rng := rand.New(rand.NewSource(109))
+	rng := planar.NewRand(109)
 	g := planar.Cylinder(3, 5)
 	g = planar.WithRandomWeights(g, rng, 1, 20, 1, 1)
-	res, err := Girth(g, ledger.New())
+	res, err := Girth(prep(g), ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +156,7 @@ func TestGlobalMinCutNestedTriangles(t *testing.T) {
 		old.Weight = int64(1 + e%7)
 		return old
 	})
-	res, err := GlobalMinCut(g, Options{LeafLimit: 8}, ledger.New())
+	res, err := GlobalMinCut(prep(g), Options{LeafLimit: 8}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +174,14 @@ func TestGlobalMinCutNestedTriangles(t *testing.T) {
 }
 
 func TestSTPlanarEpsilonSweep(t *testing.T) {
-	rng := rand.New(rand.NewSource(113))
+	rng := planar.NewRand(113)
 	g := planar.Grid(4, 5)
 	g = planar.WithRandomWeights(g, rng, 1, 1, 200, 900)
 	s, tt := 0, g.N()-1
 	opt := UndirectedDinicValue(g, s, tt)
 	prev := int64(-1)
 	for _, eps := range []float64{0.5, 0.2, 0.1, 0.05, 0} {
-		res, err := STPlanarMaxFlow(g, s, tt, eps, ledger.New())
+		res, err := STPlanarMaxFlow(prep(g), s, tt, eps, ledger.New())
 		if err != nil {
 			t.Fatalf("eps=%v: %v", eps, err)
 		}
@@ -205,7 +204,7 @@ func TestSTPlanarEpsilonSweep(t *testing.T) {
 func TestSTPlanarInvalidEps(t *testing.T) {
 	g := planar.Grid(3, 3)
 	for _, eps := range []float64{-0.1, 1.0, 2.5} {
-		if _, err := STPlanarMaxFlow(g, 0, 8, eps, ledger.New()); err == nil {
+		if _, err := STPlanarMaxFlow(prep(g), 0, 8, eps, ledger.New()); err == nil {
 			t.Fatalf("eps=%v accepted", eps)
 		}
 	}
@@ -218,7 +217,7 @@ func TestDirectedGirthNestedRings(t *testing.T) {
 		old.Weight = int64(1 + e)
 		return old
 	})
-	c, err := DirectedGirth(g, Options{LeafLimit: 8}, ledger.New())
+	c, err := DirectedGirth(prep(g), Options{LeafLimit: 8}, ledger.New())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/ledger"
 	"planarflow/internal/minoragg"
 	"planarflow/internal/pa"
@@ -26,10 +27,15 @@ type GirthResult struct {
 // cycle-cut duality (Fact 3.1) they form a minimum-weight primal cycle.
 // Total model cost is Õ(1) minor-aggregation rounds = Õ(D) CONGEST rounds,
 // all priced through the measured PA unit of the instance.
-func Girth(g *planar.Graph, led *ledger.Ledger) (*GirthResult, error) {
+//
+// Girth takes the prepared artifact for API uniformity with the other entry
+// points; its minor-aggregation route needs no BDD or labeling, so it has no
+// build-phase cost to amortize.
+func Girth(p *artifact.Prepared, led *ledger.Ledger) (*GirthResult, error) {
+	g := p.Graph()
 	for e := 0; e < g.M(); e++ {
 		if g.Edge(e).Weight <= 0 {
-			return nil, errors.New("core: girth requires positive edge weights")
+			return nil, fmt.Errorf("core: girth: edge %d has weight %d: %w", e, g.Edge(e).Weight, ErrNonPositiveWeight)
 		}
 	}
 	sim := minoragg.NewSimulator(g, led)

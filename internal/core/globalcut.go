@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/bdd"
 	"planarflow/internal/duallabel"
 	"planarflow/internal/ledger"
@@ -30,10 +31,11 @@ type GlobalCutResult struct {
 // zero-transition cycles through faces split between the children — the
 // "two options related to the dual separator" that keep all candidate
 // cycles simple in darts.
-func GlobalMinCut(g *planar.Graph, opt Options, led *ledger.Ledger) (*GlobalCutResult, error) {
+func GlobalMinCut(p *artifact.Prepared, opt Options, led *ledger.Ledger) (*GlobalCutResult, error) {
+	g := p.Graph()
 	for e := 0; e < g.M(); e++ {
 		if g.Edge(e).Weight < 0 {
-			return nil, errors.New("core: global min cut requires non-negative weights")
+			return nil, fmt.Errorf("core: global min cut: edge %d has weight %d: %w", e, g.Edge(e).Weight, ErrNegativeWeight)
 		}
 	}
 	// Zero cuts = not strongly connected (Õ(D) rounds of directed BFS both
@@ -43,14 +45,11 @@ func GlobalMinCut(g *planar.Graph, opt Options, led *ledger.Ledger) (*GlobalCutR
 	}
 
 	// Dual lengths: crossing e forward costs w(e); crossing against it is
-	// free (reversal dart).
-	lengths := make([]int64, g.NumDarts())
-	for e := 0; e < g.M(); e++ {
-		lengths[planar.ForwardDart(e)] = g.Edge(e).Weight
-		lengths[planar.BackwardDart(e)] = 0
-	}
-	tree := bdd.Build(g, Options.leafLimit(opt, g), led)
-	la := duallabel.Compute(tree, lengths, led)
+	// free (reversal dart). The labeling under these lengths is a shared
+	// artifact — the query's own work is the per-bag cycle enumeration.
+	lengths := artifact.Lengths(g, artifact.FreeReversal)
+	tree := p.Tree(opt.LeafLimit, led)
+	la := p.DualLabels(artifact.FreeReversal, opt.LeafLimit, led)
 	if la.NegCycle {
 		return nil, errors.New("core: internal: negative cycle with non-negative lengths")
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 
+	"planarflow/internal/artifact"
 	"planarflow/internal/ledger"
 	"planarflow/internal/minoragg"
 	"planarflow/internal/planar"
@@ -34,13 +35,17 @@ type STPlanarResult struct {
 // capacities scaled down by (1-eps): the resulting distances are smooth by
 // construction (they satisfy the triangle inequality of the scaled
 // lengths), which is precisely the property the assignment needs.
-func STPlanarMaxFlow(g *planar.Graph, s, t int, eps float64, led *ledger.Ledger) (*STPlanarResult, error) {
+// The Hassin route takes the prepared artifact for API uniformity; its
+// augmented dual depends on the (s, t) pair, so the reduction itself is
+// per-query work with no build-phase substrate.
+func STPlanarMaxFlow(p *artifact.Prepared, s, t int, eps float64, led *ledger.Ledger) (*STPlanarResult, error) {
+	g := p.Graph()
 	if eps < 0 || eps >= 1 {
 		return nil, fmt.Errorf("core: eps=%v out of [0,1)", eps)
 	}
 	common := g.CommonFaces(s, t)
 	if len(common) == 0 {
-		return nil, errors.New("core: s and t do not share a face (instance is not st-planar)")
+		return nil, fmt.Errorf("%w (vertices %d, %d)", ErrNotSTPlanar, s, t)
 	}
 	// Detecting the common face costs one PA on Ĝ (§6.1); the simulator's
 	// calibrated unit prices it and the oracle rounds below.
@@ -101,10 +106,11 @@ func STPlanarMaxFlow(g *planar.Graph, s, t int, eps float64, led *ledger.Ledger)
 // STPlanarMinCut computes the corresponding (approximate) minimum st-cut
 // (Thm 6.2): by Reif's st-separating-cycle duality, the duals of the arcs on
 // the shortest f1-to-f2 path are the cut edges.
-func STPlanarMinCut(g *planar.Graph, s, t int, eps float64, led *ledger.Ledger) (*CutResult, error) {
+func STPlanarMinCut(p *artifact.Prepared, s, t int, eps float64, led *ledger.Ledger) (*CutResult, error) {
+	g := p.Graph()
 	common := g.CommonFaces(s, t)
 	if len(common) == 0 {
-		return nil, errors.New("core: s and t do not share a face")
+		return nil, fmt.Errorf("%w (vertices %d, %d)", ErrNotSTPlanar, s, t)
 	}
 	sim := minoragg.NewSimulator(g, led)
 	sim.ChargeRounds("stcut/detect-face", 1)

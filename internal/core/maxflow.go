@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 
-	"planarflow/internal/bdd"
+	"planarflow/internal/artifact"
 	"planarflow/internal/duallabel"
 	"planarflow/internal/ledger"
 	"planarflow/internal/planar"
@@ -22,13 +22,6 @@ type Options struct {
 	// LeafLimit bounds the BDD leaf bag size in edges; 0 means the paper's
 	// Θ(D log n) with D estimated by a double BFS sweep.
 	LeafLimit int
-}
-
-func (o Options) leafLimit(g *planar.Graph) int {
-	if o.LeafLimit > 0 {
-		return o.LeafLimit
-	}
-	return bdd.DefaultLeafLimit(g)
 }
 
 // FlowResult is a maximum st-flow with its assignment.
@@ -47,7 +40,12 @@ type FlowResult struct {
 // test feasibility by a negative-cycle query on the dual with residual
 // lengths — a dual SSSP with positive and negative lengths computed through
 // the distance labeling of §5 (Thm 1.2, Õ(D²) rounds).
-func MaxFlow(g *planar.Graph, s, t int, opt Options, led *ledger.Ledger) (*FlowResult, error) {
+//
+// The BDD comes from the shared prepared artifact: the first query on p pays
+// its construction (Build-scoped in led), later queries reuse it. The per-λ
+// residual labelings depend on (s, t, λ) and stay per-query cost.
+func MaxFlow(p *artifact.Prepared, s, t int, opt Options, led *ledger.Ledger) (*FlowResult, error) {
+	g := p.Graph()
 	if s == t {
 		return nil, errors.New("core: s and t must differ")
 	}
@@ -55,7 +53,7 @@ func MaxFlow(g *planar.Graph, s, t int, opt Options, led *ledger.Ledger) (*FlowR
 		return nil, fmt.Errorf("core: s=%d t=%d out of range", s, t)
 	}
 
-	tree := bdd.Build(g, Options.leafLimit(opt, g), led)
+	tree := p.Tree(opt.LeafLimit, led)
 
 	// Fixed s-to-t dart path (undirected BFS; Õ(D) rounds).
 	path, err := dartPath(g, s, t)

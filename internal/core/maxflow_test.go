@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/ledger"
@@ -11,7 +10,7 @@ import (
 func TestMaxFlowTinyGrid(t *testing.T) {
 	g := planar.Grid(2, 2) // 4 vertices, 4 edges, unit caps
 	led := ledger.New()
-	res, err := MaxFlow(g, 0, 3, Options{LeafLimit: 4}, led)
+	res, err := MaxFlow(prep(g), 0, 3, Options{LeafLimit: 4}, led)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,19 +24,19 @@ func TestMaxFlowTinyGrid(t *testing.T) {
 }
 
 func TestMaxFlowRandomGrids(t *testing.T) {
-	rng := rand.New(rand.NewSource(21))
+	rng := planar.NewRand(21)
 	for trial := 0; trial < 8; trial++ {
-		rows, cols := 2+rng.Intn(4), 2+rng.Intn(5)
+		rows, cols := 2+rng.IntN(4), 2+rng.IntN(5)
 		g0 := planar.Grid(rows, cols)
 		g := planar.WithRandomWeights(g0, rng, 1, 10, 1, 20)
 		g = planar.WithRandomDirections(g, rng)
-		s := rng.Intn(g.N())
-		tt := rng.Intn(g.N())
+		s := rng.IntN(g.N())
+		tt := rng.IntN(g.N())
 		if s == tt {
 			continue
 		}
 		led := ledger.New()
-		res, err := MaxFlow(g, s, tt, Options{LeafLimit: 12}, led)
+		res, err := MaxFlow(prep(g), s, tt, Options{LeafLimit: 12}, led)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -56,13 +55,13 @@ func TestMaxFlowRandomGrids(t *testing.T) {
 }
 
 func TestMaxFlowTriangulations(t *testing.T) {
-	rng := rand.New(rand.NewSource(33))
+	rng := planar.NewRand(33)
 	for trial := 0; trial < 5; trial++ {
-		g0 := planar.StackedTriangulation(12+rng.Intn(20), rng)
+		g0 := planar.StackedTriangulation(12+rng.IntN(20), rng)
 		g := planar.WithRandomWeights(g0, rng, 1, 5, 1, 15)
 		g = planar.WithRandomDirections(g, rng)
 		s, tt := 0, g.N()-1
-		res, err := MaxFlow(g, s, tt, Options{LeafLimit: 16}, led())
+		res, err := MaxFlow(prep(g), s, tt, Options{LeafLimit: 16}, led())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"planarflow/internal/bdd"
+	"planarflow/internal/artifact"
 	"planarflow/internal/ledger"
 	"planarflow/internal/planar"
 	"planarflow/internal/primallabel"
@@ -23,8 +23,9 @@ type CutResult struct {
 // reachable in the residual graph. The reachability is the paper's primal
 // SSSP instance — residual darts get length 0, saturated darts are removed —
 // solved by the Li–Parter primal distance labeling in Õ(D²) rounds.
-func MinSTCut(g *planar.Graph, s, t int, opt Options, led *ledger.Ledger) (*CutResult, error) {
-	flow, err := MaxFlow(g, s, t, opt, led)
+func MinSTCut(p *artifact.Prepared, s, t int, opt Options, led *ledger.Ledger) (*CutResult, error) {
+	g := p.Graph()
+	flow, err := MaxFlow(p, s, t, opt, led)
 	if err != nil {
 		return nil, err
 	}
@@ -41,7 +42,9 @@ func MinSTCut(g *planar.Graph, s, t int, opt Options, led *ledger.Ledger) (*CutR
 			lengths[bw] = 0
 		}
 	}
-	tree := bdd.Build(g, Options.leafLimit(opt, g), led)
+	// The tree is shared with MaxFlow's query above (cache hit); only the
+	// residual labeling, which depends on the computed flow, is per-query.
+	tree := p.Tree(opt.LeafLimit, led)
 	la := primallabel.Compute(tree, lengths, led)
 	if la.NegCycle {
 		return nil, fmt.Errorf("core: internal: negative cycle in a 0/Inf residual graph")

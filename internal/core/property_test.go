@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -13,7 +12,7 @@ import (
 // smallInstance derives a deterministic random planar flow instance from
 // quick-check inputs.
 func smallInstance(seed int64, kind, size uint8) (*planar.Graph, int, int) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := planar.NewRand(seed)
 	var g *planar.Graph
 	switch kind % 3 {
 	case 0:
@@ -25,15 +24,15 @@ func smallInstance(seed int64, kind, size uint8) (*planar.Graph, int, int) {
 	}
 	g = planar.WithRandomWeights(g, rng, 1, 12, 1, 9)
 	g = planar.WithRandomDirections(g, rng)
-	s := rng.Intn(g.N())
-	t := (s + 1 + rng.Intn(g.N()-1)) % g.N()
+	s := rng.IntN(g.N())
+	t := (s + 1 + rng.IntN(g.N()-1)) % g.N()
 	return g, s, t
 }
 
 func TestQuickMaxFlowMatchesDinic(t *testing.T) {
 	prop := func(seed int64, kind, size uint8) bool {
 		g, s, tt := smallInstance(seed, kind, size)
-		res, err := MaxFlow(g, s, tt, Options{LeafLimit: 10}, ledger.New())
+		res, err := MaxFlow(prep(g), s, tt, Options{LeafLimit: 10}, ledger.New())
 		if err != nil {
 			return false
 		}
@@ -50,7 +49,7 @@ func TestQuickMaxFlowMatchesDinic(t *testing.T) {
 func TestQuickMaxFlowMinCutDuality(t *testing.T) {
 	prop := func(seed int64, kind, size uint8) bool {
 		g, s, tt := smallInstance(seed, kind, size)
-		cut, err := MinSTCut(g, s, tt, Options{LeafLimit: 10}, ledger.New())
+		cut, err := MinSTCut(prep(g), s, tt, Options{LeafLimit: 10}, ledger.New())
 		if err != nil {
 			return false
 		}
@@ -66,10 +65,10 @@ func TestQuickCycleCutDuality(t *testing.T) {
 	// Fact 3.1 end-to-end: the girth's cycle edges, viewed in the dual,
 	// split the faces into exactly two connected sides.
 	prop := func(seed int64, size uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		g := planar.StackedTriangulation(6+int(size)%20, rng)
 		g = planar.WithRandomWeights(g, rng, 1, 25, 1, 1)
-		res, err := Girth(g, ledger.New())
+		res, err := Girth(prep(g), ledger.New())
 		if err != nil || res.Weight >= spath.Inf {
 			return err == nil
 		}
@@ -119,14 +118,14 @@ func TestQuickCycleCutDuality(t *testing.T) {
 
 func TestQuickGlobalCutUpperBoundsEveryBisection(t *testing.T) {
 	prop := func(seed int64, size uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		r, c := 2+int(size)%3, 2+int(size/3)%3
 		g := planar.BoustrophedonGrid(r, c)
 		g = g.WithEdgeAttrs(func(e int, old planar.Edge) planar.Edge {
-			old.Weight = 1 + rng.Int63n(15)
+			old.Weight = 1 + rng.Int64N(15)
 			return old
 		})
-		res, err := GlobalMinCut(g, Options{LeafLimit: 8}, ledger.New())
+		res, err := GlobalMinCut(prep(g), Options{LeafLimit: 8}, ledger.New())
 		if err != nil {
 			return false
 		}
@@ -142,7 +141,7 @@ func TestQuickGlobalCutUpperBoundsEveryBisection(t *testing.T) {
 			side := make([]bool, g.N())
 			any, all := false, true
 			for v := range side {
-				side[v] = rng.Intn(2) == 0
+				side[v] = rng.IntN(2) == 0
 				if side[v] {
 					any = true
 				} else {
@@ -165,11 +164,11 @@ func TestQuickGlobalCutUpperBoundsEveryBisection(t *testing.T) {
 
 func TestQuickHassinFeasibility(t *testing.T) {
 	prop := func(seed int64, size uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		g := planar.Grid(2+int(size)%4, 2+int(size/4)%4)
 		g = planar.WithRandomWeights(g, rng, 1, 1, 10, 99)
 		s, tt := 0, g.N()-1
-		res, err := STPlanarMaxFlow(g, s, tt, 0, ledger.New())
+		res, err := STPlanarMaxFlow(prep(g), s, tt, 0, ledger.New())
 		if err != nil {
 			return false
 		}

@@ -1,7 +1,7 @@
 package duallabel
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"planarflow/internal/bdd"
@@ -28,7 +28,7 @@ func explicitDualDist(g *planar.Graph, lengths []int64) ([][]int64, bool) {
 func randomLengths(g *planar.Graph, rng *rand.Rand, lo, hi int64) []int64 {
 	lens := make([]int64, g.NumDarts())
 	for d := range lens {
-		lens[d] = lo + rng.Int63n(hi-lo+1)
+		lens[d] = lo + rng.Int64N(hi-lo+1)
 	}
 	return lens
 }
@@ -64,7 +64,7 @@ func checkAgainstBaseline(t *testing.T, g *planar.Graph, lengths []int64, leafLi
 }
 
 func TestLabelsMatchBaselinePositive(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := planar.NewRand(1)
 	for _, dims := range [][2]int{{3, 3}, {4, 5}, {6, 6}, {2, 12}} {
 		g := planar.Grid(dims[0], dims[1])
 		checkAgainstBaseline(t, g, randomLengths(g, rng, 1, 50), 8)
@@ -79,18 +79,18 @@ func TestLabelsMatchBaselineNegativeLengths(t *testing.T) {
 	// keeps all cycle sums unchanged (no negative cycles) while making many
 	// arcs negative — exactly the structure the Miller–Naor residual duals
 	// have.
-	rng := rand.New(rand.NewSource(7))
+	rng := planar.NewRand(7)
 	negSeen := false
 	for trial := 0; trial < 6; trial++ {
-		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(4))
+		g := planar.Grid(3+rng.IntN(3), 3+rng.IntN(4))
 		du := g.Dual()
 		phi := make([]int64, du.NumNodes())
 		for f := range phi {
-			phi[f] = rng.Int63n(60)
+			phi[f] = rng.Int64N(60)
 		}
 		lens := make([]int64, g.NumDarts())
 		for d := planar.Dart(0); int(d) < g.NumDarts(); d++ {
-			lens[d] = 1 + rng.Int63n(20) + phi[du.Tail(d)] - phi[du.Head(d)]
+			lens[d] = 1 + rng.Int64N(20) + phi[du.Tail(d)] - phi[du.Head(d)]
 			if lens[d] < 0 {
 				negSeen = true
 			}
@@ -103,13 +103,13 @@ func TestLabelsMatchBaselineNegativeLengths(t *testing.T) {
 }
 
 func TestNegativeCycleDetected(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := planar.NewRand(3)
 	found := 0
 	for trial := 0; trial < 60 && found < 5; trial++ {
-		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(3))
+		g := planar.Grid(3+rng.IntN(3), 3+rng.IntN(3))
 		lens := make([]int64, g.NumDarts())
 		for d := range lens {
-			lens[d] = rng.Int63n(21) - 10
+			lens[d] = rng.Int64N(21) - 10
 		}
 		_, ok := explicitDualDist(g, lens)
 		led := ledger.New()
@@ -131,7 +131,7 @@ func TestNegativeCycleDetected(t *testing.T) {
 }
 
 func TestLabelsOnVariedFamilies(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := planar.NewRand(11)
 	graphs := []*planar.Graph{
 		planar.Cylinder(3, 6),
 		planar.StackedTriangulation(40, rng),
@@ -146,7 +146,7 @@ func TestLabelsOnVariedFamilies(t *testing.T) {
 func TestLeafLimitInvariance(t *testing.T) {
 	// The decode must be exact regardless of where the recursion bottoms
 	// out.
-	rng := rand.New(rand.NewSource(13))
+	rng := planar.NewRand(13)
 	g := planar.Grid(5, 6)
 	lens := randomLengths(g, rng, 1, 40)
 	for _, leaf := range []int{4, 8, 16, 64, 1000} {
@@ -155,7 +155,7 @@ func TestLeafLimitInvariance(t *testing.T) {
 }
 
 func TestSSSPAndTreeMarking(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := planar.NewRand(17)
 	g := planar.Grid(5, 5)
 	lens := randomLengths(g, rng, 1, 25)
 	led := ledger.New()

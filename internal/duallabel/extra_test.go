@@ -1,7 +1,6 @@
 package duallabel
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/bdd"
@@ -12,7 +11,7 @@ import (
 
 func TestLabelsOnNestedTriangles(t *testing.T) {
 	// Worst-case diameter family with deep decompositions.
-	rng := rand.New(rand.NewSource(23))
+	rng := planar.NewRand(23)
 	g := planar.NestedTriangles(10)
 	checkAgainstBaseline(t, g, randomLengths(g, rng, 1, 40), 8)
 }
@@ -20,15 +19,15 @@ func TestLabelsOnNestedTriangles(t *testing.T) {
 func TestLabelsWithDeactivatedArcs(t *testing.T) {
 	// Mixed Inf/finite lengths (the Miller–Naor residual pattern where the
 	// dual becomes effectively directed).
-	rng := rand.New(rand.NewSource(29))
+	rng := planar.NewRand(29)
 	for trial := 0; trial < 6; trial++ {
-		g := planar.Grid(3+rng.Intn(3), 3+rng.Intn(3))
+		g := planar.Grid(3+rng.IntN(3), 3+rng.IntN(3))
 		lens := make([]int64, g.NumDarts())
 		for d := range lens {
-			if rng.Intn(4) == 0 {
+			if rng.IntN(4) == 0 {
 				lens[d] = spath.Inf
 			} else {
-				lens[d] = rng.Int63n(30)
+				lens[d] = rng.Int64N(30)
 			}
 		}
 		checkAgainstBaseline(t, g, lens, 8)
@@ -121,7 +120,7 @@ func TestLabelWordsAccounting(t *testing.T) {
 }
 
 func TestSSSPFromEveryFaceSmall(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
+	rng := planar.NewRand(31)
 	g := planar.Cylinder(2, 5)
 	lens := randomLengths(g, rng, 1, 15)
 	led := ledger.New()

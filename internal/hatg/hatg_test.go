@@ -1,7 +1,6 @@
 package hatg
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/planar"
@@ -9,7 +8,7 @@ import (
 
 func families(t *testing.T) map[string]*planar.Graph {
 	t.Helper()
-	rng := rand.New(rand.NewSource(5))
+	rng := planar.NewRand(5)
 	return map[string]*planar.Graph{
 		"grid3x3":  planar.Grid(3, 3),
 		"grid2x7":  planar.Grid(2, 7),

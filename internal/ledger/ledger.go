@@ -36,11 +36,33 @@ func (k Kind) String() string {
 	}
 }
 
+// Scope distinguishes one-time preprocessing cost (building the BDD and the
+// distance labelings — the reusable artifact of §5) from the per-query cost
+// paid on every invocation. The zero value is Query, so phases recorded by
+// code that predates the artifact layer count as query cost.
+type Scope int
+
+const (
+	// Query rounds are paid by every query.
+	Query Scope = iota
+	// Build rounds are paid once per (graph, length-function) artifact and
+	// amortize across queries.
+	Build
+)
+
+func (s Scope) String() string {
+	if s == Build {
+		return "build"
+	}
+	return "query"
+}
+
 // Entry is one accounted phase.
 type Entry struct {
 	Phase  string
 	Rounds int64
 	Kind   Kind
+	Scope  Scope
 }
 
 // Ledger accumulates entries; safe for concurrent use.
@@ -59,12 +81,16 @@ func (l *Ledger) Measure(phase string, rounds int) { l.add(phase, int64(rounds),
 func (l *Ledger) Charge(phase string, rounds int64) { l.add(phase, rounds, Charged) }
 
 func (l *Ledger) add(phase string, rounds int64, k Kind) {
+	l.addScoped(phase, rounds, k, Query)
+}
+
+func (l *Ledger) addScoped(phase string, rounds int64, k Kind, sc Scope) {
 	if rounds < 0 {
 		rounds = 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.entries = append(l.entries, Entry{Phase: phase, Rounds: rounds, Kind: k})
+	l.entries = append(l.entries, Entry{Phase: phase, Rounds: rounds, Kind: k, Scope: sc})
 }
 
 // Total returns the sum of all rounds.
@@ -112,10 +138,33 @@ func (l *Ledger) ByPhase() map[string]int64 {
 	return out
 }
 
-// Merge folds all entries of other into l.
+// BuildSplit returns (build, query) round totals.
+func (l *Ledger) BuildSplit() (build, query int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if e.Scope == Build {
+			build += e.Rounds
+		} else {
+			query += e.Rounds
+		}
+	}
+	return build, query
+}
+
+// Merge folds all entries of other into l, preserving kinds and scopes.
 func (l *Ledger) Merge(other *Ledger) {
 	for _, e := range other.Entries() {
-		l.add(e.Phase, e.Rounds, e.Kind)
+		l.addScoped(e.Phase, e.Rounds, e.Kind, e.Scope)
+	}
+}
+
+// MergeAs folds all entries of other into l, rewriting their scope — the
+// artifact layer uses it to mark substrate-construction phases as Build cost
+// when a query triggers (or replays) a build.
+func (l *Ledger) MergeAs(other *Ledger, sc Scope) {
+	for _, e := range other.Entries() {
+		l.addScoped(e.Phase, e.Rounds, e.Kind, sc)
 	}
 }
 
@@ -129,7 +178,8 @@ func (l *Ledger) Summary() string {
 	sort.Slice(keys, func(i, j int) bool { return phases[keys[i]] > phases[keys[j]] })
 	var b strings.Builder
 	m, c := l.Split()
-	fmt.Fprintf(&b, "total=%d (measured=%d charged=%d)\n", m+c, m, c)
+	bu, q := l.BuildSplit()
+	fmt.Fprintf(&b, "total=%d (measured=%d charged=%d | build=%d query=%d)\n", m+c, m, c, bu, q)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "  %-32s %12d\n", k, phases[k])
 	}

@@ -84,6 +84,54 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestBuildSplitAndMergeAs(t *testing.T) {
+	build := New()
+	build.Charge("bdd/construct-level", 30)
+	build.Measure("label/level", 12)
+
+	q := New()
+	q.Charge("sssp/broadcast", 8)
+	q.MergeAs(build, Build)
+
+	b, qr := q.BuildSplit()
+	if b != 42 || qr != 8 {
+		t.Fatalf("build/query=(%d,%d) want (42,8)", b, qr)
+	}
+	// Kind is preserved through a scoped merge.
+	m, c := q.Split()
+	if m != 12 || c != 38 {
+		t.Fatalf("split=(%d,%d) want (12,38)", m, c)
+	}
+	// A plain Merge preserves the scope already on the entries.
+	q2 := New()
+	q2.Merge(q)
+	b2, qr2 := q2.BuildSplit()
+	if b2 != 42 || qr2 != 8 {
+		t.Fatalf("merged build/query=(%d,%d) want (42,8)", b2, qr2)
+	}
+	if Build.String() != "build" || Query.String() != "query" {
+		t.Fatal("scope strings")
+	}
+	if !strings.Contains(q.Summary(), "build=42 query=8") {
+		t.Fatalf("summary missing build split: %q", q.Summary())
+	}
+}
+
+func TestDefaultScopeIsQuery(t *testing.T) {
+	l := New()
+	l.Charge("x", 5)
+	l.Measure("y", 6)
+	b, q := l.BuildSplit()
+	if b != 0 || q != 11 {
+		t.Fatalf("build/query=(%d,%d) want (0,11)", b, q)
+	}
+	for _, e := range l.Entries() {
+		if e.Scope != Query {
+			t.Fatalf("entry %v not query-scoped by default", e)
+		}
+	}
+}
+
 func TestHelpers(t *testing.T) {
 	if PipelinedBroadcastRounds(10, 5) != 15 {
 		t.Fatal("pipelined broadcast formula")

@@ -1,7 +1,6 @@
 package minoragg
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/ledger"
@@ -54,7 +53,7 @@ func TestDeactivateGrid(t *testing.T) {
 
 func TestDeactivateLowOutDegree(t *testing.T) {
 	// Lemma 4.15: the orientation must give O(alpha) = O(1) out-neighbors.
-	rng := rand.New(rand.NewSource(2))
+	rng := planar.NewRand(2)
 	for _, g := range []*planar.Graph{
 		planar.Grid(8, 8),
 		planar.Cylinder(4, 10),
@@ -94,10 +93,10 @@ func TestDeactivateMinOp(t *testing.T) {
 	// With Min, the merged weight must be the lightest parallel edge.
 	g := planar.Grid(2, 4)
 	s := NewSimulator(g, ledger.New())
-	rng := rand.New(rand.NewSource(9))
+	rng := planar.NewRand(9)
 	w := make([]int64, g.M())
 	for e := range w {
-		w[e] = 1 + rng.Int63n(50)
+		w[e] = 1 + rng.Int64N(50)
 	}
 	sd := s.Deactivate(w, pa.Min)
 	du := g.Dual()

@@ -1,7 +1,6 @@
 package minoragg
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 
@@ -50,17 +49,17 @@ func kruskalWeight(g *planar.Graph, weights []int64) int64 {
 }
 
 func TestBoruvkaMSTMatchesKruskal(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := planar.NewRand(17)
 	for trial := 0; trial < 10; trial++ {
 		var g *planar.Graph
 		if trial%2 == 0 {
-			g = planar.Grid(2+rng.Intn(5), 2+rng.Intn(6))
+			g = planar.Grid(2+rng.IntN(5), 2+rng.IntN(6))
 		} else {
-			g = planar.StackedTriangulation(8+rng.Intn(30), rng)
+			g = planar.StackedTriangulation(8+rng.IntN(30), rng)
 		}
 		w := make([]int64, g.M())
 		for e := range w {
-			w[e] = rng.Int63n(1000)
+			w[e] = rng.Int64N(1000)
 		}
 		led := ledger.New()
 		sim := NewSimulator(g, led)
@@ -84,10 +83,10 @@ func TestBoruvkaMSTMatchesKruskal(t *testing.T) {
 
 func TestMSTEdgesFormSpanningTree(t *testing.T) {
 	g := planar.Grid(5, 5)
-	rng := rand.New(rand.NewSource(3))
+	rng := planar.NewRand(3)
 	w := make([]int64, g.M())
 	for e := range w {
-		w[e] = rng.Int63n(50)
+		w[e] = rng.Int64N(50)
 	}
 	sim := NewSimulator(g, ledger.New())
 	m := NewModel(sim, w)

@@ -1,7 +1,6 @@
 package pa
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/hatg"
@@ -88,19 +87,19 @@ func TestAggregateEmptyPart(t *testing.T) {
 }
 
 func TestAggregateRandomAgainstDirect(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
+	rng := planar.NewRand(31)
 	for trial := 0; trial < 25; trial++ {
-		g := planar.StackedTriangulation(5+rng.Intn(60), rng)
+		g := planar.StackedTriangulation(5+rng.IntN(60), rng)
 		net := FromPlanar(g)
-		tree := BuildTree(net, rng.Intn(g.N()))
-		num := 1 + rng.Intn(5)
+		tree := BuildTree(net, rng.IntN(g.N()))
+		num := 1 + rng.IntN(5)
 		parts := Parts{Of: make([]int, g.N()), Num: num}
 		input := make([]int64, g.N())
 		want := make([]int64, num)
 		seen := make([]bool, num)
 		for v := 0; v < g.N(); v++ {
-			parts.Of[v] = rng.Intn(num+1) - 1
-			input[v] = rng.Int63n(1000)
+			parts.Of[v] = rng.IntN(num+1) - 1
+			input[v] = rng.Int64N(1000)
 			if p := parts.Of[v]; p >= 0 {
 				if !seen[p] {
 					want[p], seen[p] = input[v], true

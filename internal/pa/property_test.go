@@ -1,7 +1,6 @@
 package pa
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -10,17 +9,17 @@ import (
 
 func TestQuickAggregateMatchesDirect(t *testing.T) {
 	prop := func(seed int64, numParts, size uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		g := planar.StackedTriangulation(4+int(size)%50, rng)
 		net := FromPlanar(g)
-		tree := BuildTree(net, rng.Intn(g.N()))
+		tree := BuildTree(net, rng.IntN(g.N()))
 		num := 1 + int(numParts)%6
 		parts := Parts{Of: make([]int, g.N()), Num: num}
 		input := make([]int64, g.N())
 		wantSum := make([]int64, num)
 		for v := 0; v < g.N(); v++ {
-			parts.Of[v] = rng.Intn(num+1) - 1
-			input[v] = rng.Int63n(500)
+			parts.Of[v] = rng.IntN(num+1) - 1
+			input[v] = rng.Int64N(500)
 			if p := parts.Of[v]; p >= 0 {
 				wantSum[p] += input[v]
 			}
@@ -42,7 +41,7 @@ func TestQuickAggregateMatchesDirect(t *testing.T) {
 func TestQuickSteinerDilationBounded(t *testing.T) {
 	// Dilation never exceeds twice the BFS tree height.
 	prop := func(seed int64, size uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := planar.NewRand(seed)
 		g := planar.StackedTriangulation(4+int(size)%40, rng)
 		net := FromPlanar(g)
 		tree := BuildTree(net, 0)

@@ -8,11 +8,14 @@ type FaceData struct {
 	cycles [][]Dart // cycles[f] = boundary darts of face f, in orbit order
 }
 
-// Faces computes (and caches) the face structure.
+// Faces computes (and caches) the face structure. Safe for concurrent use:
+// the prepared-graph serving layer calls it from many query goroutines.
 func (g *Graph) Faces() *FaceData {
-	if g.faces != nil {
-		return g.faces
-	}
+	g.facesOnce.Do(g.computeFaces)
+	return g.faces
+}
+
+func (g *Graph) computeFaces() {
 	nd := g.NumDarts()
 	fd := &FaceData{faceOf: make([]int, nd)}
 	for d := range fd.faceOf {
@@ -36,7 +39,6 @@ func (g *Graph) Faces() *FaceData {
 		fd.cycles = append(fd.cycles, cyc)
 	}
 	g.faces = fd
-	return fd
 }
 
 // NumFaces returns the number of faces.

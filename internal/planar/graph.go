@@ -3,6 +3,7 @@ package planar
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Edge is a directed, weighted, capacitated edge of a planar graph. The
@@ -27,7 +28,8 @@ type Graph struct {
 	rot    [][]Dart
 	rotPos []int
 
-	faces *FaceData // lazily computed face structure
+	facesOnce sync.Once
+	faces     *FaceData // lazily computed face structure (guarded by facesOnce)
 }
 
 // NewGraph builds an embedded planar graph from an explicit rotation system.

@@ -1,7 +1,6 @@
 package planar
 
 import (
-	"math/rand"
 	"testing"
 )
 
@@ -139,7 +138,7 @@ func TestCylinderEuler(t *testing.T) {
 }
 
 func TestStackedTriangulationEuler(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := NewRand(1)
 	for _, n := range []int{3, 4, 5, 10, 50, 200} {
 		g := StackedTriangulation(n, rng)
 		checkEuler(t, g, "stacked")
@@ -157,7 +156,7 @@ func TestStackedTriangulationEuler(t *testing.T) {
 }
 
 func TestRemoveRandomEdges(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := NewRand(7)
 	g := Grid(6, 6)
 	sub := RemoveRandomEdges(g, rng, 10)
 	checkEuler(t, sub, "subgraph")
@@ -170,7 +169,7 @@ func TestRemoveRandomEdges(t *testing.T) {
 }
 
 func TestWithRandomDirections(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := NewRand(3)
 	g := Grid(4, 5)
 	dg := WithRandomDirections(g, rng)
 	checkEuler(t, dg, "directed grid")

@@ -1,7 +1,6 @@
 package planar
 
 import (
-	"math/rand"
 	"testing"
 )
 
@@ -78,7 +77,7 @@ func TestInsertEdgeRejectsSelfLoop(t *testing.T) {
 }
 
 func TestInsertEdgeRandomPairs(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := NewRand(9)
 	g := StackedTriangulation(30, rng)
 	fd := g.Faces()
 	for f := 0; f < fd.NumFaces(); f++ {

@@ -1,7 +1,6 @@
 package planar
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -9,7 +8,7 @@ import (
 // randomPlanar draws a random connected embedded planar graph from the
 // generator families, sized by the quick-check inputs.
 func randomPlanar(seed int64, kind, size int) *Graph {
-	rng := rand.New(rand.NewSource(seed))
+	rng := NewRand(seed)
 	n := 3 + size%40
 	switch kind % 4 {
 	case 0:

@@ -1,7 +1,7 @@
 package primallabel
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"planarflow/internal/bdd"
@@ -50,7 +50,7 @@ func check(t *testing.T, g *planar.Graph, lengths []int64, leaf int) {
 func symLengths(g *planar.Graph, rng *rand.Rand, lo, hi int64) []int64 {
 	lens := make([]int64, g.NumDarts())
 	for e := 0; e < g.M(); e++ {
-		w := lo + rng.Int63n(hi-lo+1)
+		w := lo + rng.Int64N(hi-lo+1)
 		lens[planar.ForwardDart(e)] = w
 		lens[planar.BackwardDart(e)] = w
 	}
@@ -58,7 +58,7 @@ func symLengths(g *planar.Graph, rng *rand.Rand, lo, hi int64) []int64 {
 }
 
 func TestMatchesBaselineGrids(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := planar.NewRand(2)
 	for _, dims := range [][2]int{{3, 3}, {4, 6}, {6, 6}, {2, 12}} {
 		g := planar.Grid(dims[0], dims[1])
 		check(t, g, symLengths(g, rng, 1, 40), 10)
@@ -68,16 +68,16 @@ func TestMatchesBaselineGrids(t *testing.T) {
 func TestMatchesBaselineDirected(t *testing.T) {
 	// Asymmetric dart lengths (directed graphs), including deactivated
 	// darts — the residual-graph pattern MinSTCut uses.
-	rng := rand.New(rand.NewSource(3))
+	rng := planar.NewRand(3)
 	for trial := 0; trial < 8; trial++ {
-		g := planar.Grid(2+rng.Intn(4), 3+rng.Intn(4))
+		g := planar.Grid(2+rng.IntN(4), 3+rng.IntN(4))
 		lens := make([]int64, g.NumDarts())
 		for d := range lens {
-			switch rng.Intn(3) {
+			switch rng.IntN(3) {
 			case 0:
 				lens[d] = spath.Inf
 			default:
-				lens[d] = rng.Int63n(20)
+				lens[d] = rng.Int64N(20)
 			}
 		}
 		check(t, g, lens, 8)
@@ -85,7 +85,7 @@ func TestMatchesBaselineDirected(t *testing.T) {
 }
 
 func TestMatchesBaselineTriangulations(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := planar.NewRand(5)
 	for _, n := range []int{10, 30, 60} {
 		g := planar.StackedTriangulation(n, rng)
 		check(t, g, symLengths(g, rng, 1, 15), 12)
@@ -93,16 +93,16 @@ func TestMatchesBaselineTriangulations(t *testing.T) {
 }
 
 func TestNegativeLengthsViaPotentials(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := planar.NewRand(7)
 	g := planar.Grid(4, 5)
 	phi := make([]int64, g.N())
 	for v := range phi {
-		phi[v] = rng.Int63n(50)
+		phi[v] = rng.Int64N(50)
 	}
 	lens := make([]int64, g.NumDarts())
 	neg := false
 	for d := planar.Dart(0); int(d) < g.NumDarts(); d++ {
-		lens[d] = 1 + rng.Int63n(10) + phi[g.Tail(d)] - phi[g.Head(d)]
+		lens[d] = 1 + rng.Int64N(10) + phi[g.Tail(d)] - phi[g.Head(d)]
 		neg = neg || lens[d] < 0
 	}
 	if !neg {
@@ -126,7 +126,7 @@ func TestNegativeCycleDetected(t *testing.T) {
 }
 
 func TestLeafLimitInvariance(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := planar.NewRand(11)
 	g := planar.Grid(5, 5)
 	lens := symLengths(g, rng, 1, 25)
 	for _, leaf := range []int{4, 8, 20, 1000} {
@@ -135,7 +135,7 @@ func TestLeafLimitInvariance(t *testing.T) {
 }
 
 func TestSSSPAndLabelWords(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
+	rng := planar.NewRand(13)
 	g := planar.Grid(5, 6)
 	lens := symLengths(g, rng, 1, 9)
 	led := ledger.New()

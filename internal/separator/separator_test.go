@@ -1,7 +1,6 @@
 package separator
 
 import (
-	"math/rand"
 	"testing"
 
 	"planarflow/internal/planar"
@@ -79,7 +78,7 @@ func TestSeparatorGrid(t *testing.T) {
 }
 
 func TestSeparatorTriangulation(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := planar.NewRand(17)
 	for _, n := range []int{10, 50, 200} {
 		g := planar.StackedTriangulation(n, rng)
 		in := allEdges(g)
@@ -93,7 +92,7 @@ func TestSeparatorTriangulation(t *testing.T) {
 }
 
 func TestSeparatorSparse(t *testing.T) {
-	rng := rand.New(rand.NewSource(23))
+	rng := planar.NewRand(23)
 	for trial := 0; trial < 10; trial++ {
 		g0 := planar.StackedTriangulation(60, rng)
 		g := planar.RemoveRandomEdges(g0, rng, 50)
@@ -183,13 +182,13 @@ func TestSeparatorCycleIsTreePath(t *testing.T) {
 
 func TestSubFacesEulerOnBags(t *testing.T) {
 	// v - m + f = 1 + c for sub-embeddings (c connected components).
-	rng := rand.New(rand.NewSource(3))
+	rng := planar.NewRand(3)
 	for trial := 0; trial < 20; trial++ {
 		g := planar.StackedTriangulation(30, rng)
 		in := make([]bool, g.M())
 		m := 0
 		for e := range in {
-			if rng.Intn(4) > 0 {
+			if rng.IntN(4) > 0 {
 				in[e] = true
 				m++
 			}

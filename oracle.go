@@ -3,19 +3,18 @@ package planarflow
 import (
 	"fmt"
 
-	"planarflow/internal/bdd"
+	"planarflow/internal/artifact"
 	"planarflow/internal/duallabel"
 	"planarflow/internal/ledger"
-	"planarflow/internal/planar"
 	"planarflow/internal/primallabel"
-	"planarflow/internal/spath"
 )
 
 // DistanceOracle answers vertex-to-vertex and face-to-face (dual) distance
-// queries from the Õ(D)-bit distance labels of [27] and §5. Construction
-// costs Õ(D²) simulated rounds once; afterwards any pair decodes locally
-// from two labels — the paper's observation that the labeling "actually
-// allows computation of all pairs shortest paths" (§5).
+// queries from the Õ(D)-bit distance labels of [27] and §5. It is a thin
+// view over a PreparedGraph's label artifacts: construction costs Õ(D²)
+// simulated rounds once per graph; afterwards any pair decodes locally from
+// two labels — the paper's observation that the labeling "actually allows
+// computation of all pairs shortest paths" (§5). Safe for concurrent use.
 type DistanceOracle struct {
 	g      *Graph
 	primal *primallabel.Labeling
@@ -29,46 +28,57 @@ type DistanceOracle struct {
 // as long as no negative cycle exists; a negative cycle is reported as an
 // error, per Thm 2.1.
 func NewDistanceOracle(gr *Graph) (*DistanceOracle, error) {
-	return newOracle(gr, false)
+	p, err := Prepare(gr)
+	if err != nil {
+		return nil, err
+	}
+	return p.DistanceOracle()
 }
 
 // NewDirectedDistanceOracle builds labels where each edge is traversable
 // only in its U -> V direction.
 func NewDirectedDistanceOracle(gr *Graph) (*DistanceOracle, error) {
-	return newOracle(gr, true)
+	p, err := Prepare(gr)
+	if err != nil {
+		return nil, err
+	}
+	return p.DirectedDistanceOracle()
 }
 
-func newOracle(gr *Graph, directed bool) (*DistanceOracle, error) {
+// DistanceOracle returns the undirected distance oracle over this prepared
+// graph's label artifacts, building them if needed. Its Rounds report the
+// cost paid by this call: the full labeling construction the first time, and
+// zero once the artifacts are warm.
+func (p *PreparedGraph) DistanceOracle() (*DistanceOracle, error) {
+	return p.oracle(artifact.Undirected)
+}
+
+// DirectedDistanceOracle is DistanceOracle with one-way edge semantics.
+func (p *PreparedGraph) DirectedDistanceOracle() (*DistanceOracle, error) {
+	return p.oracle(artifact.Directed)
+}
+
+func (p *PreparedGraph) oracle(kind artifact.LengthKind) (*DistanceOracle, error) {
 	led := ledger.New()
-	tree := bdd.Build(gr.g, 0, led)
-	lens := make([]int64, gr.g.NumDarts())
-	for e := 0; e < gr.g.M(); e++ {
-		w := gr.g.Edge(e).Weight
-		lens[planar.ForwardDart(e)] = w
-		if directed {
-			lens[planar.BackwardDart(e)] = spath.Inf
-		} else {
-			lens[planar.BackwardDart(e)] = w
-		}
-	}
-	pl := primallabel.Compute(tree, lens, led)
+	pl := p.art.PrimalLabels(kind, 0, led)
 	if pl.NegCycle {
-		return nil, fmt.Errorf("planarflow: graph contains a negative cycle")
+		return nil, fmt.Errorf("planarflow: graph: %w", ErrNegativeCycle)
 	}
-	dl := duallabel.Compute(tree, lens, led)
+	dl := p.art.DualLabels(kind, 0, led)
 	if dl.NegCycle {
-		return nil, fmt.Errorf("planarflow: dual graph contains a negative cycle")
+		return nil, fmt.Errorf("planarflow: dual graph: %w", ErrNegativeCycle)
 	}
-	return &DistanceOracle{g: gr, primal: pl, dual: dl, rounds: roundsOf(led)}, nil
+	return &DistanceOracle{g: p.gr, primal: pl, dual: dl, rounds: roundsOf(led)}, nil
 }
 
-// Rounds reports the construction cost.
+// Rounds reports the construction cost paid when this oracle was built (zero
+// when it was served from an already-warm PreparedGraph).
 func (o *DistanceOracle) Rounds() Rounds { return o.rounds }
 
 // Dist returns the shortest-path distance from u to v (Inf if unreachable).
 func (o *DistanceOracle) Dist(u, v int) (int64, error) {
 	if u < 0 || v < 0 || u >= o.g.N() || v >= o.g.N() {
-		return 0, fmt.Errorf("planarflow: vertex pair (%d,%d) out of range", u, v)
+		return 0, fmt.Errorf("planarflow: vertex pair (%d,%d) out of [0,%d): %w", u, v, o.g.N(), ErrVertexRange)
 	}
 	return o.primal.Dist(u, v), nil
 }
@@ -78,7 +88,7 @@ func (o *DistanceOracle) Dist(u, v int) (int64, error) {
 // direction for directed oracles).
 func (o *DistanceOracle) DualDist(f1, f2 int) (int64, error) {
 	if f1 < 0 || f2 < 0 || f1 >= o.g.NumFaces() || f2 >= o.g.NumFaces() {
-		return 0, fmt.Errorf("planarflow: face pair (%d,%d) out of range", f1, f2)
+		return 0, fmt.Errorf("planarflow: face pair (%d,%d) out of [0,%d): %w", f1, f2, o.g.NumFaces(), ErrFaceRange)
 	}
 	return o.dual.Dist(f1, f2), nil
 }

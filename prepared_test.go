@@ -1,0 +1,262 @@
+package planarflow
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// servingGraph is a directed, weighted instance exercised by the prepared
+// tests: random capacities for flow, positive weights for girth/labels.
+func servingGraph() *Graph {
+	return GridGraph(6, 6).WithRandomAttrs(11, 1, 9, 1, 16)
+}
+
+// TestPreparedEquivalence asserts that every headline one-shot result is
+// bit-identical to the prepared-path result on the same graph.
+func TestPreparedEquivalence(t *testing.T) {
+	g := servingGraph()
+	p, err := Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tt := 0, g.N()-1
+
+	t.Run("MaxFlow", func(t *testing.T) {
+		cold, err1 := MaxFlow(g, s, tt)
+		warm, err2 := p.MaxFlow(s, tt)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cold.Value != warm.Value || cold.Iterations != warm.Iterations ||
+			!reflect.DeepEqual(cold.Flow, warm.Flow) {
+			t.Fatal("one-shot and prepared max-flow results diverge")
+		}
+	})
+	t.Run("MinSTCut", func(t *testing.T) {
+		cold, err1 := MinSTCut(g, s, tt)
+		warm, err2 := p.MinSTCut(s, tt)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cold.Value != warm.Value || !reflect.DeepEqual(cold.Side, warm.Side) ||
+			!reflect.DeepEqual(cold.CutEdges, warm.CutEdges) {
+			t.Fatal("one-shot and prepared min-cut results diverge")
+		}
+	})
+	t.Run("ApproxFlowAndCut", func(t *testing.T) {
+		cold, err1 := ApproxMaxFlowSTPlanar(g, s, tt, 0.1)
+		warm, err2 := p.ApproxMaxFlowSTPlanar(s, tt, 0.1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cold.Value != warm.Value || !reflect.DeepEqual(cold.Flow, warm.Flow) {
+			t.Fatal("approximate flow results diverge")
+		}
+		ccut, err3 := ApproxMinCutSTPlanar(g, s, tt, 0)
+		wcut, err4 := p.ApproxMinCutSTPlanar(s, tt, 0)
+		if err3 != nil || err4 != nil {
+			t.Fatal(err3, err4)
+		}
+		if ccut.Value != wcut.Value || !reflect.DeepEqual(ccut.CutEdges, wcut.CutEdges) {
+			t.Fatal("approximate cut results diverge")
+		}
+	})
+	t.Run("Girth", func(t *testing.T) {
+		cold, err1 := Girth(g)
+		warm, err2 := p.Girth()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cold.Weight != warm.Weight || !reflect.DeepEqual(cold.CycleEdges, warm.CycleEdges) {
+			t.Fatal("girth results diverge")
+		}
+	})
+	t.Run("DirectedGirthAndGlobalCut", func(t *testing.T) {
+		gd := BoustrophedonGridGraph(5, 5).WithRandomAttrs(7, 1, 20, 1, 1)
+		pd, err := Prepare(gd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err1 := DirectedGirth(gd)
+		warm, err2 := pd.DirectedGirth()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cold.Weight != warm.Weight {
+			t.Fatal("directed girth results diverge")
+		}
+		ccut, err3 := GlobalMinCut(gd)
+		wcut, err4 := pd.GlobalMinCut()
+		if err3 != nil || err4 != nil {
+			t.Fatal(err3, err4)
+		}
+		if ccut.Value != wcut.Value || !reflect.DeepEqual(ccut.Side, wcut.Side) ||
+			!reflect.DeepEqual(ccut.CutEdges, wcut.CutEdges) {
+			t.Fatal("global min cut results diverge")
+		}
+	})
+	t.Run("DualSSSP", func(t *testing.T) {
+		cold, err1 := DualSSSP(g, 1)
+		warm, err2 := p.DualSSSP(1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cold.NegCycle != warm.NegCycle || !reflect.DeepEqual(cold.Dist, warm.Dist) {
+			t.Fatal("dual SSSP results diverge")
+		}
+	})
+	t.Run("OracleVsPreparedDist", func(t *testing.T) {
+		o, err := NewDistanceOracle(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u += 7 {
+			for v := 0; v < g.N(); v += 5 {
+				want, err1 := o.Dist(u, v)
+				got, err2 := p.Dist(u, v)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if got != want {
+					t.Fatalf("dist(%d,%d): prepared %d, oracle %d", u, v, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestPreparedAmortization pins the serving contract at the public layer:
+// the first query carries Build rounds, later queries of every flavor that
+// shares the substrates report Build == 0 while one-shots always pay.
+func TestPreparedAmortization(t *testing.T) {
+	g := servingGraph()
+	p, err := Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Rounds.Build <= 0 {
+		t.Fatalf("first query Build=%d, want > 0", first.Rounds.Build)
+	}
+	if first.Rounds.Build+first.Rounds.Query != first.Rounds.Total {
+		t.Fatal("build/query split does not sum to total")
+	}
+	second, err := p.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Rounds.Build != 0 {
+		t.Fatalf("second query Build=%d, want 0", second.Rounds.Build)
+	}
+	if second.Rounds.Query <= 0 || second.Rounds.Total >= first.Rounds.Total {
+		t.Fatalf("second query rounds %+v not cheaper than first %+v", second.Rounds, first.Rounds)
+	}
+	// MinSTCut shares MaxFlow's tree: no further build cost.
+	cut, err := p.MinSTCut(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Rounds.Build != 0 {
+		t.Fatalf("min-cut on warm artifact Build=%d, want 0", cut.Rounds.Build)
+	}
+	// One-shot always pays the build.
+	oneshot, err := MaxFlow(g, 0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneshot.Rounds.Build != first.Rounds.Build {
+		t.Fatalf("one-shot Build=%d, want %d", oneshot.Rounds.Build, first.Rounds.Build)
+	}
+	// The cumulative build ledger is visible on the prepared graph.
+	if b := p.BuildRounds(); b.Total <= 0 || b.Query != 0 {
+		t.Fatalf("BuildRounds=%+v, want positive all-build", b)
+	}
+}
+
+// TestPreparedConcurrentServing fires parallel MaxFlow/Girth/Dist/DualSSSP
+// queries against one PreparedGraph under -race and checks every result
+// against the sequential answers.
+func TestPreparedConcurrentServing(t *testing.T) {
+	g := servingGraph()
+	p, err := Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlow, err := MaxFlow(g, 0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGirth, err := Girth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewDistanceOracle(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSSSP, err := DualSSSP(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	errs := make(chan error, workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := p.MaxFlow(0, g.N()-1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Value != wantFlow.Value {
+				t.Errorf("worker %d: flow %d want %d", w, res.Value, wantFlow.Value)
+			}
+			gi, err := p.Girth()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if gi.Weight != wantGirth.Weight {
+				t.Errorf("worker %d: girth %d want %d", w, gi.Weight, wantGirth.Weight)
+			}
+			u, v := w%g.N(), (w*13+5)%g.N()
+			d, err := p.Dist(u, v)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want, _ := o.Dist(u, v); d != want {
+				t.Errorf("worker %d: dist(%d,%d)=%d want %d", w, u, v, d, want)
+			}
+			ss, err := p.DualSSSP(0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(ss.Dist, wantSSSP.Dist) {
+				t.Errorf("worker %d: dual SSSP diverges", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Exactly one build of each substrate despite the stampede: a fresh
+	// query reports zero build rounds.
+	post, err := p.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Rounds.Build != 0 {
+		t.Fatalf("post-stampede query Build=%d, want 0", post.Rounds.Build)
+	}
+}
