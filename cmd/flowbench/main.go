@@ -19,6 +19,7 @@
 //	flowbench -exp sched -write-baseline BENCH_sched.json
 //	flowbench -exp sched -baseline BENCH_sched.json   # exit 1 on regression
 //	flowbench -exp serve -full -baseline BENCH_serve.json  # serving gate
+//	flowbench -exp traffic -baseline BENCH_traffic_smoke.json -require-ok  # fleet gate
 package main
 
 import (
@@ -69,11 +70,11 @@ var experiments = []struct {
 	{"E1", e1ExactFlow}, {"E2", e2ApproxFlow}, {"E3", e3GlobalCut},
 	{"E4", e4Girth}, {"E5", e5Labels}, {"E6", e6MinCut},
 	{"E7", e7PA}, {"E8", e8BDD}, {"E9", e9Crossover}, {"E10", e10GirthAblation},
-	{"SCHED", schedBench}, {"SERVE", serveBench},
+	{"SCHED", schedBench}, {"SERVE", serveBench}, {"TRAFFIC", trafficBench},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E10, SCHED, or all)")
+	exp := flag.String("exp", "all", "experiment id (E1..E10, SCHED, SERVE, TRAFFIC, or all)")
 	full := flag.Bool("full", false, "run larger instances")
 	repeats := flag.Int("repeats", 1, "repeat each experiment with derived seeds")
 	csvPath := flag.String("csv", "", "write one CSV row per instance run")
@@ -82,6 +83,7 @@ func main() {
 	writeBase := flag.String("write-baseline", "", "store this run's rounds as a baseline JSON")
 	tol := flag.Float64("tol", 0, "fractional rounds tolerance for -baseline comparison")
 	seed := flag.Int64("seed", 0, "override base RNG seed (0 = per-experiment default)")
+	requireOK := flag.Bool("require-ok", false, "exit 1 if any record's correctness check failed (gates wall-clock-dependent experiments whose rounds are not comparable)")
 	flag.Parse()
 
 	if *repeats < 1 {
@@ -116,13 +118,21 @@ func main() {
 	// -write-baseline gates against the old trajectory point, then
 	// refreshes it.
 	regressions := 0
+	if *requireOK {
+		for _, r := range s.records {
+			if !r.OK {
+				regressions++
+				fmt.Fprintf(os.Stderr, "NOT-OK %s/%s/r%d\n", r.Exp, r.Instance, r.Repeat)
+			}
+		}
+	}
 	if *basePath != "" {
 		b, err := loadBaseline(*basePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		regressions = compare(b, s.records, *tol)
+		regressions += compare(b, s.records, *tol)
 	}
 	if *writeBase != "" {
 		if err := writeBaseline(*writeBase, s.records); err != nil {

@@ -31,10 +31,17 @@ type Record struct {
 	Seed     int64   `json:"seed"`            // RNG seed the repeat ran with
 	OK       bool    `json:"ok"`              // experiment-specific correctness check
 
-	// Serving metrics (SERVE experiment only).
+	// Serving metrics (SERVE and TRAFFIC experiments).
 	Queries int     `json:"queries,omitempty"`   // number of queries in the batch
 	Speedup float64 `json:"speedup_x,omitempty"` // cold rounds / prepared rounds
 	QPS     float64 `json:"qps,omitempty"`       // wall-clock queries per second
+
+	// Traffic metrics (TRAFFIC experiment only).
+	Clients   int     `json:"clients,omitempty"`   // concurrent clients driving the daemon
+	HitRate   float64 `json:"hit_rate,omitempty"`  // store hits / (hits + misses)
+	Evictions int64   `json:"evictions,omitempty"` // bundles evicted under the budget
+	P50MS     float64 `json:"p50_ms,omitempty"`    // median query latency
+	P99MS     float64 `json:"p99_ms,omitempty"`    // tail query latency
 }
 
 // key identifies a record across runs for baseline comparison. Wall-clock
@@ -58,6 +65,7 @@ var csvHeader = []string{
 	"exp", "instance", "n", "d", "rounds", "measured_rounds", "charged_rounds",
 	"messages", "bits", "wall_ms", "repeat", "seed", "ok",
 	"queries", "speedup_x", "qps",
+	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -96,6 +104,9 @@ func (s *sink) add(r Record) {
 			strconv.Itoa(r.Repeat), strconv.FormatInt(r.Seed, 10), strconv.FormatBool(r.OK),
 			strconv.Itoa(r.Queries), strconv.FormatFloat(r.Speedup, 'f', 2, 64),
 			strconv.FormatFloat(r.QPS, 'f', 2, 64),
+			strconv.Itoa(r.Clients), strconv.FormatFloat(r.HitRate, 'f', 4, 64),
+			strconv.FormatInt(r.Evictions, 10),
+			strconv.FormatFloat(r.P50MS, 'f', 3, 64), strconv.FormatFloat(r.P99MS, 'f', 3, 64),
 		})
 	}
 	if s.enc != nil {

@@ -1,0 +1,251 @@
+package main
+
+// TRAFFIC experiment: fleet-level serving through the flowd daemon. A
+// fresh daemon (in-process HTTP server over internal/store) is loaded
+// with a working set of G same-size grids whose artifact footprint
+// exceeds the store's memory budget, then driven by C concurrent clients
+// issuing queries over a Zipf-distributed graph popularity — the shape of
+// real multi-tenant traffic: a popular head that should stay resident and
+// a long tail that churns through the eviction policy. Each (C) run
+// records wall-clock throughput (qps), latency percentiles, the store's
+// hit rate, and the eviction count; OK asserts the serving story the
+// subsystem exists for: nonzero evictions (the budget is real), >= 80%
+// hit rate at the default skew (the LRU keeps the head), a qps floor,
+// and wire answers equal to in-process answers.
+//
+// The op mix is decode-heavy on purpose (dist 80%, dualdist 15%,
+// dualsssp 5%): point queries cost nothing once labels are warm, so
+// throughput measures the serving layer — registry, singleflight,
+// eviction, HTTP — not the simulator.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"planarflow"
+	"planarflow/internal/flowd"
+	"planarflow/internal/planar"
+	"planarflow/internal/store"
+)
+
+// trafficCfg sizes one TRAFFIC run.
+type trafficCfg struct {
+	graphs   int     // working-set size G
+	side     int     // grid side (all graphs same size, different seeds)
+	resident int     // budget in units of one graph's measured footprint
+	skew     float64 // Zipf exponent over graph popularity ranks
+	queries  int     // total queries per run (split across clients)
+	qpsFloor float64 // OK threshold: generous, catches collapse not noise
+}
+
+func trafficSizes(full bool) trafficCfg {
+	if full {
+		return trafficCfg{graphs: 16, side: 10, resident: 8, skew: 1.3, queries: 1600, qpsFloor: 25}
+	}
+	return trafficCfg{graphs: 10, side: 6, resident: 6, skew: 1.3, queries: 480, qpsFloor: 25}
+}
+
+// zipfDist is a seeded sampler over ranks 0..n-1 with P(i) ∝ 1/(i+1)^s.
+// (math/rand/v2 dropped rand.Zipf; a CDF inversion is all we need.)
+type zipfDist struct{ cdf []float64 }
+
+func newZipf(n int, s float64) *zipfDist {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfDist{cdf: cdf}
+}
+
+func (z *zipfDist) sample(rng *rand.Rand) int {
+	return sort.SearchFloat64s(z.cdf, rng.Float64())
+}
+
+func trafficSpec(tc trafficCfg, seed int64, i int) store.GraphSpec {
+	return store.GraphSpec{
+		Kind: "grid", Rows: tc.side, Cols: tc.side,
+		Seed: seed + int64(i), WLo: 1, WHi: 9, CLo: 1, CHi: 16,
+	}
+}
+
+// trafficUnit measures the accounted footprint of one working-set graph
+// after the op mix's substrates (primal + dual labelings) are warm — the
+// unit the store budget is denominated in.
+func trafficUnit(tc trafficCfg, seed int64) (int64, error) {
+	g, err := trafficSpec(tc, seed, 0).Build()
+	if err != nil {
+		return 0, err
+	}
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.Dist(0, g.N()-1); err != nil {
+		return 0, err
+	}
+	if _, err := p.DualDist(0, 1); err != nil {
+		return 0, err
+	}
+	return p.Stats().Bytes, nil
+}
+
+// trafficBench runs the TRAFFIC experiment: one daemon per client count,
+// C=1 then C=8, same working set and query budget.
+func trafficBench(s *sink, c cfg) {
+	tc := trafficSizes(c.full)
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(30, rep)
+		header(rep, "TRAFFIC", fmt.Sprintf(
+			"flowd under Zipf(%.1f) traffic: G=%d grids %dx%d, budget %d/%d resident",
+			tc.skew, tc.graphs, tc.side, tc.side, tc.resident, tc.graphs),
+			"clients", "queries", "qps", "p50ms", "p99ms", "hitrate", "evict", "ok")
+		for _, clients := range []int{1, 8} {
+			res, err := runTraffic(tc, seed, clients)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			n := tc.side * tc.side
+			d := 2*tc.side - 2
+			s.add(Record{
+				Exp:      "TRAFFIC",
+				Instance: fmt.Sprintf("zipf%.1f-g%d-r%d:c%d", tc.skew, tc.graphs, tc.resident, clients),
+				N:        n, D: d,
+				WallMS: res.wallMS, Repeat: rep, Seed: seed, OK: res.ok,
+				Queries: tc.queries, QPS: res.qps,
+				Clients: clients, HitRate: res.hitRate, Evictions: res.evictions,
+				P50MS: res.p50, P99MS: res.p99,
+			})
+			row(rep, clients, tc.queries, res.qps, res.p50, res.p99, res.hitRate,
+				res.evictions, res.ok)
+		}
+	}
+}
+
+type trafficResult struct {
+	qps, p50, p99, hitRate, wallMS float64
+	evictions                      int64
+	ok                             bool
+}
+
+func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) {
+	unit, err := trafficUnit(tc, seed)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New(store.Config{MaxBytes: int64(tc.resident)*unit + unit/2})
+	hsrv := httptest.NewServer(flowd.NewServer(st))
+	defer hsrv.Close()
+	ctx := context.Background()
+	cl := flowd.NewClient(hsrv.URL).WithHTTPClient(hsrv.Client())
+
+	ids := make([]string, tc.graphs)
+	var n, faces int
+	for i := range ids {
+		ids[i] = fmt.Sprintf("g%02d", i)
+		reg, err := cl.Register(ctx, ids[i], trafficSpec(tc, seed, i))
+		if err != nil {
+			return nil, err
+		}
+		n, faces = reg.N, reg.Faces
+	}
+
+	// Wire-vs-library ground truth on the most popular graph.
+	g0, err := trafficSpec(tc, seed, 0).Build()
+	if err != nil {
+		return nil, err
+	}
+	p0, err := planarflow.Prepare(g0)
+	if err != nil {
+		return nil, err
+	}
+	wantDist, err := p0.Dist(0, n-1)
+	if err != nil {
+		return nil, err
+	}
+
+	z := newZipf(tc.graphs, tc.skew)
+	perClient := tc.queries / clients
+	lat := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := planar.NewRand(seed + 1000*int64(w+1))
+			lat[w] = make([]float64, 0, perClient)
+			for q := 0; q < perClient; q++ {
+				req := flowd.QueryRequest{Graph: ids[z.sample(rng)]}
+				switch roll := rng.Float64(); {
+				case roll < 0.80:
+					req.Op, req.U, req.V = "dist", rng.IntN(n), rng.IntN(n)
+				case roll < 0.95:
+					req.Op, req.U, req.V = "dualdist", rng.IntN(faces), rng.IntN(faces)
+				default:
+					req.Op, req.Source = "dualsssp", rng.IntN(faces)
+				}
+				t0 := time.Now()
+				if _, err := cl.Query(ctx, req); err != nil {
+					errs[w] = fmt.Errorf("client %d query %d: %w", w, q, err)
+					return
+				}
+				lat[w] = append(lat[w], float64(time.Since(t0).Microseconds())/1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	check, err := cl.Query(ctx, flowd.QueryRequest{Graph: ids[0], Op: "dist", U: 0, V: n - 1})
+	if err != nil {
+		return nil, err
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	all := make([]float64, 0, tc.queries)
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	res := &trafficResult{
+		qps:       float64(clients*perClient) / wall.Seconds(),
+		p50:       pct(0.50),
+		p99:       pct(0.99),
+		hitRate:   stats.HitRate,
+		wallMS:    float64(wall.Microseconds()) / 1000,
+		evictions: stats.Store.Evictions,
+	}
+	res.ok = res.evictions > 0 && // the working set really exceeded the budget
+		res.hitRate >= 0.80 && // the LRU kept the Zipf head resident
+		res.qps >= tc.qpsFloor && // throughput did not collapse
+		check.Value == wantDist // the wire agrees with the library
+	return res, nil
+}

@@ -1,0 +1,158 @@
+// Command flowd serves the paper's query families over many graphs from
+// one process: an HTTP/JSON daemon over the prepared-substrate store
+// (internal/store + internal/flowd). Graphs are registered as generator
+// specs; substrates (BDD + distance labelings) build lazily on first
+// query, deduplicate across concurrent requests, and are evicted
+// least-recently-used when the artifact budget is exceeded.
+//
+// Usage:
+//
+//	flowd -addr :8373 -budget-mb 256          # serve until interrupted
+//	flowd -demo 8 ...                         # preregister demo grids demo0..demoN-1
+//	flowd -selfcheck                          # end-to-end smoke: serve, query, exit
+//
+// Endpoints: POST /v1/graphs, GET /v1/graphs, POST /v1/query,
+// GET /statsz, GET /healthz — see internal/flowd for the protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"planarflow/internal/flowd"
+	"planarflow/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8373", "listen address")
+	budgetMB := flag.Int64("budget-mb", 256, "artifact memory budget in MiB (0 = unlimited)")
+	maxGraphs := flag.Int("max-graphs", store.DefaultMaxGraphs, "cap on registered graphs (graphs are not evictable; < 0 = unlimited)")
+	demo := flag.Int("demo", 0, "preregister this many demo grid graphs (demo0..demoN-1)")
+	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run an end-to-end check, exit")
+	flag.Parse()
+
+	st := store.New(store.Config{MaxBytes: *budgetMB << 20, MaxGraphs: *maxGraphs})
+	for i := 0; i < *demo; i++ {
+		id := fmt.Sprintf("demo%d", i)
+		if _, err := st.RegisterSpec(id, demoSpec(i)); err != nil {
+			fmt.Fprintln(os.Stderr, "flowd:", err)
+			os.Exit(2)
+		}
+	}
+	srv := flowd.NewServer(st)
+
+	if *selfcheck {
+		if err := runSelfcheck(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "flowd selfcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowd:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("flowd: serving on %s (budget %d MiB, %d graphs preregistered)\n",
+		ln.Addr(), *budgetMB, *demo)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "flowd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+		fmt.Println("flowd: shut down")
+	}
+}
+
+// demoSpec varies grid sizes and seeds so a demo fleet exercises the
+// eviction policy with mixed footprints.
+func demoSpec(i int) store.GraphSpec {
+	side := 8 + 2*(i%4)
+	return store.GraphSpec{
+		Kind: "grid", Rows: side, Cols: side, Seed: int64(i + 1),
+		WLo: 1, WHi: 9, CLo: 1, CHi: 16,
+	}
+}
+
+// runSelfcheck is the end-to-end smoke path: serve on a loopback port,
+// drive the daemon through its own client (register, one query per family,
+// statsz), and report what the wire saw.
+func runSelfcheck(srv *flowd.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c := flowd.NewClient("http://" + ln.Addr().String())
+	if err := c.Health(ctx); err != nil {
+		return err
+	}
+	fmt.Println("flowd selfcheck: healthz ok")
+
+	reg, err := c.Register(ctx, "check", store.GraphSpec{
+		Kind: "grid", Rows: 6, Cols: 6, Seed: 42, WLo: 1, WHi: 9, CLo: 1, CHi: 16,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered grid n=%d m=%d faces=%d\n", reg.N, reg.M, reg.Faces)
+
+	queries := []flowd.QueryRequest{
+		{Graph: "check", Op: "dist", U: 0, V: reg.N - 1},
+		{Graph: "check", Op: "dualdist", U: 0, V: reg.Faces - 1},
+		{Graph: "check", Op: "maxflow", U: 0, V: reg.N - 1},
+		{Graph: "check", Op: "minstcut", U: 0, V: reg.N - 1},
+		{Graph: "check", Op: "girth"},
+	}
+	var flowVal, cutVal int64
+	for _, q := range queries {
+		resp, err := c.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.Op, err)
+		}
+		fmt.Printf("%s=%d rounds=%d (build %d + query %d) hit=%v\n",
+			q.Op, resp.Value, resp.Rounds.Total, resp.Rounds.Build, resp.Rounds.Query, resp.Hit)
+		switch q.Op {
+		case "maxflow":
+			flowVal = resp.Value
+		case "minstcut":
+			cutVal = resp.Value
+		}
+	}
+	if flowVal != cutVal {
+		return fmt.Errorf("maxflow %d != minstcut %d", flowVal, cutVal)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("statsz: graphs=%d resident=%d bytes=%d hits=%d misses=%d builds=%d\n",
+		stats.Store.Graphs, stats.Store.Resident, stats.Store.Bytes,
+		stats.Store.Hits, stats.Store.Misses, stats.Store.Builds)
+	fmt.Println("flowd selfcheck: ok")
+	return nil
+}

@@ -8,17 +8,29 @@
 // exist, every further query decodes locally. Prepared realizes that split.
 // Substrates are keyed by what determines them — the BDD by its leaf limit,
 // a labeling by (length kind, leaf limit) — and built lazily under a
-// sync.Once per slot, so concurrent queries needing the same substrate block
-// on one construction and then share the immutable result.
+// per-slot singleflight, so concurrent queries needing the same substrate
+// block on one construction and then share the immutable result.
+//
+// Cancellation: a Prepared carries a context (WithContext derives a
+// request-scoped view over the same substrate cache). The context is
+// honored at substrate-build checkpoints: a waiter whose context is
+// canceled stops waiting, and a builder whose context is canceled aborts
+// the half-built substrate at its next checkpoint and releases the slot, so
+// an abandoned request stops paying for a build nobody wants — the next
+// live request restarts it.
 //
 // Round accounting: each slot builds into its own ledger; that snapshot is
 // merged into the triggering query's ledger with ledger.Build scope exactly
 // once (by the builder), so the first query on a graph reports the full
 // build cost, later queries report Build=0, and the cumulative cost of
-// everything built so far is available from BuildLedger.
+// everything built so far is available from BuildLedger. Stats reports the
+// per-substrate footprint (estimated bytes + build rounds) the serving
+// layer's eviction policy consumes.
 package artifact
 
 import (
+	"context"
+	"sort"
 	"sync"
 
 	"planarflow/internal/bdd"
@@ -47,6 +59,19 @@ const (
 	FreeReversal
 )
 
+func (k LengthKind) String() string {
+	switch k {
+	case Undirected:
+		return "undirected"
+	case Directed:
+		return "directed"
+	case FreeReversal:
+		return "free-reversal"
+	default:
+		return "unknown"
+	}
+}
+
 // Lengths materializes the per-dart length vector of a kind for g. The
 // Undirected and Directed kinds are duallabel.UniformLengths' two modes;
 // delegating keeps a single definition of the dart-length convention.
@@ -68,17 +93,20 @@ type labelKey struct {
 	leafLimit int
 }
 
-// slot is one lazily-built substrate: a sync.Once guards construction, and
-// the slot keeps the build-cost ledger so late arrivals can account it.
+// slot is one lazily-built substrate under singleflight: at most one
+// builder runs at a time; waiters block on inflight (or their context) and
+// re-check. A canceled builder leaves the slot empty for the next caller.
 type slot[T any] struct {
-	once sync.Once
-	val  T
-	led  *ledger.Ledger
+	val      T
+	ready    bool
+	inflight chan struct{}  // non-nil while a build is running
+	led      *ledger.Ledger // build cost of the published value
+	bytes    int64          // footprint estimate of the published value
 }
 
-// Prepared is the reusable artifact bundle of one embedded graph. Safe for
-// concurrent use; all substrates are immutable once built.
-type Prepared struct {
+// state is the substrate cache shared by every context-bound view of one
+// prepared graph.
+type state struct {
 	g *planar.Graph
 
 	mu      sync.Mutex
@@ -89,25 +117,50 @@ type Prepared struct {
 	build *ledger.Ledger // cumulative build cost of every substrate built
 }
 
-// New wraps g in an empty prepared bundle; nothing is built until queried.
+// Prepared is the reusable artifact bundle of one embedded graph: a
+// request context over the shared substrate cache. Safe for concurrent
+// use; all substrates are immutable once built.
+type Prepared struct {
+	ctx context.Context
+	st  *state
+}
+
+// New wraps g in an empty prepared bundle bound to the background context;
+// nothing is built until queried.
 func New(g *planar.Graph) *Prepared {
 	return &Prepared{
-		g:       g,
-		trees:   map[int]*slot[*bdd.BDD]{},
-		duals:   map[labelKey]*slot[*duallabel.Labeling]{},
-		primals: map[labelKey]*slot[*primallabel.Labeling]{},
-		build:   ledger.New(),
+		ctx: context.Background(),
+		st: &state{
+			g:       g,
+			trees:   map[int]*slot[*bdd.BDD]{},
+			duals:   map[labelKey]*slot[*duallabel.Labeling]{},
+			primals: map[labelKey]*slot[*primallabel.Labeling]{},
+			build:   ledger.New(),
+		},
 	}
 }
 
+// WithContext returns a view over the same substrate cache whose builds
+// and waits are canceled with ctx. Substrates built through any view are
+// shared by all views.
+func (p *Prepared) WithContext(ctx context.Context) *Prepared {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Prepared{ctx: ctx, st: p.st}
+}
+
+// Context returns the context this view is bound to.
+func (p *Prepared) Context() context.Context { return p.ctx }
+
 // Graph returns the underlying embedded graph.
-func (p *Prepared) Graph() *planar.Graph { return p.g }
+func (p *Prepared) Graph() *planar.Graph { return p.st.g }
 
 // ResolveLeafLimit normalizes a leaf-limit request the way bdd.Build does
 // (0 means the paper's Θ(D log n) default), so equal requests share a slot.
 func (p *Prepared) ResolveLeafLimit(leafLimit int) int {
 	if leafLimit == 0 {
-		leafLimit = bdd.DefaultLeafLimit(p.g)
+		leafLimit = bdd.DefaultLeafLimit(p.st.g)
 	}
 	if leafLimit < 4 {
 		leafLimit = 4
@@ -115,70 +168,173 @@ func (p *Prepared) ResolveLeafLimit(leafLimit int) int {
 	return leafLimit
 }
 
+// get runs the slot singleflight: return the published value, or join the
+// inflight build, or become the builder. build constructs the value into
+// the supplied slot ledger; errors (cancellation) leave the slot empty so
+// a later live request restarts the build.
+func get[T any](p *Prepared, s *slot[T],
+	build func(ctx context.Context, led *ledger.Ledger) (T, int64, error)) (T, *ledger.Ledger, bool, error) {
+	mu := &p.st.mu
+	var zero T
+	for {
+		mu.Lock()
+		if s.ready {
+			v, led := s.val, s.led
+			mu.Unlock()
+			return v, led, false, nil
+		}
+		if ch := s.inflight; ch != nil {
+			mu.Unlock()
+			select {
+			case <-ch:
+				continue // build finished or aborted: re-check
+			case <-p.ctx.Done():
+				return zero, nil, false, p.ctx.Err()
+			}
+		}
+		if err := p.ctx.Err(); err != nil {
+			mu.Unlock()
+			return zero, nil, false, err
+		}
+		ch := make(chan struct{})
+		s.inflight = ch
+		mu.Unlock()
+
+		v, led, err := runBuild(p, s, ch, build)
+		if err != nil {
+			return zero, nil, false, err
+		}
+		return v, led, true, nil
+	}
+}
+
+// runBuild executes the builder's critical section. The slot release and
+// waiter wakeup run in a defer so that a panicking substrate builder (a
+// degenerate generated graph, say) cannot leave the inflight channel
+// unclosed and hang every later query for the slot — the panic
+// propagates, the slot empties, and the next caller rebuilds.
+func runBuild[T any](p *Prepared, s *slot[T], ch chan struct{},
+	build func(ctx context.Context, led *ledger.Ledger) (T, int64, error)) (v T, led *ledger.Ledger, err error) {
+	led = ledger.New()
+	var bytes int64
+	completed := false
+	defer func() {
+		p.st.mu.Lock()
+		s.inflight = nil
+		if completed && err == nil {
+			s.val, s.led, s.bytes, s.ready = v, led, bytes, true
+		}
+		close(ch)
+		p.st.mu.Unlock()
+	}()
+	v, bytes, err = build(p.ctx, led)
+	completed = true
+	return v, led, err
+}
+
 // Tree returns the BDD for the given leaf limit, building it on first use.
 // The build cost is charged to led (Build scope) by whichever call triggers
-// construction; cache hits charge nothing.
-func (p *Prepared) Tree(leafLimit int, led *ledger.Ledger) *bdd.BDD {
+// construction; cache hits charge nothing. The only possible error is the
+// view context's cancellation.
+func (p *Prepared) Tree(leafLimit int, led *ledger.Ledger) (*bdd.BDD, error) {
 	leafLimit = p.ResolveLeafLimit(leafLimit)
-	p.mu.Lock()
-	s, ok := p.trees[leafLimit]
+	p.st.mu.Lock()
+	s, ok := p.st.trees[leafLimit]
 	if !ok {
-		s = &slot[*bdd.BDD]{led: ledger.New()}
-		p.trees[leafLimit] = s
+		s = &slot[*bdd.BDD]{}
+		p.st.trees[leafLimit] = s
 	}
-	p.mu.Unlock()
-	s.once.Do(func() {
-		s.val = bdd.Build(p.g, leafLimit, s.led)
-		p.build.MergeAs(s.led, ledger.Build)
-		led.MergeAs(s.led, ledger.Build)
-	})
-	return s.val
+	p.st.mu.Unlock()
+	v, slotLed, built, err := get(p, s,
+		func(ctx context.Context, bled *ledger.Ledger) (*bdd.BDD, int64, error) {
+			t, err := bdd.BuildContext(ctx, p.st.g, leafLimit, bled)
+			if err != nil {
+				return nil, 0, err
+			}
+			return t, t.FootprintBytes(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if built {
+		p.st.build.MergeAs(slotLed, ledger.Build)
+		led.MergeAs(slotLed, ledger.Build)
+	}
+	return v, nil
 }
 
 // DualLabels returns the dual distance labeling for (kind, leafLimit),
 // building the BDD and labeling on first use. A labeling with NegCycle set
-// is cached and returned as-is; callers decide how to report it.
-func (p *Prepared) DualLabels(kind LengthKind, leafLimit int, led *ledger.Ledger) *duallabel.Labeling {
+// is cached and returned as-is; callers decide how to report it. The only
+// possible error is the view context's cancellation.
+func (p *Prepared) DualLabels(kind LengthKind, leafLimit int, led *ledger.Ledger) (*duallabel.Labeling, error) {
 	leafLimit = p.ResolveLeafLimit(leafLimit)
 	key := labelKey{kind, leafLimit}
-	p.mu.Lock()
-	s, ok := p.duals[key]
+	p.st.mu.Lock()
+	s, ok := p.st.duals[key]
 	if !ok {
-		s = &slot[*duallabel.Labeling]{led: ledger.New()}
-		p.duals[key] = s
+		s = &slot[*duallabel.Labeling]{}
+		p.st.duals[key] = s
 	}
-	p.mu.Unlock()
-	s.once.Do(func() {
-		// The tree slot accounts its own (possible) construction against the
-		// caller's ledger and the cumulative build ledger; this slot's ledger
-		// holds only the labeling-computation cost.
-		tree := p.Tree(leafLimit, led)
-		s.val = duallabel.Compute(tree, Lengths(p.g, kind), s.led)
-		p.build.MergeAs(s.led, ledger.Build)
-		led.MergeAs(s.led, ledger.Build)
-	})
-	return s.val
+	p.st.mu.Unlock()
+	v, slotLed, built, err := get(p, s,
+		func(ctx context.Context, bled *ledger.Ledger) (*duallabel.Labeling, int64, error) {
+			// The tree slot accounts its own (possible) construction against
+			// the caller's ledger and the cumulative build ledger; this slot's
+			// ledger holds only the labeling-computation cost.
+			tree, err := p.Tree(leafLimit, led)
+			if err != nil {
+				return nil, 0, err
+			}
+			la, err := duallabel.ComputeContext(ctx, tree, Lengths(p.st.g, kind), bled)
+			if err != nil {
+				return nil, 0, err
+			}
+			return la, la.FootprintBytes(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if built {
+		p.st.build.MergeAs(slotLed, ledger.Build)
+		led.MergeAs(slotLed, ledger.Build)
+	}
+	return v, nil
 }
 
 // PrimalLabels returns the primal distance labeling for (kind, leafLimit),
-// building the BDD and labeling on first use.
-func (p *Prepared) PrimalLabels(kind LengthKind, leafLimit int, led *ledger.Ledger) *primallabel.Labeling {
+// building the BDD and labeling on first use. The only possible error is
+// the view context's cancellation.
+func (p *Prepared) PrimalLabels(kind LengthKind, leafLimit int, led *ledger.Ledger) (*primallabel.Labeling, error) {
 	leafLimit = p.ResolveLeafLimit(leafLimit)
 	key := labelKey{kind, leafLimit}
-	p.mu.Lock()
-	s, ok := p.primals[key]
+	p.st.mu.Lock()
+	s, ok := p.st.primals[key]
 	if !ok {
-		s = &slot[*primallabel.Labeling]{led: ledger.New()}
-		p.primals[key] = s
+		s = &slot[*primallabel.Labeling]{}
+		p.st.primals[key] = s
 	}
-	p.mu.Unlock()
-	s.once.Do(func() {
-		tree := p.Tree(leafLimit, led)
-		s.val = primallabel.Compute(tree, Lengths(p.g, kind), s.led)
-		p.build.MergeAs(s.led, ledger.Build)
-		led.MergeAs(s.led, ledger.Build)
-	})
-	return s.val
+	p.st.mu.Unlock()
+	v, slotLed, built, err := get(p, s,
+		func(ctx context.Context, bled *ledger.Ledger) (*primallabel.Labeling, int64, error) {
+			tree, err := p.Tree(leafLimit, led)
+			if err != nil {
+				return nil, 0, err
+			}
+			la, err := primallabel.ComputeContext(ctx, tree, Lengths(p.st.g, kind), bled)
+			if err != nil {
+				return nil, 0, err
+			}
+			return la, la.FootprintBytes(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if built {
+		p.st.build.MergeAs(slotLed, ledger.Build)
+		led.MergeAs(slotLed, ledger.Build)
+	}
+	return v, nil
 }
 
 // BuildLedger returns a snapshot of the cumulative build cost of every
@@ -186,6 +342,67 @@ func (p *Prepared) PrimalLabels(kind LengthKind, leafLimit int, led *ledger.Ledg
 // how many queries shared it).
 func (p *Prepared) BuildLedger() *ledger.Ledger {
 	snap := ledger.New()
-	snap.Merge(p.build)
+	snap.Merge(p.st.build)
 	return snap
+}
+
+// SubstrateStats describes one built substrate: its identity and the two
+// costs the serving layer budgets by — estimated resident bytes and the
+// one-time construction rounds.
+type SubstrateStats struct {
+	Kind        string     `json:"kind"` // "bdd" | "dual-label" | "primal-label"
+	Lengths     LengthKind `json:"-"`
+	LengthsName string     `json:"lengths,omitempty"` // empty for the BDD
+	LeafLimit   int        `json:"leaf_limit"`
+	Bytes       int64      `json:"bytes"`
+	BuildRounds int64      `json:"build_rounds"`
+}
+
+// Stats is a point-in-time snapshot of everything built so far.
+type Stats struct {
+	Substrates  []SubstrateStats `json:"substrates"`
+	Bytes       int64            `json:"bytes"`        // total estimated footprint
+	BuildRounds int64            `json:"build_rounds"` // total one-time cost
+}
+
+// Stats snapshots the built substrates (in-flight builds are excluded
+// until they publish). The slice is ordered deterministically: BDDs by
+// leaf limit, then dual and primal labelings by (kind, leaf limit).
+func (p *Prepared) Stats() Stats {
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	var st Stats
+	add := func(s SubstrateStats) {
+		st.Substrates = append(st.Substrates, s)
+		st.Bytes += s.Bytes
+		st.BuildRounds += s.BuildRounds
+	}
+	for ll, s := range p.st.trees {
+		if s.ready {
+			add(SubstrateStats{Kind: "bdd", LeafLimit: ll, Bytes: s.bytes, BuildRounds: s.led.Total()})
+		}
+	}
+	for k, s := range p.st.duals {
+		if s.ready {
+			add(SubstrateStats{Kind: "dual-label", Lengths: k.kind, LengthsName: k.kind.String(),
+				LeafLimit: k.leafLimit, Bytes: s.bytes, BuildRounds: s.led.Total()})
+		}
+	}
+	for k, s := range p.st.primals {
+		if s.ready {
+			add(SubstrateStats{Kind: "primal-label", Lengths: k.kind, LengthsName: k.kind.String(),
+				LeafLimit: k.leafLimit, Bytes: s.bytes, BuildRounds: s.led.Total()})
+		}
+	}
+	sort.Slice(st.Substrates, func(i, j int) bool {
+		a, b := st.Substrates[i], st.Substrates[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Lengths != b.Lengths {
+			return a.Lengths < b.Lengths
+		}
+		return a.LeafLimit < b.LeafLimit
+	})
+	return st
 }

@@ -15,6 +15,7 @@
 package bdd
 
 import (
+	"context"
 	"math/bits"
 
 	"planarflow/internal/ledger"
@@ -115,6 +116,16 @@ func DefaultLeafLimit(g *planar.Graph) int {
 // measured bag depths (the distributed BDD of [27] builds each level in
 // Õ(D) rounds).
 func Build(g *planar.Graph, leafLimit int, led *ledger.Ledger) *BDD {
+	t, _ := BuildContext(context.Background(), g, leafLimit, led)
+	return t
+}
+
+// BuildContext is Build with a cancellation checkpoint before every bag
+// split: a canceled context aborts the remaining construction and returns
+// ctx.Err() with a nil tree, charging nothing (level charges are emitted
+// only on completion). The background context never fails, so Build wraps
+// this without an error path.
+func BuildContext(ctx context.Context, g *planar.Graph, leafLimit int, led *ledger.Ledger) (*BDD, error) {
 	if leafLimit == 0 {
 		leafLimit = DefaultLeafLimit(g)
 	}
@@ -138,6 +149,9 @@ func Build(g *planar.Graph, leafLimit int, led *ledger.Ledger) *BDD {
 	queue := []*Bag{root}
 	maxDepthAtLevel := map[int]int{}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b := queue[0]
 		queue = queue[1:]
 		if b.Level+1 > t.Depth {
@@ -161,7 +175,7 @@ func Build(g *planar.Graph, leafLimit int, led *ledger.Ledger) *BDD {
 	for lvl := 0; lvl < t.Depth; lvl++ {
 		led.Charge("bdd/construct-level", logn*int64(maxDepthAtLevel[lvl]+2))
 	}
-	return t
+	return t, nil
 }
 
 // fillDerived computes EdgeIn, Faces, Whole and TreeDepth of a bag whose
@@ -277,6 +291,33 @@ func (b *Bag) DualArcs(g *planar.Graph, visit func(d planar.Dart, from, to int))
 			visit(d, fd.FaceOf(d), fd.FaceOf(planar.Rev(d)))
 		}
 	}
+}
+
+// FootprintBytes estimates the resident memory of the decomposition: the
+// per-bag dart lists, membership bitmaps, face tables and separator data.
+// It is an accounting estimate (used by eviction budgeting), not an exact
+// heap measurement: slices count len·elemsize, maps count entries at the
+// ~48 bytes/entry Go runtime rule of thumb.
+func (t *BDD) FootprintBytes() int64 {
+	const (
+		wordSize = 8
+		mapEntry = 48 // amortized per-entry cost of a small-key Go map
+		bagFixed = 160
+	)
+	var b int64
+	for _, bag := range t.Bags {
+		b += bagFixed
+		b += int64(len(bag.Darts)) * wordSize
+		b += int64(len(bag.InBag)) + int64(len(bag.EdgeIn)) // bools
+		b += int64(len(bag.Faces)) * wordSize
+		b += int64(len(bag.FaceSet)+len(bag.Whole)) * mapEntry
+		b += int64(len(bag.SXEdges)+len(bag.DualSXEdges)+len(bag.FX)) * wordSize
+		if bag.Sep != nil {
+			b += int64(len(bag.Sep.CycleVertices)+len(bag.Sep.CycleEdges)) * wordSize
+			b += int64(len(bag.Sep.Side)) // int8 side assignment per dart
+		}
+	}
+	return b
 }
 
 // MaxSXSize returns the largest separator cycle (vertex count) over bags.

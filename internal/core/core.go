@@ -38,7 +38,10 @@ func DualSSSP(p *artifact.Prepared, sourceFace int, opt Options, led *ledger.Led
 	if sourceFace < 0 || sourceFace >= g.Faces().NumFaces() {
 		return nil, fmt.Errorf("%w: face %d of [0,%d)", ErrFaceRange, sourceFace, g.Faces().NumFaces())
 	}
-	la := p.DualLabels(artifact.Undirected, opt.LeafLimit, led)
+	la, err := p.DualLabels(artifact.Undirected, opt.LeafLimit, led)
+	if err != nil {
+		return nil, err
+	}
 	if la.NegCycle {
 		return &duallabel.SSSPResult{Source: sourceFace, NegCycle: true}, nil
 	}

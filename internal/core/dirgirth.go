@@ -31,8 +31,14 @@ func DirectedGirth(p *artifact.Prepared, opt Options, led *ledger.Ledger) (int64
 	// exactly the directed distance oracle's, so the labeling is a shared
 	// artifact: repeated directed-girth queries, or a directed oracle on the
 	// same graph, reuse it.
-	tree := p.Tree(opt.LeafLimit, led)
-	la := p.PrimalLabels(artifact.Directed, opt.LeafLimit, led)
+	tree, err := p.Tree(opt.LeafLimit, led)
+	if err != nil {
+		return 0, err
+	}
+	la, err := p.PrimalLabels(artifact.Directed, opt.LeafLimit, led)
+	if err != nil {
+		return 0, err
+	}
 	if la.NegCycle {
 		return 0, errors.New("core: internal: negative cycle with non-negative weights")
 	}

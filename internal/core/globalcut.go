@@ -48,8 +48,14 @@ func GlobalMinCut(p *artifact.Prepared, opt Options, led *ledger.Ledger) (*Globa
 	// free (reversal dart). The labeling under these lengths is a shared
 	// artifact — the query's own work is the per-bag cycle enumeration.
 	lengths := artifact.Lengths(g, artifact.FreeReversal)
-	tree := p.Tree(opt.LeafLimit, led)
-	la := p.DualLabels(artifact.FreeReversal, opt.LeafLimit, led)
+	tree, err := p.Tree(opt.LeafLimit, led)
+	if err != nil {
+		return nil, err
+	}
+	la, err := p.DualLabels(artifact.FreeReversal, opt.LeafLimit, led)
+	if err != nil {
+		return nil, err
+	}
 	if la.NegCycle {
 		return nil, errors.New("core: internal: negative cycle with non-negative lengths")
 	}

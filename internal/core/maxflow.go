@@ -53,7 +53,10 @@ func MaxFlow(p *artifact.Prepared, s, t int, opt Options, led *ledger.Ledger) (*
 		return nil, fmt.Errorf("core: s=%d t=%d out of range", s, t)
 	}
 
-	tree := p.Tree(opt.LeafLimit, led)
+	tree, err := p.Tree(opt.LeafLimit, led)
+	if err != nil {
+		return nil, err
+	}
 
 	// Fixed s-to-t dart path (undirected BFS; Õ(D) rounds).
 	path, err := dartPath(g, s, t)

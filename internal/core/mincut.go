@@ -44,7 +44,10 @@ func MinSTCut(p *artifact.Prepared, s, t int, opt Options, led *ledger.Ledger) (
 	}
 	// The tree is shared with MaxFlow's query above (cache hit); only the
 	// residual labeling, which depends on the computed flow, is per-query.
-	tree := p.Tree(opt.LeafLimit, led)
+	tree, err := p.Tree(opt.LeafLimit, led)
+	if err != nil {
+		return nil, err
+	}
 	la := primallabel.Compute(tree, lengths, led)
 	if la.NegCycle {
 		return nil, fmt.Errorf("core: internal: negative cycle in a 0/Inf residual graph")

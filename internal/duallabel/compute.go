@@ -1,6 +1,7 @@
 package duallabel
 
 import (
+	"context"
 	"fmt"
 
 	"planarflow/internal/bdd"
@@ -58,6 +59,15 @@ type Labeling struct {
 // Compute runs the labeling algorithm of §5.3 bottom-up over the BDD,
 // charging the per-level broadcast costs from measured quantities.
 func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
+	la, _ := ComputeContext(context.Background(), t, lengths, led)
+	return la
+}
+
+// ComputeContext is Compute with a cancellation checkpoint before every
+// bag: a canceled context aborts the remaining bottom-up pass and returns
+// ctx.Err() with a nil labeling, charging nothing (level charges are
+// emitted only on completion).
+func ComputeContext(ctx context.Context, t *bdd.BDD, lengths []int64, led *ledger.Ledger) (*Labeling, error) {
 	la := &Labeling{
 		T:       t,
 		Lengths: lengths,
@@ -69,6 +79,9 @@ func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
 	// construction, so reverse ID order is a valid post-order).
 	levelCost := map[int]int64{}
 	for i := len(t.Bags) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b := t.Bags[i]
 		var cost int64
 		if b.IsLeaf() {
@@ -78,7 +91,7 @@ func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
 		}
 		if la.NegCycle {
 			led.Charge("label/negative-cycle-abort", int64(b.TreeDepth+1))
-			return la
+			return la, nil
 		}
 		if cost > levelCost[b.Level] {
 			levelCost[b.Level] = cost
@@ -89,7 +102,7 @@ func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
 	for lvl := 0; lvl < t.Depth; lvl++ {
 		led.Charge(fmt.Sprintf("label/level-%02d", lvl), 4*levelCost[lvl])
 	}
-	return la
+	return la, nil
 }
 
 // Label returns the label of face f in bag b (nil if f is absent from b).
@@ -110,6 +123,39 @@ func (la *Labeling) Dist(f1, f2 int) int64 {
 
 // DDG returns the base dense distance graph of a non-leaf bag.
 func (la *Labeling) DDG(b *bdd.Bag) *BagDDG { return la.ddgs[b.ID] }
+
+// FootprintBytes estimates the resident memory of the labeling: every
+// bag's label maps plus the retained DDGs (labels are counted where they
+// live in byBag — Child pointers reference those same objects and add
+// nothing). An accounting estimate for eviction budgeting, not an exact
+// heap measurement; maps count entries at the ~48 bytes/entry rule of
+// thumb. The BDD the labeling decodes over is accounted separately.
+func (la *Labeling) FootprintBytes() int64 {
+	const (
+		mapEntry   = 48
+		labelFixed = 96
+		arcSize    = 40
+	)
+	var b int64
+	for _, labels := range la.byBag {
+		b += int64(len(labels)) * mapEntry
+		for _, l := range labels {
+			b += labelFixed
+			b += int64(len(l.To)+len(l.From)+len(l.LeafTo)+len(l.LeafFrom)) * mapEntry
+		}
+	}
+	for _, ddg := range la.ddgs {
+		if ddg == nil {
+			continue
+		}
+		b += int64(len(ddg.Nodes))*16 + int64(len(ddg.Index)+len(ddg.RepsOf))*mapEntry
+		b += int64(len(ddg.Arcs)) * arcSize
+		for _, row := range ddg.Dist {
+			b += int64(len(row)) * 8
+		}
+	}
+	return b
+}
 
 // computeLeaf gathers the whole dual bag and computes all-pairs distances
 // (the "collect the entire graph" step); returns the measured broadcast cost

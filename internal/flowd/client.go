@@ -1,0 +1,113 @@
+package flowd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"planarflow/internal/store"
+)
+
+// Client is the Go client for a flowd daemon. The zero http.Client is
+// used unless WithHTTPClient replaces it; all methods honor ctx.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://127.0.0.1:8373").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// WithHTTPClient substitutes the transport (tests, timeouts, pooling).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	return &Client{base: c.base, hc: hc}
+}
+
+// do runs one JSON round trip. A non-2xx response is decoded as the
+// daemon's error body and returned as an error carrying the status.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("flowd client: encode: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("flowd client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("flowd client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("flowd client: read: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("flowd client: %s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("flowd client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("flowd client: decode: %w", err)
+	}
+	return nil
+}
+
+// Register generates and registers a graph on the daemon.
+func (c *Client) Register(ctx context.Context, id string, spec store.GraphSpec) (*RegisterResponse, error) {
+	var out RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs", RegisterRequest{ID: id, Spec: spec}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Graphs lists the registered graphs with their serving stats.
+func (c *Client) Graphs(ctx context.Context) ([]store.GraphStats, error) {
+	var out []store.GraphStats
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Query runs one query.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats scrapes /statsz.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,379 @@
+// Package flowd is the query daemon over the multi-graph store: an
+// HTTP/JSON surface that registers (generates) graphs and serves the
+// paper's query families — distances, dual SSSP, max flow / min cut,
+// girth — from the prepared-substrate cache, with per-request
+// cancellation plumbed down to substrate-build checkpoints and the
+// store's hit/miss/build/evict accounting exported on /statsz.
+//
+// Endpoints:
+//
+//	POST /v1/graphs   {"id": ..., "spec": {...}}   register a generated graph
+//	GET  /v1/graphs                                list graphs with serving stats
+//	POST /v1/query    QueryRequest                 run one query
+//	GET  /statsz                                   store metrics snapshot
+//	GET  /healthz                                  liveness
+//
+// The wire protocol is strict: unknown fields are rejected, bodies are
+// size-capped, and every error is a JSON {"error": ...} with a meaningful
+// status code. Client (client.go) is the matching Go client.
+package flowd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"planarflow"
+	"planarflow/internal/store"
+)
+
+// maxBodyBytes caps request bodies: specs and queries are tiny; anything
+// bigger is abuse.
+const maxBodyBytes = 1 << 20
+
+// Ops understood by the query endpoint, and the argument fields each
+// uses. U/V double as the face pair of dualdist.
+//
+//	dist, dirdist   U, V  (vertices)
+//	dualdist        U, V  (faces)
+//	dualsssp        Source (face)
+//	maxflow,        U, V  (s, t)
+//	minstcut        U, V
+//	stflow, stcut   U, V, Eps (st-planar approximations; Eps=0 exact)
+//	girth, dirgirth, globalmincut   (no arguments)
+var Ops = []string{
+	"dist", "dirdist", "dualdist", "dualsssp",
+	"maxflow", "minstcut", "stflow", "stcut",
+	"girth", "dirgirth", "globalmincut",
+}
+
+var opSet = func() map[string]bool {
+	m := make(map[string]bool, len(Ops))
+	for _, op := range Ops {
+		m[op] = true
+	}
+	return m
+}()
+
+// QueryRequest is one query against a registered graph.
+type QueryRequest struct {
+	Graph  string  `json:"graph"`
+	Op     string  `json:"op"`
+	U      int     `json:"u,omitempty"`
+	V      int     `json:"v,omitempty"`
+	Source int     `json:"source,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+}
+
+// Rounds is the wire-compact round report: the simulated CONGEST cost of
+// the query, split into one-time substrate construction (nonzero only for
+// the request that triggered a build) and per-query work. The point-decode
+// ops (dist, dirdist, dualdist) always report zero: they decode locally at
+// no per-query round cost and their signatures carry no round report, so
+// any build they trigger is visible in /statsz build_rounds rather than on
+// the response.
+type Rounds struct {
+	Total int64 `json:"total"`
+	Build int64 `json:"build"`
+	Query int64 `json:"query"`
+}
+
+// QueryResponse is the result of one query. Value is the scalar answer
+// (distance, flow value, cut value, girth weight; planarflow.Inf means
+// unreachable/acyclic). Hit reports whether the graph's bundle was
+// resident when the request arrived.
+type QueryResponse struct {
+	Graph      string  `json:"graph"`
+	Op         string  `json:"op"`
+	Value      int64   `json:"value"`
+	Dist       []int64 `json:"dist,omitempty"`      // dualsssp distances per face
+	CutEdges   []int   `json:"cut_edges,omitempty"` // cut-valued ops
+	NegCycle   bool    `json:"neg_cycle,omitempty"`
+	Iterations int     `json:"iterations,omitempty"` // maxflow binary-search steps
+	Hit        bool    `json:"hit"`
+	Rounds     Rounds  `json:"rounds"`
+	WallMS     float64 `json:"wall_ms"`
+}
+
+// RegisterRequest registers a generated graph under an id.
+type RegisterRequest struct {
+	ID   string          `json:"id"`
+	Spec store.GraphSpec `json:"spec"`
+}
+
+// RegisterResponse echoes the registered graph's shape.
+type RegisterResponse struct {
+	ID    string `json:"id"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	Faces int    `json:"faces"`
+}
+
+// StatsResponse is the /statsz payload.
+type StatsResponse struct {
+	Store    store.Stats `json:"store"`
+	HitRate  float64     `json:"hit_rate"`
+	UptimeMS float64     `json:"uptime_ms"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeQuery parses and shape-validates one query request. It is strict
+// — unknown fields, trailing garbage, missing graph/op, negative ids and
+// out-of-range eps are all rejected — and total: no input may panic (the
+// fuzz test holds it to that). Range checks that need the graph (vertex
+// < N, face < NumFaces) happen at query time.
+func DecodeQuery(data []byte) (*QueryRequest, error) {
+	var req QueryRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("flowd: bad query: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("flowd: bad query: trailing data after JSON object")
+	}
+	if req.Graph == "" {
+		return nil, errors.New("flowd: bad query: missing graph id")
+	}
+	if !opSet[req.Op] {
+		return nil, fmt.Errorf("flowd: bad query: unknown op %q", req.Op)
+	}
+	if req.U < 0 || req.V < 0 || req.Source < 0 {
+		return nil, fmt.Errorf("flowd: bad query: negative id (u=%d v=%d source=%d)", req.U, req.V, req.Source)
+	}
+	if req.Eps < 0 || req.Eps >= 1 {
+		return nil, fmt.Errorf("flowd: bad query: eps=%v out of [0, 1)", req.Eps)
+	}
+	return &req, nil
+}
+
+// Server is the HTTP handler over one store.
+type Server struct {
+	st    *store.Store
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wraps st in the daemon's HTTP surface.
+func NewServer(st *store.Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store returns the underlying store (the traffic driver reads metrics
+// directly when it runs the server in-process).
+func (s *Server) Store() *store.Store { return s.st }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// statusOf maps the library's sentinel errors to HTTP statuses: unknown
+// graphs are 404, argument and precondition violations 400, canceled or
+// timed-out requests 499/504, everything else 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, store.ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrGraphLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, planarflow.ErrVertexRange),
+		errors.Is(err, planarflow.ErrFaceRange),
+		errors.Is(err, planarflow.ErrSameVertex),
+		errors.Is(err, planarflow.ErrSameFaceRequired),
+		errors.Is(err, planarflow.ErrEpsilonRange),
+		errors.Is(err, planarflow.ErrNegativeCycle),
+		errors.Is(err, planarflow.ErrNegativeWeight),
+		errors.Is(err, planarflow.ErrNonPositiveWeight),
+		errors.Is(err, planarflow.ErrNilGraph):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("flowd: reading body: %w", err)
+	}
+	return data, nil
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	var req RegisterRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad register: " + err.Error()})
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad register: missing id"})
+		return
+	}
+	gr, err := s.st.RegisterSpec(req.ID, req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{ID: req.ID, N: gr.N(), M: gr.M(), Faces: gr.NumFaces()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.st.Snapshot().PerGraph)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.st.Snapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Store:    snap,
+		HitRate:  snap.HitRate(),
+		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	req, err := DecodeQuery(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := s.runQuery(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func roundsOf(r planarflow.Rounds) Rounds {
+	return Rounds{Total: r.Total, Build: r.Build, Query: r.Query}
+}
+
+// runQuery executes one decoded query against the store, pinned and bound
+// to ctx for the duration.
+func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	resp := &QueryResponse{Graph: req.Graph, Op: req.Op}
+	begin := time.Now()
+	err := s.st.With(ctx, req.Graph, func(pg *planarflow.PreparedGraph, hit bool) error {
+		resp.Hit = hit
+		switch req.Op {
+		case "dist":
+			v, err := pg.Dist(req.U, req.V)
+			resp.Value = v
+			return err
+		case "dirdist":
+			v, err := pg.DirectedDist(req.U, req.V)
+			resp.Value = v
+			return err
+		case "dualdist":
+			v, err := pg.DualDist(req.U, req.V)
+			resp.Value = v
+			return err
+		case "dualsssp":
+			res, err := pg.DualSSSP(req.Source)
+			if err != nil {
+				return err
+			}
+			resp.Dist, resp.NegCycle, resp.Rounds = res.Dist, res.NegCycle, roundsOf(res.Rounds)
+			return nil
+		case "maxflow":
+			res, err := pg.MaxFlow(req.U, req.V)
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.Iterations, resp.Rounds = res.Value, res.Iterations, roundsOf(res.Rounds)
+			return nil
+		case "minstcut":
+			res, err := pg.MinSTCut(req.U, req.V)
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.CutEdges, resp.Rounds = res.Value, res.CutEdges, roundsOf(res.Rounds)
+			return nil
+		case "stflow":
+			res, err := pg.ApproxMaxFlowSTPlanar(req.U, req.V, req.Eps)
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.Rounds = res.Value, roundsOf(res.Rounds)
+			return nil
+		case "stcut":
+			res, err := pg.ApproxMinCutSTPlanar(req.U, req.V, req.Eps)
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.CutEdges, resp.Rounds = res.Value, res.CutEdges, roundsOf(res.Rounds)
+			return nil
+		case "girth":
+			res, err := pg.Girth()
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.CutEdges, resp.Rounds = res.Weight, res.CycleEdges, roundsOf(res.Rounds)
+			return nil
+		case "dirgirth":
+			res, err := pg.DirectedGirth()
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.Rounds = res.Weight, roundsOf(res.Rounds)
+			return nil
+		case "globalmincut":
+			res, err := pg.GlobalMinCut()
+			if err != nil {
+				return err
+			}
+			resp.Value, resp.CutEdges, resp.Rounds = res.Value, res.CutEdges, roundsOf(res.Rounds)
+			return nil
+		default:
+			return fmt.Errorf("flowd: unknown op %q", req.Op)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+	return resp, nil
+}

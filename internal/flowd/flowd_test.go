@@ -1,0 +1,214 @@
+package flowd
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"planarflow"
+	"planarflow/internal/store"
+)
+
+// newTestDaemon spins up an in-process daemon and a client against it.
+func newTestDaemon(t *testing.T, cfg store.Config) (*Client, *store.Store) {
+	t.Helper()
+	st := store.New(cfg)
+	srv := httptest.NewServer(NewServer(st))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL).WithHTTPClient(srv.Client()), st
+}
+
+func TestRegisterAndQueryEndToEnd(t *testing.T) {
+	c, _ := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	spec := store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 3, WLo: 1, WHi: 9, CLo: 1, CHi: 16}
+	reg, err := c.Register(ctx, "g", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.N != 36 || reg.M != 60 {
+		t.Fatalf("registered grid6x6: n=%d m=%d", reg.N, reg.M)
+	}
+
+	// The daemon's answers must match the library run on the same spec.
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, err := p.Dist(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlow, err := p.MaxFlow(0, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qr, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: g.N() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Value != wantDist {
+		t.Fatalf("dist over the wire %d, in-process %d", qr.Value, wantDist)
+	}
+	if qr.Hit {
+		t.Fatal("first query reported a resident bundle")
+	}
+	qr2, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "maxflow", U: 0, V: g.N() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr2.Value != wantFlow.Value {
+		t.Fatalf("maxflow over the wire %d, in-process %d", qr2.Value, wantFlow.Value)
+	}
+	if !qr2.Hit {
+		t.Fatal("second query missed the resident bundle")
+	}
+	if qr2.Rounds.Total == 0 {
+		t.Fatal("maxflow reported zero rounds")
+	}
+
+	// dualsssp returns the per-face vector.
+	qr3, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "dualsssp", Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr3.Dist) != g.NumFaces() {
+		t.Fatalf("dualsssp returned %d faces, want %d", len(qr3.Dist), g.NumFaces())
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.Graphs != 1 || st.Store.Hits+st.Store.Misses != 3 {
+		t.Fatalf("statsz: %+v", st.Store)
+	}
+	gs, err := c.Graphs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].ID != "g" || !gs[0].Resident {
+		t.Fatalf("graphs listing: %+v", gs)
+	}
+}
+
+func TestQueryErrorsOverTheWire(t *testing.T) {
+	c, _ := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	if _, err := c.Register(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 4, Cols: 4}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		req  QueryRequest
+		frag string // expected error fragment
+	}{
+		{QueryRequest{Graph: "nope", Op: "dist", U: 0, V: 1}, "404"},
+		{QueryRequest{Graph: "g", Op: "dist", U: 0, V: 999}, "400"},
+		{QueryRequest{Graph: "g", Op: "maxflow", U: 3, V: 3}, "400"},
+		{QueryRequest{Graph: "g", Op: "warp", U: 0, V: 1}, "400"},
+	}
+	for _, tc := range cases {
+		_, err := c.Query(ctx, tc.req)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Query(%+v) error %v, want fragment %q", tc.req, err, tc.frag)
+		}
+	}
+	// Duplicate registration is a conflict.
+	if _, err := c.Register(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 4, Cols: 4}); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("duplicate register: %v", err)
+	}
+}
+
+// TestConcurrentClientsShareBuilds hammers one graph from many goroutines
+// through the HTTP surface and checks the substrate singleflight held:
+// every response agrees and the store accounted one construction.
+func TestConcurrentClientsShareBuilds(t *testing.T) {
+	c, st := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	if _, err := c.Register(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 8, Cols: 8, Seed: 9, WLo: 1, WHi: 9, CLo: 1, CHi: 9}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 12
+	vals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qr, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: 63})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			vals[i] = qr.Value
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("worker %d got %d, worker 0 got %d", i, vals[i], vals[0])
+		}
+	}
+	snap := st.Snapshot()
+	if snap.Builds != 2 { // bdd + undirected primal labeling, built once
+		t.Fatalf("substrates built %d, want 2", snap.Builds)
+	}
+	if snap.Misses != 1 {
+		t.Fatalf("misses %d, want 1", snap.Misses)
+	}
+}
+
+func TestEvictionVisibleOnStatsz(t *testing.T) {
+	// Measure one bundle, then budget for ~1.5 bundles and register two
+	// graphs: serving both must evict.
+	spec := store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 1, WLo: 1, WHi: 9}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Dist(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	unit := p.Stats().Bytes
+
+	c, _ := newTestDaemon(t, store.Config{MaxBytes: unit + unit/2})
+	ctx := context.Background()
+	for i, id := range []string{"a", "b"} {
+		sp := spec
+		sp.Seed = int64(i + 1)
+		if _, err := c.Register(ctx, id, sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for _, id := range []string{"a", "b"} {
+			if _, err := c.Query(ctx, QueryRequest{Graph: id, Op: "dist", U: 0, V: 35}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.Evictions == 0 {
+		t.Fatalf("no evictions under a one-bundle budget: %+v", st.Store)
+	}
+	if st.Store.Bytes > st.Store.MaxBytes {
+		t.Fatalf("resting bytes %d over budget %d", st.Store.Bytes, st.Store.MaxBytes)
+	}
+}

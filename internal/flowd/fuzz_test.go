@@ -1,0 +1,68 @@
+package flowd
+
+import (
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecodeQuery holds DecodeQuery to its contract: no input panics, and
+// any accepted request is well-formed (known op, non-negative ids, eps in
+// range, round-trippable through the wire encoding). Seeds cover every op
+// plus the rejection classes; the committed corpus under
+// testdata/fuzz/FuzzDecodeQuery extends them.
+func FuzzDecodeQuery(f *testing.F) {
+	for _, op := range Ops {
+		f.Add([]byte(`{"graph":"g","op":"` + op + `","u":0,"v":5,"source":2,"eps":0.5}`))
+	}
+	f.Add([]byte(`{"graph":"g","op":"dist"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"graph":"g","op":"dist","u":-1}`))
+	f.Add([]byte(`{"graph":"g","op":"dist","eps":1.5}`))
+	f.Add([]byte(`{"graph":"g","op":"dist","bogus":true}`))
+	f.Add([]byte(`{"graph":"g","op":"dist"} trailing`))
+	f.Add([]byte(`{"graph":"g","op":"dist","u":9223372036854775807}`))
+	f.Add([]byte(`{"graph":"x","op":"girth"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeQuery(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if req.Graph == "" {
+			t.Fatal("accepted request with empty graph id")
+		}
+		if !opSet[req.Op] {
+			t.Fatalf("accepted unknown op %q", req.Op)
+		}
+		if req.U < 0 || req.V < 0 || req.Source < 0 {
+			t.Fatalf("accepted negative ids: %+v", req)
+		}
+		if req.Eps < 0 || req.Eps >= 1 {
+			t.Fatalf("accepted eps %v", req.Eps)
+		}
+		// Accepted requests survive the wire round trip losslessly (modulo
+		// JSON's string sanitization of invalid UTF-8, which re-encoding
+		// would not preserve byte-for-byte).
+		if !utf8.ValidString(req.Graph) {
+			return
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		req2, err := DecodeQuery(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %s: %v", enc, err)
+		}
+		if *req != *req2 {
+			t.Fatalf("round trip changed the request: %+v -> %+v", req, req2)
+		}
+	})
+}

@@ -12,6 +12,7 @@
 package primallabel
 
 import (
+	"context"
 	"fmt"
 
 	"planarflow/internal/bdd"
@@ -95,6 +96,15 @@ type Labeling struct {
 // role of dual nodes and the separator vertex set S_X (plus vertices shared
 // between children) in the role of F_X.
 func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
+	la, _ := ComputeContext(context.Background(), t, lengths, led)
+	return la
+}
+
+// ComputeContext is Compute with a cancellation checkpoint before every
+// bag: a canceled context aborts the remaining bottom-up pass and returns
+// ctx.Err() with a nil labeling, charging nothing (level charges are
+// emitted only on completion).
+func ComputeContext(ctx context.Context, t *bdd.BDD, lengths []int64, led *ledger.Ledger) (*Labeling, error) {
 	la := &Labeling{
 		T:       t,
 		Lengths: lengths,
@@ -102,6 +112,9 @@ func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
 	}
 	levelCost := map[int]int64{}
 	for i := len(t.Bags) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b := t.Bags[i]
 		var cost int64
 		if b.IsLeaf() {
@@ -111,7 +124,7 @@ func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
 		}
 		if la.NegCycle {
 			led.Charge("primal-label/negative-cycle-abort", int64(b.TreeDepth+1))
-			return la
+			return la, nil
 		}
 		if cost > levelCost[b.Level] {
 			levelCost[b.Level] = cost
@@ -120,11 +133,32 @@ func Compute(t *bdd.BDD, lengths []int64, led *ledger.Ledger) *Labeling {
 	for lvl := 0; lvl < t.Depth; lvl++ {
 		led.Charge(fmt.Sprintf("primal-label/level-%02d", lvl), 2*levelCost[lvl])
 	}
-	return la
+	return la, nil
 }
 
 // Label returns the label of vertex v in bag b (nil if absent).
 func (la *Labeling) Label(b *bdd.Bag, v int) *Label { return la.byBag[b.ID][v] }
+
+// FootprintBytes estimates the resident memory of the labeling: every
+// bag's vertex-label maps (Child pointers reference labels counted in
+// their own bag and add nothing). An accounting estimate for eviction
+// budgeting; maps count entries at the ~48 bytes/entry rule of thumb.
+// The BDD is accounted separately.
+func (la *Labeling) FootprintBytes() int64 {
+	const (
+		mapEntry   = 48
+		labelFixed = 96
+	)
+	var b int64
+	for _, labels := range la.byBag {
+		b += int64(len(labels)) * mapEntry
+		for _, l := range labels {
+			b += labelFixed
+			b += int64(len(l.To)+len(l.From)+len(l.LeafTo)+len(l.LeafFrom)) * mapEntry
+		}
+	}
+	return b
+}
 
 // Dist returns dist(u -> v) in the full graph.
 func (la *Labeling) Dist(u, v int) int64 {

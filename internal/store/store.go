@@ -1,0 +1,361 @@
+// Package store is the fleet-level serving layer over the prepared-graph
+// artifacts: a concurrency-safe registry mapping graph IDs to
+// planarflow.PreparedGraph bundles, with singleflight deduplication of
+// concurrent builds, cost-aware LRU eviction under a configurable memory
+// budget, and per-graph serving metrics. It is the piece between "one
+// graph served many times" (PR 2's Prepare) and "many graphs served to
+// many clients" (the flowd daemon): the store decides which substrates
+// stay resident, the artifact layer (internal/artifact) guarantees each
+// (graph, substrate) key is built exactly once however many requests race
+// for it, and a context-canceled request abandons its half-built
+// substrate at the next build checkpoint.
+//
+// Residency and eviction: the unit of eviction is a graph's whole
+// artifact bundle (its PreparedGraph). The registered Graph itself is
+// never dropped — an evicted graph rebuilds its substrates on the next
+// query. Footprints come from PreparedGraph.Stats (estimated bytes per
+// substrate) and are re-accounted after every query, since substrates
+// build lazily and a query can grow the bundle. Eviction removes
+// least-recently-used unpinned bundles until the total accounted
+// footprint fits Config.MaxBytes; bundles pinned by in-flight queries are
+// never evicted (the store may transiently exceed the budget while every
+// resident bundle is in use). Queries racing an eviction are safe: a
+// bundle is immutable, so an evicted bundle keeps serving the requests
+// that hold it and is reclaimed when they finish.
+package store
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"planarflow"
+)
+
+var (
+	// ErrUnknownGraph reports a query for an id never registered.
+	ErrUnknownGraph = errors.New("store: unknown graph")
+	// ErrDuplicateID reports a Register for an id already registered.
+	ErrDuplicateID = errors.New("store: duplicate graph id")
+	// ErrGraphLimit reports a Register past Config.MaxGraphs.
+	ErrGraphLimit = errors.New("store: graph limit reached")
+)
+
+// DefaultMaxGraphs caps registrations when Config.MaxGraphs is zero.
+// Registered graphs live outside the MaxBytes budget (only their
+// artifact bundles are evictable), and registration is a network-facing
+// operation in flowd — an uncapped registry is an OOM hand-crank.
+const DefaultMaxGraphs = 1024
+
+// Config parameterizes a Store.
+type Config struct {
+	// MaxBytes is the artifact memory budget (estimated bytes, as
+	// accounted by PreparedGraph.Stats). <= 0 means unlimited.
+	MaxBytes int64
+	// MaxGraphs caps how many graphs may be registered (the graphs
+	// themselves are not evictable). 0 means DefaultMaxGraphs; negative
+	// means unlimited.
+	MaxGraphs int
+}
+
+// GraphStats is the per-graph serving metrics snapshot.
+type GraphStats struct {
+	ID        string `json:"id"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Resident  bool   `json:"resident"`
+	Bytes     int64  `json:"bytes"` // accounted footprint when resident
+	Pins      int    `json:"pins"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Builds    int64  `json:"builds"` // substrates built (across rebuilds)
+	Evictions int64  `json:"evictions"`
+	// BuildRounds is the cumulative simulated cost of every substrate this
+	// graph built, including rebuilds after eviction — the price of cache
+	// pressure in the model's own currency.
+	BuildRounds int64 `json:"build_rounds"`
+}
+
+// Stats is the store-wide snapshot: aggregate counters plus one entry per
+// registered graph (sorted by id).
+type Stats struct {
+	Graphs      int          `json:"graphs"`
+	Resident    int          `json:"resident"`
+	Bytes       int64        `json:"bytes"`
+	MaxBytes    int64        `json:"max_bytes"`
+	Hits        int64        `json:"hits"`
+	Misses      int64        `json:"misses"`
+	Builds      int64        `json:"builds"`
+	Evictions   int64        `json:"evictions"`
+	BuildRounds int64        `json:"build_rounds"`
+	PerGraph    []GraphStats `json:"per_graph"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one registered graph. The Graph is permanent; the
+// PreparedGraph bundle is the resident, evictable part.
+type entry struct {
+	id string
+	gr *planarflow.Graph
+
+	pg   *planarflow.PreparedGraph // nil when not resident
+	elem *list.Element             // position in the LRU list when resident
+	pins int                       // in-flight queries holding pg
+
+	// Accounting of the current resident bundle (re-read after queries).
+	bytes      int64
+	substrates int
+	rounds     int64
+
+	hits, misses, builds, evictions, buildRounds int64
+}
+
+// Store is the registry. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ents map[string]*entry
+	lru  *list.List // of *entry; front = most recently used resident bundle
+
+	bytes                           int64
+	hits, misses, builds, evictions int64
+	buildRounds                     int64
+}
+
+// New returns an empty store with the given budget.
+func New(cfg Config) *Store {
+	return &Store{cfg: cfg, ents: map[string]*entry{}, lru: list.New()}
+}
+
+// Register adds a graph under id. The graph itself is retained for the
+// store's lifetime; its artifact bundle is built on first query.
+func (s *Store) Register(id string, gr *planarflow.Graph) error {
+	if gr == nil {
+		return fmt.Errorf("store: register %q: nil graph", id)
+	}
+	if id == "" {
+		return errors.New("store: empty graph id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(id, gr)
+}
+
+func (s *Store) registerLocked(id string, gr *planarflow.Graph) error {
+	if _, ok := s.ents[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	limit := s.cfg.MaxGraphs
+	if limit == 0 {
+		limit = DefaultMaxGraphs
+	}
+	if limit > 0 && len(s.ents) >= limit {
+		return fmt.Errorf("%w: %d graphs registered", ErrGraphLimit, len(s.ents))
+	}
+	s.ents[id] = &entry{id: id, gr: gr}
+	return nil
+}
+
+// RegisterSpec generates the graph described by sp and registers it. The
+// duplicate/limit checks run before the (possibly large) generation, and
+// again authoritatively at insertion; a racing duplicate can still waste
+// one build, but a repeated or abusive one cannot.
+func (s *Store) RegisterSpec(id string, sp GraphSpec) (*planarflow.Graph, error) {
+	if id == "" {
+		return nil, errors.New("store: empty graph id")
+	}
+	s.mu.Lock()
+	_, dup := s.ents[id]
+	s.mu.Unlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	gr, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Register(id, gr); err != nil {
+		return nil, err
+	}
+	return gr, nil
+}
+
+// Graph returns the registered graph (not its bundle); nil if unknown.
+func (s *Store) Graph(id string) *planarflow.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.ents[id]; ok {
+		return e.gr
+	}
+	return nil
+}
+
+// IDs returns the registered graph ids, sorted.
+func (s *Store) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.ents))
+	for id := range s.ents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// With runs fn against the graph's bundle, pinned for the duration of the
+// call. The bundle fn receives is bound to ctx: substrate builds it
+// triggers are abandoned at the next checkpoint if ctx is canceled. hit
+// reports whether the bundle was already resident (a hit does not imply
+// the substrates fn needs are warm — those build lazily, deduplicated
+// across all concurrent callers by the artifact layer). After fn returns,
+// the bundle's footprint is re-accounted and LRU eviction runs if the
+// store is over budget.
+func (s *Store) With(ctx context.Context, id string, fn func(pg *planarflow.PreparedGraph, hit bool) error) error {
+	e, pg, hit, err := s.acquire(id)
+	if err != nil {
+		return err
+	}
+	defer s.release(e, pg)
+	return fn(pg.WithContext(ctx), hit)
+}
+
+// acquire pins the bundle of id, creating it on a miss.
+func (s *Store) acquire(id string) (*entry, *planarflow.PreparedGraph, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.ents[id]
+	if !ok {
+		return nil, nil, false, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	hit := e.pg != nil
+	if hit {
+		e.hits++
+		s.hits++
+		s.lru.MoveToFront(e.elem)
+	} else {
+		pg, err := planarflow.Prepare(e.gr) // O(1): substrates build lazily
+		if err != nil {
+			return nil, nil, false, err
+		}
+		e.pg = pg
+		e.elem = s.lru.PushFront(e)
+		e.misses++
+		s.misses++
+	}
+	e.pins++
+	return e, e.pg, hit, nil
+}
+
+// release re-accounts the bundle's footprint after a query, unpins it,
+// and evicts if over budget. The Stats snapshot happens outside the store
+// lock; accounting applies only if the entry still holds the same bundle
+// (a bundle evicted mid-query stops being accounted the moment it is
+// dropped — its remaining growth belongs to the dying reference).
+func (s *Store) release(e *entry, pg *planarflow.PreparedGraph) {
+	st := pg.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.pins--
+	// A bundle only grows, so each accounting field advances monotonically:
+	// a release whose snapshot raced a concurrent build (and is staler than
+	// what another release already recorded) must not regress the recorded
+	// values, or the next release would re-count the difference.
+	if e.pg == pg {
+		if st.Bytes > e.bytes {
+			s.bytes += st.Bytes - e.bytes
+			e.bytes = st.Bytes
+		}
+		if nb := len(st.Substrates) - e.substrates; nb > 0 {
+			e.builds += int64(nb)
+			s.builds += int64(nb)
+			e.substrates = len(st.Substrates)
+		}
+		if dr := st.BuildRounds - e.rounds; dr > 0 {
+			e.buildRounds += dr
+			s.buildRounds += dr
+			e.rounds = st.BuildRounds
+		}
+	}
+	s.evictLocked()
+}
+
+// evictLocked drops least-recently-used unpinned bundles until the
+// accounted footprint fits the budget.
+func (s *Store) evictLocked() {
+	if s.cfg.MaxBytes <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.bytes > s.cfg.MaxBytes; {
+		e := el.Value.(*entry)
+		prev := el.Prev()
+		if e.pins == 0 {
+			s.dropLocked(e)
+		}
+		el = prev
+	}
+}
+
+// dropLocked evicts one resident bundle.
+func (s *Store) dropLocked(e *entry) {
+	s.bytes -= e.bytes
+	s.lru.Remove(e.elem)
+	e.pg, e.elem = nil, nil
+	e.bytes, e.substrates, e.rounds = 0, 0, 0
+	e.evictions++
+	s.evictions++
+}
+
+// EvictAll drops every unpinned resident bundle (a debugging/ops valve;
+// pinned bundles are left to the regular budget path).
+func (s *Store) EvictAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.lru.Back(); el != nil; {
+		e := el.Value.(*entry)
+		prev := el.Prev()
+		if e.pins == 0 {
+			s.dropLocked(e)
+		}
+		el = prev
+	}
+}
+
+// Snapshot returns the store-wide metrics.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Graphs: len(s.ents), Bytes: s.bytes, MaxBytes: s.cfg.MaxBytes,
+		Hits: s.hits, Misses: s.misses, Builds: s.builds,
+		Evictions: s.evictions, BuildRounds: s.buildRounds,
+	}
+	ids := make([]string, 0, len(s.ents))
+	for id := range s.ents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := s.ents[id]
+		if e.pg != nil {
+			st.Resident++
+		}
+		st.PerGraph = append(st.PerGraph, GraphStats{
+			ID: id, N: e.gr.N(), M: e.gr.M(),
+			Resident: e.pg != nil, Bytes: e.bytes, Pins: e.pins,
+			Hits: e.hits, Misses: e.misses, Builds: e.builds,
+			Evictions: e.evictions, BuildRounds: e.buildRounds,
+		})
+	}
+	return st
+}

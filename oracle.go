@@ -60,11 +60,17 @@ func (p *PreparedGraph) DirectedDistanceOracle() (*DistanceOracle, error) {
 
 func (p *PreparedGraph) oracle(kind artifact.LengthKind) (*DistanceOracle, error) {
 	led := ledger.New()
-	pl := p.art.PrimalLabels(kind, 0, led)
+	pl, err := p.art.PrimalLabels(kind, 0, led)
+	if err != nil {
+		return nil, fmt.Errorf("planarflow: %w", err)
+	}
 	if pl.NegCycle {
 		return nil, fmt.Errorf("planarflow: graph: %w", ErrNegativeCycle)
 	}
-	dl := p.art.DualLabels(kind, 0, led)
+	dl, err := p.art.DualLabels(kind, 0, led)
+	if err != nil {
+		return nil, fmt.Errorf("planarflow: %w", err)
+	}
 	if dl.NegCycle {
 		return nil, fmt.Errorf("planarflow: dual graph: %w", ErrNegativeCycle)
 	}

@@ -1,6 +1,7 @@
 package planarflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -44,8 +45,65 @@ func Prepare(gr *Graph) (*PreparedGraph, error) {
 	return &PreparedGraph{gr: gr, art: artifact.New(gr.g), buildSink: ledger.New()}, nil
 }
 
+// PrepareContext is Prepare with the returned PreparedGraph bound to ctx,
+// as by WithContext.
+func PrepareContext(ctx context.Context, gr *Graph) (*PreparedGraph, error) {
+	p, err := Prepare(gr)
+	if err != nil {
+		return nil, err
+	}
+	return p.WithContext(ctx), nil
+}
+
+// WithContext returns a request-scoped view over the same substrate cache:
+// queries on the view honor ctx at substrate-build checkpoints — a
+// canceled waiter stops waiting, and a canceled builder abandons the
+// half-built substrate (the next live query restarts it). Queries
+// interrupted this way return an error wrapping ctx's error
+// (context.Canceled / context.DeadlineExceeded). Substrates built through
+// any view are shared by all views of the same PreparedGraph.
+func (p *PreparedGraph) WithContext(ctx context.Context) *PreparedGraph {
+	return &PreparedGraph{gr: p.gr, art: p.art.WithContext(ctx), buildSink: p.buildSink}
+}
+
 // Graph returns the underlying graph.
 func (p *PreparedGraph) Graph() *Graph { return p.gr }
+
+// SubstrateStat describes one built substrate of a prepared graph: which
+// artifact it is, its estimated resident footprint, and its one-time
+// construction cost in simulated rounds.
+type SubstrateStat struct {
+	Kind        string `json:"kind"`              // "bdd" | "dual-label" | "primal-label"
+	Lengths     string `json:"lengths,omitempty"` // length function of a labeling
+	LeafLimit   int    `json:"leaf_limit"`
+	Bytes       int64  `json:"bytes"`
+	BuildRounds int64  `json:"build_rounds"`
+}
+
+// PreparedStats is a point-in-time snapshot of everything a PreparedGraph
+// has built: the per-substrate breakdown plus the totals a serving layer
+// budgets by.
+type PreparedStats struct {
+	Substrates  []SubstrateStat `json:"substrates"`
+	Bytes       int64           `json:"bytes"`        // total estimated resident footprint
+	BuildRounds int64           `json:"build_rounds"` // total one-time construction rounds
+}
+
+// Stats reports the substrates built so far (in-flight builds appear once
+// they publish), with estimated resident bytes and build rounds per
+// substrate. The byte figures are accounting estimates for memory
+// budgeting and eviction policy, not exact heap measurements.
+func (p *PreparedGraph) Stats() PreparedStats {
+	as := p.art.Stats()
+	st := PreparedStats{Bytes: as.Bytes, BuildRounds: as.BuildRounds}
+	for _, s := range as.Substrates {
+		st.Substrates = append(st.Substrates, SubstrateStat{
+			Kind: s.Kind, Lengths: s.LengthsName, LeafLimit: s.LeafLimit,
+			Bytes: s.Bytes, BuildRounds: s.BuildRounds,
+		})
+	}
+	return st
+}
 
 // BuildRounds reports the cumulative cost of every substrate built so far
 // (each BDD and labeling counted once, however many queries shared it).
@@ -216,7 +274,10 @@ func (p *PreparedGraph) Dist(u, v int) (int64, error) {
 	if err := p.checkVertices(u, v); err != nil {
 		return 0, err
 	}
-	la := p.art.PrimalLabels(artifact.Undirected, 0, p.buildSink)
+	la, err := p.art.PrimalLabels(artifact.Undirected, 0, p.buildSink)
+	if err != nil {
+		return 0, fmt.Errorf("planarflow: %w", err)
+	}
 	if la.NegCycle {
 		return 0, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
 	}
@@ -229,7 +290,10 @@ func (p *PreparedGraph) DirectedDist(u, v int) (int64, error) {
 	if err := p.checkVertices(u, v); err != nil {
 		return 0, err
 	}
-	la := p.art.PrimalLabels(artifact.Directed, 0, p.buildSink)
+	la, err := p.art.PrimalLabels(artifact.Directed, 0, p.buildSink)
+	if err != nil {
+		return 0, fmt.Errorf("planarflow: %w", err)
+	}
 	if la.NegCycle {
 		return 0, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
 	}
@@ -242,7 +306,10 @@ func (p *PreparedGraph) DualDist(f1, f2 int) (int64, error) {
 	if f1 < 0 || f2 < 0 || f1 >= p.gr.NumFaces() || f2 >= p.gr.NumFaces() {
 		return 0, fmt.Errorf("planarflow: face pair (%d,%d) out of [0,%d): %w", f1, f2, p.gr.NumFaces(), ErrFaceRange)
 	}
-	la := p.art.DualLabels(artifact.Undirected, 0, p.buildSink)
+	la, err := p.art.DualLabels(artifact.Undirected, 0, p.buildSink)
+	if err != nil {
+		return 0, fmt.Errorf("planarflow: %w", err)
+	}
 	if la.NegCycle {
 		return 0, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
 	}
