@@ -36,12 +36,15 @@ type Record struct {
 	Speedup float64 `json:"speedup_x,omitempty"` // cold rounds / prepared rounds
 	QPS     float64 `json:"qps,omitempty"`       // wall-clock queries per second
 
-	// Traffic metrics (TRAFFIC experiment only).
+	// Traffic metrics (TRAFFIC and BATCH experiments).
 	Clients   int     `json:"clients,omitempty"`   // concurrent clients driving the daemon
 	HitRate   float64 `json:"hit_rate,omitempty"`  // store hits / (hits + misses)
 	Evictions int64   `json:"evictions,omitempty"` // bundles evicted under the budget
-	P50MS     float64 `json:"p50_ms,omitempty"`    // median query latency
-	P99MS     float64 `json:"p99_ms,omitempty"`    // tail query latency
+	P50MS     float64 `json:"p50_ms,omitempty"`    // median request latency
+	P99MS     float64 `json:"p99_ms,omitempty"`    // tail request latency
+
+	// Batch metrics (BATCH experiment only).
+	Batch int `json:"batch,omitempty"` // queries per request (0 = singleton path)
 }
 
 // key identifies a record across runs for baseline comparison. Wall-clock
@@ -65,7 +68,7 @@ var csvHeader = []string{
 	"exp", "instance", "n", "d", "rounds", "measured_rounds", "charged_rounds",
 	"messages", "bits", "wall_ms", "repeat", "seed", "ok",
 	"queries", "speedup_x", "qps",
-	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms",
+	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms", "batch",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -107,6 +110,7 @@ func (s *sink) add(r Record) {
 			strconv.Itoa(r.Clients), strconv.FormatFloat(r.HitRate, 'f', 4, 64),
 			strconv.FormatInt(r.Evictions, 10),
 			strconv.FormatFloat(r.P50MS, 'f', 3, 64), strconv.FormatFloat(r.P99MS, 'f', 3, 64),
+			strconv.Itoa(r.Batch),
 		})
 	}
 	if s.enc != nil {

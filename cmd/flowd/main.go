@@ -113,13 +113,13 @@ func runSelfcheck(srv *flowd.Server) error {
 	}
 	fmt.Println("flowd selfcheck: healthz ok")
 
-	reg, err := c.Register(ctx, "check", store.GraphSpec{
+	reg, err := c.RegisterWarm(ctx, "check", store.GraphSpec{
 		Kind: "grid", Rows: 6, Cols: 6, Seed: 42, WLo: 1, WHi: 9, CLo: 1, CHi: 16,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("registered grid n=%d m=%d faces=%d\n", reg.N, reg.M, reg.Faces)
+	fmt.Printf("registered grid n=%d m=%d faces=%d warmed=%v\n", reg.N, reg.M, reg.Faces, reg.Warmed)
 
 	queries := []flowd.QueryRequest{
 		{Graph: "check", Op: "dist", U: 0, V: reg.N - 1},
@@ -146,6 +146,32 @@ func runSelfcheck(srv *flowd.Server) error {
 	if flowVal != cutVal {
 		return fmt.Errorf("maxflow %d != minstcut %d", flowVal, cutVal)
 	}
+
+	// The same families through the batch plane: one request, one bundle
+	// pin, per-query isolation (the bad entry fails alone).
+	batch, err := c.QueryBatch(ctx, flowd.BatchRequest{Graph: "check", Queries: []flowd.BatchQuery{
+		{Op: "maxflow", U: 0, V: reg.N - 1},
+		{Op: "dist", U: 0, V: reg.N - 1},
+		{Op: "dist", U: 0, V: reg.N + 999}, // out of range: its own error entry
+		{Op: "girth"},
+	}})
+	if err != nil {
+		return err
+	}
+	for i, r := range batch.Results {
+		if r.Error != "" {
+			fmt.Printf("batch[%d] %s error=%q\n", i, r.Op, r.Error)
+			continue
+		}
+		fmt.Printf("batch[%d] %s=%d\n", i, r.Op, r.Value)
+	}
+	if batch.Results[0].Value != flowVal {
+		return fmt.Errorf("batch maxflow %d != singleton %d", batch.Results[0].Value, flowVal)
+	}
+	if batch.Results[2].Error == "" {
+		return fmt.Errorf("out-of-range batch entry did not error")
+	}
+
 	stats, err := c.Stats(ctx)
 	if err != nil {
 		return err
@@ -153,6 +179,11 @@ func runSelfcheck(srv *flowd.Server) error {
 	fmt.Printf("statsz: graphs=%d resident=%d bytes=%d hits=%d misses=%d builds=%d\n",
 		stats.Store.Graphs, stats.Store.Resident, stats.Store.Bytes,
 		stats.Store.Hits, stats.Store.Misses, stats.Store.Builds)
+	for _, op := range flowd.Ops {
+		if f, ok := stats.Families[op]; ok {
+			fmt.Printf("family %-10s count=%d errors=%d rounds=%d\n", op, f.Count, f.Errors, f.Rounds)
+		}
+	}
 	fmt.Println("flowd selfcheck: ok")
 	return nil
 }

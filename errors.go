@@ -32,4 +32,11 @@ var (
 	// ErrNilGraph reports a nil *Graph handed to Prepare or a one-shot
 	// entry point.
 	ErrNilGraph = errors.New("nil graph")
+	// ErrUnknownQueryKind reports a Query whose Kind is not one of
+	// QueryKinds (including the zero Query).
+	ErrUnknownQueryKind = errors.New("unknown query kind")
+	// ErrUnknownSubstrate reports a Substrate name Warm does not know.
+	ErrUnknownSubstrate = errors.New("unknown substrate")
+	// ErrLeafLimitRange reports a negative BDD leaf limit.
+	ErrLeafLimitRange = errors.New("leaf limit must be non-negative")
 )

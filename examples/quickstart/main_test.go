@@ -12,5 +12,7 @@ func TestSmoke(t *testing.T) {
 		"max st-flow value:",
 		"flow assignment verified",
 		"max-flow = min-cut: true",
-		"simulated CONGEST cost:")
+		"shortest s-t distance:",
+		"simulated CONGEST cost:",
+		"one-time substrate build:")
 }

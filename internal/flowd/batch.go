@@ -1,0 +1,163 @@
+package flowd
+
+// The batch endpoint: POST /v1/batch runs up to MaxBatchQueries queries
+// against one graph under a single store acquisition — one registry
+// lookup, one LRU touch and one bundle pin for the whole batch, so B
+// queries cost one unit of store traffic instead of B. Failures are
+// isolated per entry: a bad query yields its own error string while the
+// rest of the batch answers normally; only batch-level failures (unknown
+// graph, canceled request) fail the HTTP request.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"planarflow"
+)
+
+// MaxBatchQueries caps the number of queries one batch request may carry:
+// enough to amortize the wire and store overhead, small enough that a
+// single request cannot monopolize the worker pool.
+const MaxBatchQueries = 256
+
+// MaxBatchWorkers caps the client-requested concurrency of one batch.
+const MaxBatchWorkers = 64
+
+// BatchQuery is one entry of a batch: a QueryRequest without the graph id
+// (the batch's graph applies to every entry).
+type BatchQuery struct {
+	Op     string  `json:"op"`
+	U      int     `json:"u,omitempty"`
+	V      int     `json:"v,omitempty"`
+	Source int     `json:"source,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+}
+
+// Query maps the entry onto the library's query value. As for
+// QueryRequest.Query, the per-phase rounds breakdown is not requested.
+func (q *BatchQuery) Query() planarflow.Query {
+	return planarflow.Query{
+		Kind: planarflow.QueryKind(q.Op),
+		U:    q.U, V: q.V, Source: q.Source, Eps: q.Eps,
+		NoPhases: true,
+	}
+}
+
+// BatchRequest runs Queries against Graph under one bundle acquisition.
+type BatchRequest struct {
+	Graph   string       `json:"graph"`
+	Queries []BatchQuery `json:"queries"`
+	// Workers bounds how many queries run concurrently on the daemon
+	// (0 = the daemon's default, min(batch size, GOMAXPROCS)).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResult is one entry's outcome: either the answer fields or Error.
+type BatchResult struct {
+	Op         string  `json:"op"`
+	Value      int64   `json:"value"`
+	Dist       []int64 `json:"dist,omitempty"`
+	CutEdges   []int   `json:"cut_edges,omitempty"`
+	NegCycle   bool    `json:"neg_cycle,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Rounds     Rounds  `json:"rounds"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// BatchResponse is the result of one batch, index-aligned with the
+// request's Queries. Hit reports whether the graph's bundle was resident
+// when the batch arrived (one acquisition, so one hit bit).
+type BatchResponse struct {
+	Graph   string        `json:"graph"`
+	Results []BatchResult `json:"results"`
+	Hit     bool          `json:"hit"`
+	WallMS  float64       `json:"wall_ms"`
+}
+
+// DecodeBatch parses and shape-validates one batch request with the same
+// strictness contract as DecodeQuery: unknown fields, trailing garbage,
+// missing graph, empty or oversized batches, unknown ops, negative ids,
+// out-of-range eps and workers are all rejected, and no input may panic
+// (FuzzDecodeBatch holds it to that). Graph-dependent range checks happen
+// at query time, isolated per entry.
+func DecodeBatch(data []byte) (*BatchRequest, error) {
+	var req BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("flowd: bad batch: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("flowd: bad batch: trailing data after JSON object")
+	}
+	if req.Graph == "" {
+		return nil, errors.New("flowd: bad batch: missing graph id")
+	}
+	if len(req.Queries) == 0 {
+		return nil, errors.New("flowd: bad batch: empty query list")
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		return nil, fmt.Errorf("flowd: bad batch: %d queries exceeds cap %d", len(req.Queries), MaxBatchQueries)
+	}
+	if req.Workers < 0 || req.Workers > MaxBatchWorkers {
+		return nil, fmt.Errorf("flowd: bad batch: workers=%d out of [0, %d]", req.Workers, MaxBatchWorkers)
+	}
+	for i, q := range req.Queries {
+		if err := checkArgs(q.Op, q.U, q.V, q.Source, q.Eps); err != nil {
+			return nil, fmt.Errorf("flowd: bad batch: query %d: %s", i, err)
+		}
+	}
+	return &req, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	req, err := DecodeBatch(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	begin := time.Now()
+	queries := make([]planarflow.Query, len(req.Queries))
+	for i := range req.Queries {
+		queries[i] = req.Queries[i].Query()
+	}
+	answers, hit, err := s.st.DoBatch(r.Context(), req.Graph, queries, planarflow.BatchOptions{Workers: req.Workers})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	resp := &BatchResponse{Graph: req.Graph, Hit: hit, Results: make([]BatchResult, len(answers))}
+	for i, a := range answers {
+		res := BatchResult{Op: req.Queries[i].Op}
+		switch {
+		case a == nil: // defensive: DoBatch settles every entry
+			res.Error = "flowd: query not executed"
+			s.recordFamily(res.Op, 0, true)
+		case a.Err != nil:
+			res.Error = a.Err.Error()
+			s.recordFamily(res.Op, 0, true)
+		default:
+			res.Value = a.Value
+			res.Dist = a.Dist
+			res.CutEdges = a.Edges
+			res.NegCycle = a.NegCycle
+			res.Iterations = a.Iterations
+			res.Rounds = roundsOf(a.Rounds)
+			s.recordFamily(res.Op, a.Rounds.Total, false)
+		}
+		resp.Results[i] = res
+	}
+	resp.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,237 @@
+package flowd
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"planarflow"
+	"planarflow/internal/store"
+)
+
+// TestBatchEndToEnd drives the acceptance shape of the batch plane: B=16
+// mixed-family queries in one request, per-query isolation (the one bad
+// query yields its own error entry, every other entry succeeds), answers
+// equal to singleton requests, and exactly one store acquisition for the
+// whole batch.
+func TestBatchEndToEnd(t *testing.T) {
+	c, st := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	spec := store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 3, WLo: 1, WHi: 9, CLo: 1, CHi: 16}
+	reg, err := c.Register(ctx, "g", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, faces := reg.N, reg.Faces
+
+	queries := []BatchQuery{
+		{Op: "dist", U: 0, V: n - 1},
+		{Op: "maxflow", U: 0, V: n - 1},
+		{Op: "dualdist", U: 0, V: faces - 1},
+		{Op: "dualsssp", Source: 1},
+		{Op: "girth"},
+		{Op: "minstcut", U: 0, V: n - 1},
+		{Op: "dist", U: 3, V: 17},
+		{Op: "stflow", U: 0, V: n - 1, Eps: 0.1},
+		{Op: "dist", U: 0, V: n + 500}, // out of range: fails alone
+		{Op: "stcut", U: 0, V: n - 1},
+		{Op: "dirdist", U: 2, V: 9},
+		{Op: "dist", U: 1, V: 2},
+		{Op: "dualdist", U: 1, V: 2},
+		{Op: "dist", U: 5, V: 30},
+		{Op: "maxflow", U: 1, V: n - 2},
+		{Op: "dist", U: 7, V: 11},
+	}
+	const badIdx = 8
+
+	resp, err := c.QueryBatch(ctx, BatchRequest{Graph: "g", Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("batch returned %d results for %d queries", len(resp.Results), len(queries))
+	}
+	for i, res := range resp.Results {
+		if i == badIdx {
+			if res.Error == "" || !strings.Contains(res.Error, "out of") {
+				t.Fatalf("bad query %d: error %q, want vertex-range error", i, res.Error)
+			}
+			continue
+		}
+		if res.Error != "" {
+			t.Fatalf("query %d (%s) failed: %s", i, res.Op, res.Error)
+		}
+		if res.Op != queries[i].Op {
+			t.Fatalf("query %d: op %q answered as %q", i, queries[i].Op, res.Op)
+		}
+	}
+
+	// Each batch entry must equal the singleton-request answer.
+	for i, q := range queries {
+		if i == badIdx {
+			continue
+		}
+		single, err := c.Query(ctx, QueryRequest{Graph: "g", Op: q.Op, U: q.U, V: q.V, Source: q.Source, Eps: q.Eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := resp.Results[i]
+		if res.Value != single.Value || res.NegCycle != single.NegCycle {
+			t.Fatalf("query %d (%s): batch value %d, singleton %d", i, q.Op, res.Value, single.Value)
+		}
+	}
+
+	// The whole batch was one store acquisition: 1 miss for the batch plus
+	// 1 hit per singleton re-check.
+	snap := st.Snapshot()
+	if got := snap.Hits + snap.Misses; got != 1+int64(len(queries)-1) {
+		t.Fatalf("store lookups %d, want %d (one per batch + one per singleton)", got, 1+len(queries)-1)
+	}
+	if snap.Misses != 1 {
+		t.Fatalf("misses %d, want 1 (the batch's single acquisition)", snap.Misses)
+	}
+}
+
+// TestBatchRejects pins the strict decoder behavior at the HTTP surface.
+func TestBatchRejects(t *testing.T) {
+	c, _ := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	if _, err := c.Register(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 4, Cols: 4}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		req  BatchRequest
+		frag string
+	}{
+		{BatchRequest{Graph: "nope", Queries: []BatchQuery{{Op: "girth"}}}, "404"},
+		{BatchRequest{Graph: "g"}, "empty query list"},
+		{BatchRequest{Graph: "g", Queries: []BatchQuery{{Op: "warp"}}}, "unknown op"},
+		{BatchRequest{Graph: "g", Queries: []BatchQuery{{Op: "dist", U: -1}}}, "negative id"},
+		{BatchRequest{Graph: "g", Queries: []BatchQuery{{Op: "stflow", Eps: 2}}}, "eps"},
+		{BatchRequest{Graph: "g", Queries: []BatchQuery{{Op: "girth"}}, Workers: 1000}, "workers"},
+		{BatchRequest{Graph: "g", Queries: make([]BatchQuery, MaxBatchQueries+1)}, "exceeds cap"},
+	}
+	for _, tc := range cases {
+		if _, err := c.QueryBatch(ctx, tc.req); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("QueryBatch(%.40v...) error %v, want fragment %q", tc.req, err, tc.frag)
+		}
+	}
+}
+
+// TestRegisterWarmMovesColdStart asserts ?warm=1 builds the serving
+// substrates at registration: the first query afterwards is a store hit
+// with zero Build rounds.
+func TestRegisterWarmMovesColdStart(t *testing.T) {
+	c, st := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	reg, err := c.RegisterWarm(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 5, WLo: 1, WHi: 9, CLo: 1, CHi: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Warmed {
+		t.Fatal("register with ?warm=1 did not report Warmed")
+	}
+	if snap := st.Snapshot(); snap.Builds == 0 {
+		t.Fatalf("no substrates built by warm registration: %+v", snap)
+	}
+	resp, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "maxflow", U: 0, V: reg.N - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Hit {
+		t.Fatal("first query after warm registration missed the bundle")
+	}
+	if resp.Rounds.Build != 0 {
+		t.Fatalf("first query after warm registration paid Build=%d rounds", resp.Rounds.Build)
+	}
+}
+
+// TestStatszFamilies asserts the per-family traffic counters: counts,
+// errors and rounds per op, across singleton and batch traffic.
+func TestStatszFamilies(t *testing.T) {
+	c, _ := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	reg, err := c.Register(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 5, Cols: 5, Seed: 2, WLo: 1, WHi: 9, CLo: 1, CHi: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: reg.N - 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "maxflow", U: 0, V: reg.N - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "maxflow", U: 2, V: 2}); err == nil {
+		t.Fatal("same-vertex maxflow did not error")
+	}
+	if _, err := c.QueryBatch(ctx, BatchRequest{Graph: "g", Queries: []BatchQuery{
+		{Op: "dist", U: 1, V: 2}, {Op: "girth"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := stats.Families
+	if fam == nil {
+		t.Fatal("statsz has no families section")
+	}
+	if f := fam["dist"]; f.Count != 4 || f.Errors != 0 {
+		t.Fatalf("dist counters %+v, want count=4 errors=0", f)
+	}
+	if f := fam["maxflow"]; f.Count != 2 || f.Errors != 1 || f.Rounds == 0 {
+		t.Fatalf("maxflow counters %+v, want count=2 errors=1 rounds>0", f)
+	}
+	if f := fam["girth"]; f.Count != 1 || f.Rounds == 0 {
+		t.Fatalf("girth counters %+v, want count=1 rounds>0", f)
+	}
+}
+
+// TestBatchEqualsLibrary cross-checks the wire batch against the library's
+// DoBatch on the same spec.
+func TestBatchEqualsLibrary(t *testing.T) {
+	c, _ := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	spec := store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 11, WLo: 1, WHi: 9, CLo: 1, CHi: 16}
+	reg, err := c.Register(ctx, "g", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []planarflow.Query{
+		planarflow.DistQuery(0, reg.N-1),
+		planarflow.MaxFlowQuery(0, reg.N-1),
+		planarflow.GirthQuery(),
+	}
+	want, err := p.DoBatch(ctx, queries, planarflow.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.QueryBatch(ctx, BatchRequest{Graph: "g", Queries: []BatchQuery{
+		{Op: "dist", U: 0, V: reg.N - 1},
+		{Op: "maxflow", U: 0, V: reg.N - 1},
+		{Op: "girth"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if resp.Results[i].Error != "" {
+			t.Fatalf("wire query %d failed: %s", i, resp.Results[i].Error)
+		}
+		if resp.Results[i].Value != want[i].Value {
+			t.Fatalf("query %d: wire %d, library %d", i, resp.Results[i].Value, want[i].Value)
+		}
+	}
+}

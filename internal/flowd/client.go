@@ -80,6 +80,17 @@ func (c *Client) Register(ctx context.Context, id string, spec store.GraphSpec) 
 	return &out, nil
 }
 
+// RegisterWarm is Register with the ?warm=1 prefetch: the daemon builds
+// the graph's serving substrates before responding, so the first user
+// query finds them resident instead of paying the cold-start build.
+func (c *Client) RegisterWarm(ctx context.Context, id string, spec store.GraphSpec) (*RegisterResponse, error) {
+	var out RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs?warm=1", RegisterRequest{ID: id, Spec: spec}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Graphs lists the registered graphs with their serving stats.
 func (c *Client) Graphs(ctx context.Context) ([]store.GraphStats, error) {
 	var out []store.GraphStats
@@ -93,6 +104,18 @@ func (c *Client) Graphs(ctx context.Context) ([]store.GraphStats, error) {
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	var out QueryResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryBatch runs a batch of queries against one graph under a single
+// bundle acquisition on the daemon. Per-query failures come back in the
+// index-aligned Results entries (Error set); the call itself fails only
+// for batch-level problems (bad request, unknown graph, cancellation).
+func (c *Client) QueryBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

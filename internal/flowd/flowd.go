@@ -8,14 +8,19 @@
 // Endpoints:
 //
 //	POST /v1/graphs   {"id": ..., "spec": {...}}   register a generated graph
+//	                  ?warm=1                      eagerly build the serving substrates
 //	GET  /v1/graphs                                list graphs with serving stats
 //	POST /v1/query    QueryRequest                 run one query
-//	GET  /statsz                                   store metrics snapshot
+//	POST /v1/batch    BatchRequest                 run a batch under one bundle pin
+//	GET  /statsz                                   store metrics snapshot + per-family counters
 //	GET  /healthz                                  liveness
 //
-// The wire protocol is strict: unknown fields are rejected, bodies are
-// size-capped, and every error is a JSON {"error": ...} with a meaningful
-// status code. Client (client.go) is the matching Go client.
+// Requests decode straight onto the library's query plane: a QueryRequest
+// is a planarflow.Query plus a graph id, and execution is one store.Do
+// (store.DoBatch for /v1/batch) — there is no per-family dispatch in the
+// daemon. The wire protocol is strict: unknown fields are rejected, bodies
+// are size-capped, and every error is a JSON {"error": ...} with a
+// meaningful status code. Client (client.go) is the matching Go client.
 package flowd
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"planarflow"
@@ -36,8 +42,9 @@ import (
 // bigger is abuse.
 const maxBodyBytes = 1 << 20
 
-// Ops understood by the query endpoint, and the argument fields each
-// uses. U/V double as the face pair of dualdist.
+// Ops understood by the query endpoints — the wire names of
+// planarflow.QueryKinds — and the argument fields each uses. U/V double
+// as the face pair of dualdist.
 //
 //	dist, dirdist   U, V  (vertices)
 //	dualdist        U, V  (faces)
@@ -46,11 +53,13 @@ const maxBodyBytes = 1 << 20
 //	minstcut        U, V
 //	stflow, stcut   U, V, Eps (st-planar approximations; Eps=0 exact)
 //	girth, dirgirth, globalmincut   (no arguments)
-var Ops = []string{
-	"dist", "dirdist", "dualdist", "dualsssp",
-	"maxflow", "minstcut", "stflow", "stcut",
-	"girth", "dirgirth", "globalmincut",
-}
+var Ops = func() []string {
+	ops := make([]string, len(planarflow.QueryKinds))
+	for i, k := range planarflow.QueryKinds {
+		ops[i] = string(k)
+	}
+	return ops
+}()
 
 var opSet = func() map[string]bool {
 	m := make(map[string]bool, len(Ops))
@@ -60,7 +69,8 @@ var opSet = func() map[string]bool {
 	return m
 }()
 
-// QueryRequest is one query against a registered graph.
+// QueryRequest is one query against a registered graph: a
+// planarflow.Query's wire shape plus the graph id.
 type QueryRequest struct {
 	Graph  string  `json:"graph"`
 	Op     string  `json:"op"`
@@ -68,6 +78,18 @@ type QueryRequest struct {
 	V      int     `json:"v,omitempty"`
 	Source int     `json:"source,omitempty"`
 	Eps    float64 `json:"eps,omitempty"`
+}
+
+// Query maps the request onto the library's first-class query value — the
+// op string is the QueryKind, the argument fields carry over verbatim.
+// The wire Rounds carries only the totals, so the per-phase breakdown is
+// not requested.
+func (r *QueryRequest) Query() planarflow.Query {
+	return planarflow.Query{
+		Kind: planarflow.QueryKind(r.Op),
+		U:    r.U, V: r.V, Source: r.Source, Eps: r.Eps,
+		NoPhases: true,
+	}
 }
 
 // Rounds is the wire-compact round report: the simulated CONGEST cost of
@@ -106,24 +128,55 @@ type RegisterRequest struct {
 	Spec store.GraphSpec `json:"spec"`
 }
 
-// RegisterResponse echoes the registered graph's shape.
+// RegisterResponse echoes the registered graph's shape. Warmed reports
+// that the ?warm=1 prefetch built the serving substrates before the
+// response was written.
 type RegisterResponse struct {
-	ID    string `json:"id"`
-	N     int    `json:"n"`
-	M     int    `json:"m"`
-	Faces int    `json:"faces"`
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Faces  int    `json:"faces"`
+	Warmed bool   `json:"warmed,omitempty"`
+}
+
+// FamilyStats is the per-query-family traffic counter exported on
+// /statsz: how many queries of the family ran, how many errored, and the
+// total simulated rounds they reported (build + query) — enough to see
+// the traffic mix and where the round budget goes.
+type FamilyStats struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	Rounds int64 `json:"rounds"`
 }
 
 // StatsResponse is the /statsz payload.
 type StatsResponse struct {
-	Store    store.Stats `json:"store"`
-	HitRate  float64     `json:"hit_rate"`
-	UptimeMS float64     `json:"uptime_ms"`
+	Store    store.Stats            `json:"store"`
+	HitRate  float64                `json:"hit_rate"`
+	UptimeMS float64                `json:"uptime_ms"`
+	Families map[string]FamilyStats `json:"families,omitempty"`
 }
 
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// checkArgs is the op/argument validation shared by the single-query and
+// batch decoders: known op, non-negative ids, eps in [0, 1) whatever the
+// op (the wire is stricter than Query.Validate, which only ranges eps for
+// the approximate families).
+func checkArgs(op string, u, v, source int, eps float64) error {
+	if !opSet[op] {
+		return fmt.Errorf("unknown op %q", op)
+	}
+	if u < 0 || v < 0 || source < 0 {
+		return fmt.Errorf("negative id (u=%d v=%d source=%d)", u, v, source)
+	}
+	if eps < 0 || eps >= 1 {
+		return fmt.Errorf("eps=%v out of [0, 1)", eps)
+	}
+	return nil
 }
 
 // DecodeQuery parses and shape-validates one query request. It is strict
@@ -144,14 +197,8 @@ func DecodeQuery(data []byte) (*QueryRequest, error) {
 	if req.Graph == "" {
 		return nil, errors.New("flowd: bad query: missing graph id")
 	}
-	if !opSet[req.Op] {
-		return nil, fmt.Errorf("flowd: bad query: unknown op %q", req.Op)
-	}
-	if req.U < 0 || req.V < 0 || req.Source < 0 {
-		return nil, fmt.Errorf("flowd: bad query: negative id (u=%d v=%d source=%d)", req.U, req.V, req.Source)
-	}
-	if req.Eps < 0 || req.Eps >= 1 {
-		return nil, fmt.Errorf("flowd: bad query: eps=%v out of [0, 1)", req.Eps)
+	if err := checkArgs(req.Op, req.U, req.V, req.Source, req.Eps); err != nil {
+		return nil, fmt.Errorf("flowd: bad query: %s", err)
 	}
 	return &req, nil
 }
@@ -161,19 +208,54 @@ type Server struct {
 	st    *store.Store
 	mux   *http.ServeMux
 	start time.Time
+
+	famMu sync.Mutex
+	fam   map[string]*FamilyStats
 }
 
 // NewServer wraps st in the daemon's HTTP surface.
 func NewServer(st *store.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{st: st, mux: http.NewServeMux(), start: time.Now(), fam: map[string]*FamilyStats{}}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
+}
+
+// recordFamily bumps the op's traffic counters: one query executed, its
+// reported rounds, and whether it errored.
+func (s *Server) recordFamily(op string, rounds int64, errored bool) {
+	s.famMu.Lock()
+	defer s.famMu.Unlock()
+	f := s.fam[op]
+	if f == nil {
+		f = &FamilyStats{}
+		s.fam[op] = f
+	}
+	f.Count++
+	f.Rounds += rounds
+	if errored {
+		f.Errors++
+	}
+}
+
+// familySnapshot copies the per-family counters for /statsz.
+func (s *Server) familySnapshot() map[string]FamilyStats {
+	s.famMu.Lock()
+	defer s.famMu.Unlock()
+	if len(s.fam) == 0 {
+		return nil
+	}
+	out := make(map[string]FamilyStats, len(s.fam))
+	for op, f := range s.fam {
+		out[op] = *f
+	}
+	return out
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -211,7 +293,10 @@ func statusOf(err error) int {
 		errors.Is(err, planarflow.ErrNegativeCycle),
 		errors.Is(err, planarflow.ErrNegativeWeight),
 		errors.Is(err, planarflow.ErrNonPositiveWeight),
-		errors.Is(err, planarflow.ErrNilGraph):
+		errors.Is(err, planarflow.ErrNilGraph),
+		errors.Is(err, planarflow.ErrUnknownQueryKind),
+		errors.Is(err, planarflow.ErrUnknownSubstrate),
+		errors.Is(err, planarflow.ErrLeafLimitRange):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
@@ -252,7 +337,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RegisterResponse{ID: req.ID, N: gr.N(), M: gr.M(), Faces: gr.NumFaces()})
+	resp := RegisterResponse{ID: req.ID, N: gr.N(), M: gr.M(), Faces: gr.NumFaces()}
+	// ?warm=1 prefetches the serving substrates before the response is
+	// written, so cold-start construction happens here instead of on the
+	// first user query. The graph stays registered if warming is cut short
+	// by a dropped connection — the next query resumes the build.
+	if warm := r.URL.Query().Get("warm"); warm == "1" || warm == "true" {
+		if err := s.st.Warm(r.Context(), req.ID); err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Warmed = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -265,6 +362,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Store:    snap,
 		HitRate:  snap.HitRate(),
 		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
+		Families: s.familySnapshot(),
 	})
 }
 
@@ -291,89 +389,34 @@ func roundsOf(r planarflow.Rounds) Rounds {
 	return Rounds{Total: r.Total, Build: r.Build, Query: r.Query}
 }
 
-// runQuery executes one decoded query against the store, pinned and bound
-// to ctx for the duration.
+// answerFields copies an Answer's kind-discriminated payload into the wire
+// response. Flow assignments and cut bisections stay off the wire (they
+// are O(m)/O(n) payloads; the wire carries the witness edge set instead).
+func (resp *QueryResponse) answerFields(a *planarflow.Answer) {
+	resp.Value = a.Value
+	resp.Dist = a.Dist
+	resp.CutEdges = a.Edges
+	resp.NegCycle = a.NegCycle
+	resp.Iterations = a.Iterations
+	resp.Rounds = roundsOf(a.Rounds)
+}
+
+// runQuery executes one decoded query against the store: decoder output
+// maps onto a planarflow.Query and execution is a single store.Do — the
+// per-family dispatch lives in the library's query plane, not here.
 func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
-	resp := &QueryResponse{Graph: req.Graph, Op: req.Op}
 	begin := time.Now()
-	err := s.st.With(ctx, req.Graph, func(pg *planarflow.PreparedGraph, hit bool) error {
-		resp.Hit = hit
-		switch req.Op {
-		case "dist":
-			v, err := pg.Dist(req.U, req.V)
-			resp.Value = v
-			return err
-		case "dirdist":
-			v, err := pg.DirectedDist(req.U, req.V)
-			resp.Value = v
-			return err
-		case "dualdist":
-			v, err := pg.DualDist(req.U, req.V)
-			resp.Value = v
-			return err
-		case "dualsssp":
-			res, err := pg.DualSSSP(req.Source)
-			if err != nil {
-				return err
-			}
-			resp.Dist, resp.NegCycle, resp.Rounds = res.Dist, res.NegCycle, roundsOf(res.Rounds)
-			return nil
-		case "maxflow":
-			res, err := pg.MaxFlow(req.U, req.V)
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.Iterations, resp.Rounds = res.Value, res.Iterations, roundsOf(res.Rounds)
-			return nil
-		case "minstcut":
-			res, err := pg.MinSTCut(req.U, req.V)
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.CutEdges, resp.Rounds = res.Value, res.CutEdges, roundsOf(res.Rounds)
-			return nil
-		case "stflow":
-			res, err := pg.ApproxMaxFlowSTPlanar(req.U, req.V, req.Eps)
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.Rounds = res.Value, roundsOf(res.Rounds)
-			return nil
-		case "stcut":
-			res, err := pg.ApproxMinCutSTPlanar(req.U, req.V, req.Eps)
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.CutEdges, resp.Rounds = res.Value, res.CutEdges, roundsOf(res.Rounds)
-			return nil
-		case "girth":
-			res, err := pg.Girth()
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.CutEdges, resp.Rounds = res.Weight, res.CycleEdges, roundsOf(res.Rounds)
-			return nil
-		case "dirgirth":
-			res, err := pg.DirectedGirth()
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.Rounds = res.Weight, roundsOf(res.Rounds)
-			return nil
-		case "globalmincut":
-			res, err := pg.GlobalMinCut()
-			if err != nil {
-				return err
-			}
-			resp.Value, resp.CutEdges, resp.Rounds = res.Value, res.CutEdges, roundsOf(res.Rounds)
-			return nil
-		default:
-			return fmt.Errorf("flowd: unknown op %q", req.Op)
-		}
-	})
+	a, hit, err := s.st.Do(ctx, req.Graph, req.Query())
+	var rounds int64
+	if a != nil {
+		rounds = a.Rounds.Total
+	}
+	s.recordFamily(req.Op, rounds, err != nil)
 	if err != nil {
 		return nil, err
 	}
+	resp := &QueryResponse{Graph: req.Graph, Op: req.Op, Hit: hit}
+	resp.answerFields(a)
 	resp.WallMS = float64(time.Since(begin).Microseconds()) / 1000
 	return resp, nil
 }

@@ -1,0 +1,55 @@
+package store
+
+// Query-plane entry points: the store-level mirror of PreparedGraph.Do /
+// DoBatch / Warm. Each acquires (pins) the graph's bundle exactly once —
+// for a batch, that is one registry lookup, one LRU touch and one pin for
+// B queries, the amortization the /batch wire endpoint exists for — and
+// releases it when execution finishes, re-accounting the footprint and
+// running eviction as usual.
+
+import (
+	"context"
+
+	"planarflow"
+)
+
+// Do executes one query against the graph's bundle, pinned and bound to
+// ctx for the duration. hit reports whether the bundle was resident when
+// the request arrived.
+func (s *Store) Do(ctx context.Context, id string, q planarflow.Query) (a *planarflow.Answer, hit bool, err error) {
+	err = s.With(ctx, id, func(pg *planarflow.PreparedGraph, h bool) error {
+		hit = h
+		var qerr error
+		a, qerr = pg.Do(nil, q) // pg is already bound to ctx by With
+		return qerr
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return a, hit, nil
+}
+
+// DoBatch executes queries under one bundle acquisition: one pin, one LRU
+// touch, one footprint re-accounting for the whole batch. Per-query
+// failures are isolated in the returned answers (Answer.Err); the error
+// return carries batch-level failures (unknown graph, context canceled
+// during warmup).
+func (s *Store) DoBatch(ctx context.Context, id string, queries []planarflow.Query, opt planarflow.BatchOptions) (answers []*planarflow.Answer, hit bool, err error) {
+	err = s.With(ctx, id, func(pg *planarflow.PreparedGraph, h bool) error {
+		hit = h
+		var berr error
+		answers, berr = pg.DoBatch(nil, queries, opt)
+		return berr
+	})
+	return answers, hit, err
+}
+
+// Warm eagerly builds the graph's substrates (PreparedGraph.Warm; no
+// substrates means the default decode-heavy serving set), so cold-start
+// construction happens at registration time instead of on the first user
+// query. The warmed bundle is accounted and evictable like any other.
+func (s *Store) Warm(ctx context.Context, id string, substrates ...planarflow.Substrate) error {
+	return s.With(ctx, id, func(pg *planarflow.PreparedGraph, _ bool) error {
+		return pg.Warm(nil, substrates...)
+	})
+}

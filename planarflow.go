@@ -22,8 +22,12 @@
 // measured message schedules. For serving many queries on one graph, Prepare
 // returns a PreparedGraph that builds the expensive substrates (BDD +
 // distance labelings, the paper's §5 artifact) once and answers queries
-// concurrently; the one-shot functions below are thin wrappers over it. See
-// DESIGN.md for the correspondence between packages and the paper's
+// concurrently. Every query family is also expressible as a first-class
+// Query value executed through one entry point — Do for one query, DoBatch
+// for many (bounded worker pool, single-pass substrate warmup, per-query
+// error isolation), Warm for eager substrate prefetch; the named methods
+// and the one-shot functions below are thin wrappers over the same plane.
+// See DESIGN.md for the correspondence between packages and the paper's
 // sections, and EXPERIMENTS.md for the reproduced complexity measurements.
 package planarflow
 
@@ -189,9 +193,17 @@ type Rounds struct {
 }
 
 func roundsOf(l *ledger.Ledger) Rounds {
+	r := roundsTotalsOf(l)
+	r.ByPhase = l.ByPhase()
+	return r
+}
+
+// roundsTotalsOf is roundsOf without the per-phase map — the shape
+// NoPhases queries ask for, skipping the map allocation entirely.
+func roundsTotalsOf(l *ledger.Ledger) Rounds {
 	m, c := l.Split()
 	b, q := l.BuildSplit()
-	return Rounds{Total: m + c, Measured: m, Charged: c, Build: b, Query: q, ByPhase: l.ByPhase()}
+	return Rounds{Total: m + c, Measured: m, Charged: c, Build: b, Query: q}
 }
 
 // FlowResult is a maximum st-flow: value, per-edge assignment and cost.

@@ -164,154 +164,120 @@ func sentinelErr(err error) error {
 
 // MaxFlow computes the exact maximum st-flow (Thm 1.2). The BDD is shared
 // across queries; the per-λ residual labelings of the Miller–Naor search are
-// per-query work.
+// per-query work. Thin wrapper over Do(MaxFlowQuery(s, t)).
 func (p *PreparedGraph) MaxFlow(s, t int) (*FlowResult, error) {
-	if err := p.checkPair(s, t); err != nil {
-		return nil, err
-	}
-	led := ledger.New()
-	res, err := core.MaxFlow(p.art, s, t, core.Options{}, led)
+	a, err := p.do(MaxFlowQuery(s, t))
 	if err != nil {
 		return nil, err
 	}
-	return &FlowResult{Value: res.Value, Flow: res.Flow, Iterations: res.Iterations, Rounds: roundsOf(led)}, nil
+	return &FlowResult{Value: a.Value, Flow: a.Flow, Iterations: a.Iterations, Rounds: a.Rounds}, nil
 }
 
-// MinSTCut computes the exact directed minimum st-cut (Thm 6.1).
+// MinSTCut computes the exact directed minimum st-cut (Thm 6.1). Thin
+// wrapper over Do(MinSTCutQuery(s, t)).
 func (p *PreparedGraph) MinSTCut(s, t int) (*CutResult, error) {
-	if err := p.checkPair(s, t); err != nil {
-		return nil, err
-	}
-	led := ledger.New()
-	res, err := core.MinSTCut(p.art, s, t, core.Options{}, led)
+	a, err := p.do(MinSTCutQuery(s, t))
 	if err != nil {
 		return nil, err
 	}
-	return &CutResult{Value: res.Value, Side: res.Side, CutEdges: res.CutEdges, Rounds: roundsOf(led)}, nil
+	return &CutResult{Value: a.Value, Side: a.Side, CutEdges: a.Edges, Rounds: a.Rounds}, nil
 }
 
 // ApproxMaxFlowSTPlanar computes a (1-eps)-approximate maximum st-flow with
-// s and t on a common face (Thm 1.3); eps = 0 runs the exact oracle.
+// s and t on a common face (Thm 1.3); eps = 0 runs the exact oracle. Thin
+// wrapper over Do(STFlowQuery(s, t, eps)).
 func (p *PreparedGraph) ApproxMaxFlowSTPlanar(s, t int, eps float64) (*ApproxFlowResult, error) {
-	if err := p.checkSTPlanar(s, t, eps); err != nil {
+	a, err := p.do(STFlowQuery(s, t, eps))
+	if err != nil {
 		return nil, err
 	}
-	led := ledger.New()
-	res, err := core.STPlanarMaxFlow(p.art, s, t, eps, led)
-	if err != nil {
-		return nil, sentinelErr(err)
-	}
-	return &ApproxFlowResult{Value: res.Value, Flow: res.Flow, Epsilon: eps, Rounds: roundsOf(led)}, nil
+	return &ApproxFlowResult{Value: a.Value, Flow: a.Flow, Epsilon: eps, Rounds: a.Rounds}, nil
 }
 
 // ApproxMinCutSTPlanar computes the corresponding (approximate) minimum
-// st-cut (Thm 6.2).
+// st-cut (Thm 6.2). Thin wrapper over Do(STCutQuery(s, t, eps)).
 func (p *PreparedGraph) ApproxMinCutSTPlanar(s, t int, eps float64) (*CutResult, error) {
-	if err := p.checkSTPlanar(s, t, eps); err != nil {
+	a, err := p.do(STCutQuery(s, t, eps))
+	if err != nil {
 		return nil, err
 	}
-	led := ledger.New()
-	res, err := core.STPlanarMinCut(p.art, s, t, eps, led)
-	if err != nil {
-		return nil, sentinelErr(err)
-	}
-	return &CutResult{Value: res.Value, Side: res.Side, CutEdges: res.CutEdges, Rounds: roundsOf(led)}, nil
+	return &CutResult{Value: a.Value, Side: a.Side, CutEdges: a.Edges, Rounds: a.Rounds}, nil
 }
 
 // Girth computes the weighted girth (Thm 1.7). Its minor-aggregation route
-// has no reusable substrate, so prepared and one-shot cost coincide.
+// has no reusable substrate, so prepared and one-shot cost coincide. Thin
+// wrapper over Do(GirthQuery()).
 func (p *PreparedGraph) Girth() (*GirthResult, error) {
-	led := ledger.New()
-	res, err := core.Girth(p.art, led)
+	a, err := p.do(GirthQuery())
 	if err != nil {
-		return nil, sentinelErr(err)
+		return nil, err
 	}
-	return &GirthResult{Weight: res.Weight, CycleEdges: res.CycleEdges, Rounds: roundsOf(led)}, nil
+	return &GirthResult{Weight: a.Value, CycleEdges: a.Edges, Rounds: a.Rounds}, nil
 }
 
 // DirectedGirth computes the minimum weight of a directed cycle via the
 // SSSP/BDD route of [36]; the directed primal labeling it decodes from is a
-// shared artifact.
+// shared artifact. Thin wrapper over Do(DirectedGirthQuery()).
 func (p *PreparedGraph) DirectedGirth() (*GirthResult, error) {
-	led := ledger.New()
-	w, err := core.DirectedGirth(p.art, core.Options{}, led)
+	a, err := p.do(DirectedGirthQuery())
 	if err != nil {
-		return nil, sentinelErr(err)
+		return nil, err
 	}
-	return &GirthResult{Weight: w, Rounds: roundsOf(led)}, nil
+	return &GirthResult{Weight: a.Value, Rounds: a.Rounds}, nil
 }
 
 // GlobalMinCut computes the directed global minimum cut (Thm 1.5); the
-// free-reversal dual labeling is a shared artifact.
+// free-reversal dual labeling is a shared artifact. Thin wrapper over
+// Do(GlobalMinCutQuery()).
 func (p *PreparedGraph) GlobalMinCut() (*CutResult, error) {
-	led := ledger.New()
-	res, err := core.GlobalMinCut(p.art, core.Options{}, led)
+	a, err := p.do(GlobalMinCutQuery())
 	if err != nil {
-		return nil, sentinelErr(err)
+		return nil, err
 	}
-	return &CutResult{Value: res.Value, Side: res.Side, CutEdges: res.CutEdges, Rounds: roundsOf(led)}, nil
+	return &CutResult{Value: a.Value, Side: a.Side, CutEdges: a.Edges, Rounds: a.Rounds}, nil
 }
 
 // DualSSSP computes shortest paths in the dual graph from the given source
 // face (Thm 2.1 / Lemma 2.2). The undirected dual labeling is the shared
-// artifact; each query pays one label broadcast.
+// artifact; each query pays one label broadcast. Thin wrapper over
+// Do(DualSSSPQuery(sourceFace)).
 func (p *PreparedGraph) DualSSSP(sourceFace int) (*DualSSSPResult, error) {
-	led := ledger.New()
-	res, err := core.DualSSSP(p.art, sourceFace, core.Options{}, led)
+	a, err := p.do(DualSSSPQuery(sourceFace))
 	if err != nil {
-		return nil, sentinelErr(err)
+		return nil, err
 	}
-	if res.NegCycle {
-		return &DualSSSPResult{Source: sourceFace, NegCycle: true, Rounds: roundsOf(led)}, nil
-	}
-	return &DualSSSPResult{Source: sourceFace, Dist: res.Dist, Rounds: roundsOf(led)}, nil
+	return &DualSSSPResult{Source: sourceFace, Dist: a.Dist, NegCycle: a.NegCycle, Rounds: a.Rounds}, nil
 }
 
 // Dist returns the shortest-path distance from u to v under undirected
 // weight semantics (both traversal directions cost Weight), decoding locally
-// from the shared primal labeling; Inf if unreachable.
+// from the shared primal labeling; Inf if unreachable. Thin wrapper over
+// Do(DistQuery(u, v)).
 func (p *PreparedGraph) Dist(u, v int) (int64, error) {
-	if err := p.checkVertices(u, v); err != nil {
+	a, err := p.do(DistQuery(u, v))
+	if err != nil {
 		return 0, err
 	}
-	la, err := p.art.PrimalLabels(artifact.Undirected, 0, p.buildSink)
-	if err != nil {
-		return 0, fmt.Errorf("planarflow: %w", err)
-	}
-	if la.NegCycle {
-		return 0, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
-	}
-	return la.Dist(u, v), nil
+	return a.Value, nil
 }
 
 // DirectedDist is Dist with one-way edge semantics (each edge traversable
-// only U -> V).
+// only U -> V). Thin wrapper over Do(DirectedDistQuery(u, v)).
 func (p *PreparedGraph) DirectedDist(u, v int) (int64, error) {
-	if err := p.checkVertices(u, v); err != nil {
+	a, err := p.do(DirectedDistQuery(u, v))
+	if err != nil {
 		return 0, err
 	}
-	la, err := p.art.PrimalLabels(artifact.Directed, 0, p.buildSink)
-	if err != nil {
-		return 0, fmt.Errorf("planarflow: %w", err)
-	}
-	if la.NegCycle {
-		return 0, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
-	}
-	return la.Dist(u, v), nil
+	return a.Value, nil
 }
 
 // DualDist returns the shortest-path distance between two faces of the dual
-// graph under undirected weight semantics.
+// graph under undirected weight semantics. Thin wrapper over
+// Do(DualDistQuery(f1, f2)).
 func (p *PreparedGraph) DualDist(f1, f2 int) (int64, error) {
-	if f1 < 0 || f2 < 0 || f1 >= p.gr.NumFaces() || f2 >= p.gr.NumFaces() {
-		return 0, fmt.Errorf("planarflow: face pair (%d,%d) out of [0,%d): %w", f1, f2, p.gr.NumFaces(), ErrFaceRange)
-	}
-	la, err := p.art.DualLabels(artifact.Undirected, 0, p.buildSink)
+	a, err := p.do(DualDistQuery(f1, f2))
 	if err != nil {
-		return 0, fmt.Errorf("planarflow: %w", err)
+		return 0, err
 	}
-	if la.NegCycle {
-		return 0, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
-	}
-	return la.Dist(f1, f2), nil
+	return a.Value, nil
 }
