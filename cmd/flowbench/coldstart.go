@@ -1,0 +1,292 @@
+package main
+
+// COLDSTART experiment: restart-vs-rebuild on the TRAFFIC grid. The
+// serving story of PR 2–5 is "build substrates once, serve many
+// queries"; this experiment measures what a process restart costs with
+// and without the persistence layer. One instance warms every substrate
+// family (BDD + all five labelings) and records build_ms; a snapshot is
+// taken, a fresh bundle is restored from it, and restore_ms is recorded.
+// OK demands the subsystem's whole contract at once: the restore is
+// strictly faster than the rebuild, every query family answers
+// bit-identically on the restored bundle (payload and rounds, compared
+// as golden JSON), and the restore triggered zero substrate builds.
+//
+// Two rows per run: "lib" exercises the public Snapshot/RestorePrepared
+// path in-process; "flowd" exercises the daemon path — snapshot via
+// POST /v1/snapshot, restart onto a fresh store over the same snapshot
+// directory, warm-restore-on-boot, queries over the wire.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"planarflow"
+	"planarflow/internal/flowd"
+	"planarflow/internal/store"
+)
+
+// allSubstrates is the full substrate set: warming it makes build_ms the
+// cost of everything a restart would otherwise lose.
+var allSubstrates = []planarflow.Substrate{
+	planarflow.SubstrateBDD,
+	planarflow.SubstratePrimalUndirected,
+	planarflow.SubstratePrimalDirected,
+	planarflow.SubstrateDualUndirected,
+	planarflow.SubstrateDualDirected,
+	planarflow.SubstrateDualFreeReversal,
+}
+
+// coldstartQueries is one query per family (stflow/stcut on an adjacent,
+// common-face pair; eps=0 runs the exact oracle).
+func coldstartQueries(n, faces int) []planarflow.Query {
+	return []planarflow.Query{
+		planarflow.DistQuery(0, n-1),
+		planarflow.DirectedDistQuery(0, n-1),
+		planarflow.DualDistQuery(0, faces-1),
+		planarflow.DualSSSPQuery(0),
+		planarflow.MaxFlowQuery(0, n-1),
+		planarflow.MinSTCutQuery(0, n-1),
+		planarflow.STFlowQuery(0, 1, 0),
+		planarflow.STCutQuery(0, 1, 0),
+		planarflow.GirthQuery(),
+		planarflow.DirectedGirthQuery(),
+		planarflow.GlobalMinCutQuery(),
+	}
+}
+
+// goldenAnswers runs the queries and serializes each Answer as JSON —
+// the bit-identity witness (payload, witnesses and rounds included).
+func goldenAnswers(p *planarflow.PreparedGraph, queries []planarflow.Query) ([]string, error) {
+	out := make([]string, len(queries))
+	for i, q := range queries {
+		a, err := p.Do(context.Background(), q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Kind, err)
+		}
+		data, err := json.Marshal(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = string(data)
+	}
+	return out, nil
+}
+
+// coldstartSides returns the grid sides of a run. The base instance is
+// always the full-size TRAFFIC grid (a single graph is cheap, and the
+// smoke gate needs the real restore-vs-rebuild margin, not a toy one);
+// -full adds a larger point so the committed trajectory shows the margin
+// growing with substrate size.
+func coldstartSides(full bool) []int {
+	if full {
+		return []int{10, 16}
+	}
+	return []int{10}
+}
+
+func coldstartBench(s *sink, c cfg) {
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(40, rep)
+		header(rep, "COLDSTART", fmt.Sprintf(
+			"restart vs rebuild on the TRAFFIC grid (all %d substrates)", len(allSubstrates)),
+			"instance", "path", "n", "build_ms", "restore_ms", "speedup", "identical", "ok")
+		for _, side := range coldstartSides(c.full) {
+			tc := trafficSizes(true)
+			tc.side = side
+			for _, path := range []string{"lib", "flowd"} {
+				var res *coldstartResult
+				var err error
+				if path == "lib" {
+					res, err = runColdstartLib(tc, seed)
+				} else {
+					res, err = runColdstartFlowd(tc, seed)
+				}
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				n := side * side
+				d := 2*side - 2
+				ok := res.identical && res.restoreMS < res.buildMS && res.noRebuild
+				s.add(Record{
+					Exp:      "COLDSTART",
+					Instance: fmt.Sprintf("grid%dx%d:%s", side, side, path),
+					N:        n, D: d,
+					WallMS: res.wallMS, Repeat: rep, Seed: seed, OK: ok,
+					Queries: res.queries,
+					BuildMS: res.buildMS, RestoreMS: res.restoreMS,
+					Speedup: res.buildMS / res.restoreMS,
+				})
+				row(rep, fmt.Sprintf("grid%dx%d", side, side), path, n, res.buildMS,
+					res.restoreMS, res.buildMS/res.restoreMS, res.identical, ok)
+			}
+		}
+	}
+}
+
+type coldstartResult struct {
+	buildMS, restoreMS, wallMS float64
+	queries                    int
+	identical                  bool
+	noRebuild                  bool
+}
+
+// runColdstartLib measures the public API path: Warm → Snapshot →
+// RestorePrepared on a fresh graph value, golden answers compared.
+func runColdstartLib(tc trafficCfg, seed int64) (*coldstartResult, error) {
+	begin := time.Now()
+	spec := trafficSpec(tc, seed, 0)
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	p, err := planarflow.Prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	if err := p.Warm(context.Background(), allSubstrates...); err != nil {
+		return nil, err
+	}
+	buildMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	queries := coldstartQueries(g.N(), g.NumFaces())
+	want, err := goldenAnswers(p, queries)
+	if err != nil {
+		return nil, err
+	}
+
+	var snap bytes.Buffer
+	if err := p.Snapshot(&snap); err != nil {
+		return nil, err
+	}
+
+	// A fresh graph value (rebuilt from the spec, as a restarted process
+	// would) and a fresh bundle restored from the snapshot bytes.
+	g2, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	p2, err := planarflow.RestorePrepared(g2, bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	restoreMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	// Every substrate must arrive warm, and running the whole family set
+	// must not grow the bundle (no rebuilds; the golden comparison below
+	// additionally pins Build == 0 on every answer).
+	preSubstrates := len(p2.Stats().Substrates)
+	got, err := goldenAnswers(p2, queries)
+	if err != nil {
+		return nil, err
+	}
+	identical := len(want) == len(got)
+	for i := range want {
+		if want[i] != got[i] {
+			identical = false
+			fmt.Printf("  divergence [%s]\n    want %s\n    got  %s\n", queries[i].Kind, want[i], got[i])
+			break
+		}
+	}
+	noRebuild := preSubstrates == len(allSubstrates) &&
+		len(p2.Stats().Substrates) == preSubstrates
+	return &coldstartResult{
+		buildMS: buildMS, restoreMS: restoreMS,
+		wallMS:    float64(time.Since(begin).Microseconds()) / 1000,
+		queries:   len(queries),
+		identical: identical,
+		noRebuild: noRebuild,
+	}, nil
+}
+
+// runColdstartFlowd measures the daemon path: register+warm on daemon A,
+// golden answers over the wire, POST /v1/snapshot, kill A; boot daemon B
+// on a fresh store over the same snapshot directory, warm-restore, same
+// queries, compare.
+func runColdstartFlowd(tc trafficCfg, seed int64) (*coldstartResult, error) {
+	begin := time.Now()
+	dir, err := os.MkdirTemp("", "flowbench-coldstart")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := store.Config{SpillDir: dir}
+	spec := trafficSpec(tc, seed, 0)
+	ctx := context.Background()
+
+	stA := store.New(cfg)
+	if _, err := stA.RegisterSpec("g", spec); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	if err := stA.Warm(ctx, "g", allSubstrates...); err != nil {
+		return nil, err
+	}
+	buildMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	srvA := httptest.NewServer(flowd.NewServer(stA))
+	clA := flowd.NewClient(srvA.URL).WithHTTPClient(srvA.Client())
+	gr := stA.Graph("g")
+	reqs := flowd.FamilyChecks("g", gr.N(), gr.NumFaces())
+	want := make([]string, len(reqs))
+	for i, q := range reqs {
+		resp, err := clA.Query(ctx, q)
+		if err != nil {
+			srvA.Close()
+			return nil, fmt.Errorf("%s: %w", q.Op, err)
+		}
+		want[i] = flowd.RestartKey(resp)
+	}
+	if snap, err := clA.Snapshot(ctx, ""); err != nil {
+		srvA.Close()
+		return nil, err
+	} else if snap.Written < 1 {
+		srvA.Close()
+		return nil, fmt.Errorf("snapshot wrote %d bundles", snap.Written)
+	}
+	srvA.Close()
+
+	stB := store.New(cfg)
+	if _, err := stB.RegisterSpec("g", spec); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	restored, err := stB.TryRestore("g")
+	if err != nil {
+		return nil, err
+	}
+	restoreMS := float64(time.Since(t0).Microseconds()) / 1000
+	if !restored {
+		return nil, fmt.Errorf("restart restored nothing")
+	}
+	srvB := httptest.NewServer(flowd.NewServer(stB))
+	defer srvB.Close()
+	clB := flowd.NewClient(srvB.URL).WithHTTPClient(srvB.Client())
+	identical := true
+	for i, q := range reqs {
+		resp, err := clB.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("restored %s: %w", q.Op, err)
+		}
+		if got := flowd.RestartKey(resp); got != want[i] {
+			identical = false
+			fmt.Printf("  divergence [%s]\n    want %s\n    got  %s\n", q.Op, want[i], got)
+			break
+		}
+	}
+	snapB := stB.Snapshot()
+	return &coldstartResult{
+		buildMS: buildMS, restoreMS: restoreMS,
+		wallMS:    float64(time.Since(begin).Microseconds()) / 1000,
+		queries:   len(reqs),
+		identical: identical,
+		noRebuild: snapB.Builds == 0 && snapB.SnapshotRestores >= 1,
+	}, nil
+}

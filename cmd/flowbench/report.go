@@ -45,6 +45,10 @@ type Record struct {
 
 	// Batch metrics (BATCH experiment only).
 	Batch int `json:"batch,omitempty"` // queries per request (0 = singleton path)
+
+	// Persistence metrics (COLDSTART experiment only).
+	BuildMS   float64 `json:"build_ms,omitempty"`   // wall-clock to build all substrates cold
+	RestoreMS float64 `json:"restore_ms,omitempty"` // wall-clock to restore them from a snapshot
 }
 
 // key identifies a record across runs for baseline comparison. Wall-clock
@@ -69,6 +73,7 @@ var csvHeader = []string{
 	"messages", "bits", "wall_ms", "repeat", "seed", "ok",
 	"queries", "speedup_x", "qps",
 	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms", "batch",
+	"build_ms", "restore_ms",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -111,6 +116,7 @@ func (s *sink) add(r Record) {
 			strconv.FormatInt(r.Evictions, 10),
 			strconv.FormatFloat(r.P50MS, 'f', 3, 64), strconv.FormatFloat(r.P99MS, 'f', 3, 64),
 			strconv.Itoa(r.Batch),
+			strconv.FormatFloat(r.BuildMS, 'f', 3, 64), strconv.FormatFloat(r.RestoreMS, 'f', 3, 64),
 		})
 	}
 	if s.enc != nil {

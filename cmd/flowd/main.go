@@ -9,10 +9,18 @@
 //
 //	flowd -addr :8373 -budget-mb 256          # serve until interrupted
 //	flowd -demo 8 ...                         # preregister demo grids demo0..demoN-1
-//	flowd -selfcheck                          # end-to-end smoke: serve, query, exit
+//	flowd -snapshot-dir /var/lib/flowd        # disk tier: spill on evict, restore on miss/boot
+//	flowd -selfcheck                          # end-to-end smoke: serve, query, snapshot, restart, exit
+//
+// With -snapshot-dir, evicted bundles are demoted to disk snapshots
+// instead of discarded, cache misses restore from disk at decode speed
+// before falling back to a rebuild, registered specs warm-restore at
+// boot, and POST /v1/snapshot persists the resident working set on
+// demand (e.g. before a planned restart).
 //
 // Endpoints: POST /v1/graphs, GET /v1/graphs, POST /v1/query,
-// GET /statsz, GET /healthz — see internal/flowd for the protocol.
+// POST /v1/batch, POST /v1/snapshot, GET /statsz, GET /healthz — see
+// internal/flowd for the protocol.
 package main
 
 import (
@@ -35,10 +43,30 @@ func main() {
 	budgetMB := flag.Int64("budget-mb", 256, "artifact memory budget in MiB (0 = unlimited)")
 	maxGraphs := flag.Int("max-graphs", store.DefaultMaxGraphs, "cap on registered graphs (graphs are not evictable; < 0 = unlimited)")
 	demo := flag.Int("demo", 0, "preregister this many demo grid graphs (demo0..demoN-1)")
-	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run an end-to-end check, exit")
+	snapDir := flag.String("snapshot-dir", "", "disk snapshot tier: evicted bundles spill here, misses and boot restore from here ('' = disabled)")
+	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run an end-to-end check (including snapshot → restart → query), exit")
 	flag.Parse()
 
-	st := store.New(store.Config{MaxBytes: *budgetMB << 20, MaxGraphs: *maxGraphs})
+	cfg := store.Config{MaxBytes: *budgetMB << 20, MaxGraphs: *maxGraphs, SpillDir: *snapDir}
+
+	if *selfcheck {
+		if cfg.SpillDir == "" {
+			dir, err := os.MkdirTemp("", "flowd-selfcheck-snap")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flowd selfcheck:", err)
+				os.Exit(2)
+			}
+			defer os.RemoveAll(dir)
+			cfg.SpillDir = dir
+		}
+		if err := runSelfcheck(cfg, *demo); err != nil {
+			fmt.Fprintln(os.Stderr, "flowd selfcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	st := store.New(cfg)
 	for i := 0; i < *demo; i++ {
 		id := fmt.Sprintf("demo%d", i)
 		if _, err := st.RegisterSpec(id, demoSpec(i)); err != nil {
@@ -46,15 +74,25 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	srv := flowd.NewServer(st)
-
-	if *selfcheck {
-		if err := runSelfcheck(srv); err != nil {
-			fmt.Fprintln(os.Stderr, "flowd selfcheck:", err)
-			os.Exit(1)
+	// Warm restore on boot: every registered spec whose snapshot survives
+	// on disk comes back resident before the first request lands.
+	if st.SpillEnabled() {
+		restored := 0
+		for _, id := range st.IDs() {
+			ok, err := st.TryRestore(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flowd:", err)
+				os.Exit(2)
+			}
+			if ok {
+				restored++
+			}
 		}
-		return
+		if restored > 0 {
+			fmt.Printf("flowd: warm-restored %d graph(s) from %s\n", restored, *snapDir)
+		}
 	}
+	srv := flowd.NewServer(st)
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	ln, err := net.Listen("tcp", *addr)
@@ -79,8 +117,15 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shutCtx)
+		st.FlushSpills() // let in-flight eviction spills reach disk
 		fmt.Println("flowd: shut down")
 	}
+}
+
+// checkSpec is the selfcheck's graph: small enough for seconds-scale
+// runs, large enough that every family has non-trivial structure.
+var checkSpec = store.GraphSpec{
+	Kind: "grid", Rows: 6, Cols: 6, Seed: 42, WLo: 1, WHi: 9, CLo: 1, CHi: 16,
 }
 
 // demoSpec varies grid sizes and seeds so a demo fleet exercises the
@@ -93,29 +138,53 @@ func demoSpec(i int) store.GraphSpec {
 	}
 }
 
-// runSelfcheck is the end-to-end smoke path: serve on a loopback port,
-// drive the daemon through its own client (register, one query per family,
-// statsz), and report what the wire saw.
-func runSelfcheck(srv *flowd.Server) error {
+// serveLoopback starts srv on an ephemeral loopback port and returns a
+// client plus the shutdown func.
+func serveLoopback(srv *flowd.Server) (*flowd.Client, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
-	defer hs.Close()
+	return flowd.NewClient("http://" + ln.Addr().String()), func() { hs.Close() }, nil
+}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+// runSelfcheck is the end-to-end smoke path: serve on a loopback port,
+// drive the daemon through its own client (register, one query per
+// family, batch, statsz), then persist the warm working set with
+// POST /v1/snapshot, restart onto a fresh store over the same snapshot
+// directory, and verify the restored daemon answers every family
+// bit-identically without rebuilding.
+func runSelfcheck(cfg store.Config, demo int) error {
+	newStore := func() (*store.Store, error) {
+		st := store.New(cfg)
+		for i := 0; i < demo; i++ {
+			if _, err := st.RegisterSpec(fmt.Sprintf("demo%d", i), demoSpec(i)); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	st, err := newStore()
+	if err != nil {
+		return err
+	}
+	srv := flowd.NewServer(st)
+	c, shutdown, err := serveLoopback(srv)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	c := flowd.NewClient("http://" + ln.Addr().String())
 	if err := c.Health(ctx); err != nil {
 		return err
 	}
 	fmt.Println("flowd selfcheck: healthz ok")
 
-	reg, err := c.RegisterWarm(ctx, "check", store.GraphSpec{
-		Kind: "grid", Rows: 6, Cols: 6, Seed: 42, WLo: 1, WHi: 9, CLo: 1, CHi: 16,
-	})
+	reg, err := c.RegisterWarm(ctx, "check", checkSpec)
 	if err != nil {
 		return err
 	}
@@ -184,6 +253,87 @@ func runSelfcheck(srv *flowd.Server) error {
 			fmt.Printf("family %-10s count=%d errors=%d rounds=%d\n", op, f.Count, f.Errors, f.Rounds)
 		}
 	}
+
+	// ---- snapshot → restart → query ----
+	// Every family twice on the live daemon (the second pass is fully warm,
+	// Build == 0 — the state a restored daemon must reproduce exactly).
+	checks := flowd.FamilyChecks("check", reg.N, reg.Faces)
+	want := make([]string, len(checks))
+	for i, q := range checks {
+		if _, err := c.Query(ctx, q); err != nil {
+			return fmt.Errorf("%s: %w", q.Op, err)
+		}
+		resp, err := c.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.Op, err)
+		}
+		want[i] = flowd.RestartKey(resp)
+	}
+	snap, err := c.Snapshot(ctx, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot: wrote %d bundle(s)\n", snap.Written)
+	if snap.Written < 1 {
+		return fmt.Errorf("snapshot wrote nothing")
+	}
+	shutdown() // daemon gone; only the snapshot directory survives
+
+	st2, err := newStore()
+	if err != nil {
+		return err
+	}
+	restored := 0
+	for _, id := range st2.IDs() {
+		ok, err := st2.TryRestore(id)
+		if err != nil {
+			return err
+		}
+		if ok {
+			restored++
+		}
+	}
+	// "check" was registered via the wire, not a boot spec: re-register and
+	// warm-restore it the way a supervisor would replay its spec.
+	if _, err := st2.RegisterSpec("check", checkSpec); err != nil {
+		return err
+	}
+	ok, err := st2.TryRestore("check")
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("restart: no snapshot restored for %q", "check")
+	}
+	c2, shutdown2, err := serveLoopback(flowd.NewServer(st2))
+	if err != nil {
+		return err
+	}
+	defer shutdown2()
+	for i, q := range checks {
+		resp, err := c2.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("restored %s: %w", q.Op, err)
+		}
+		if got := flowd.RestartKey(resp); got != want[i] {
+			return fmt.Errorf("restored %s diverged:\n  got  %s\n  want %s", q.Op, got, want[i])
+		}
+		if !resp.Hit {
+			return fmt.Errorf("restored %s was not served from the restored bundle", q.Op)
+		}
+	}
+	stats2, err := c2.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if stats2.Store.SnapshotRestores < 1 {
+		return fmt.Errorf("restart: snapshot_restores = %d, want >= 1", stats2.Store.SnapshotRestores)
+	}
+	if stats2.Store.Builds > 0 {
+		return fmt.Errorf("restart: %d substrates rebuilt despite restore", stats2.Store.Builds)
+	}
+	fmt.Printf("restart: warm-restored %d+1 graph(s), all %d families bit-identical, 0 rebuilds\n",
+		restored, len(checks))
 	fmt.Println("flowd selfcheck: ok")
 	return nil
 }

@@ -39,4 +39,12 @@ var (
 	ErrUnknownSubstrate = errors.New("unknown substrate")
 	// ErrLeafLimitRange reports a negative BDD leaf limit.
 	ErrLeafLimitRange = errors.New("leaf limit must be non-negative")
+	// ErrBadSnapshot reports snapshot bytes RestorePrepared cannot decode:
+	// foreign data, a future format version, a failed checksum, truncation,
+	// or a structurally invalid payload.
+	ErrBadSnapshot = errors.New("bad snapshot")
+	// ErrSnapshotMismatch reports a structurally valid snapshot that was
+	// encoded against a different graph (fingerprint mismatch); restoring
+	// it would silently corrupt answers, so it is rejected.
+	ErrSnapshotMismatch = errors.New("snapshot belongs to a different graph")
 )

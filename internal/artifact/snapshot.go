@@ -1,0 +1,140 @@
+package artifact
+
+// Persistence: Export writes the built substrates of a bundle through
+// the snapshot codec; ImportInto seeds an (typically fresh) bundle's
+// slots from a snapshot so queries find every restored substrate warm
+// and never rebuild it. Together they turn the artifact layer's
+// "build once, serve many" into "build once, serve many, survive the
+// process".
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/duallabel"
+	"planarflow/internal/ledger"
+	"planarflow/internal/primallabel"
+	"planarflow/internal/snapshot"
+)
+
+// restoredPhase is the ledger phase restored substrates carry: their
+// original construction cost travels in the snapshot, so serving stats
+// (Stats, BuildLedger, the store's build-rounds accounting) keep
+// reporting what the substrate cost to build, not what it cost to load.
+const restoredPhase = "snapshot/restored-build"
+
+// Export writes a snapshot of every substrate built so far (in-flight
+// builds are excluded until they publish) to w. Sections are emitted in
+// deterministic order — trees by leaf limit, then dual and primal
+// labelings by (length kind, leaf limit) — so equal states encode to
+// equal bytes. A bundle with nothing built exports a valid, empty
+// snapshot.
+func (p *Prepared) Export(w io.Writer) error {
+	var c snapshot.Contents
+	p.st.mu.Lock()
+	for ll, s := range p.st.trees {
+		if s.ready {
+			c.Trees = append(c.Trees, snapshot.TreeEntry{
+				LeafLimit: ll, BuildRounds: s.led.Total(), Tree: s.val,
+			})
+		}
+	}
+	for k, s := range p.st.duals {
+		if s.ready {
+			c.Duals = append(c.Duals, snapshot.DualEntry{
+				Kind: byte(k.kind), LeafLimit: k.leafLimit,
+				BuildRounds: s.led.Total(), Labeling: s.val,
+			})
+		}
+	}
+	for k, s := range p.st.primals {
+		if s.ready {
+			c.Primals = append(c.Primals, snapshot.PrimalEntry{
+				Kind: byte(k.kind), LeafLimit: k.leafLimit,
+				BuildRounds: s.led.Total(), Labeling: s.val,
+			})
+		}
+	}
+	p.st.mu.Unlock()
+	sort.Slice(c.Trees, func(i, j int) bool { return c.Trees[i].LeafLimit < c.Trees[j].LeafLimit })
+	sort.Slice(c.Duals, func(i, j int) bool {
+		if c.Duals[i].Kind != c.Duals[j].Kind {
+			return c.Duals[i].Kind < c.Duals[j].Kind
+		}
+		return c.Duals[i].LeafLimit < c.Duals[j].LeafLimit
+	})
+	sort.Slice(c.Primals, func(i, j int) bool {
+		if c.Primals[i].Kind != c.Primals[j].Kind {
+			return c.Primals[i].Kind < c.Primals[j].Kind
+		}
+		return c.Primals[i].LeafLimit < c.Primals[j].LeafLimit
+	})
+	return snapshot.Encode(w, p.st.g, &c)
+}
+
+// ImportInto decodes a snapshot against the bundle's graph and seeds the
+// substrate cache: every restored substrate publishes as a ready slot,
+// so Do/Warm and the named queries never rebuild it. Slots that already
+// hold a value (or an in-flight build) are left alone — the resident
+// substrate wins, since it is at least as fresh as the snapshot. Errors
+// wrap the snapshot package's typed sentinels (snapshot.ErrFingerprint
+// when the snapshot belongs to a different graph, snapshot.ErrChecksum /
+// ErrTruncated / ErrCorrupt for damaged input); a failed import changes
+// nothing.
+func (p *Prepared) ImportInto(r io.Reader) error {
+	c, err := snapshot.Decode(r, p.st.g, func(kind byte) ([]int64, error) {
+		if kind > byte(FreeReversal) {
+			return nil, fmt.Errorf("%w: unknown length kind %d", snapshot.ErrCorrupt, kind)
+		}
+		return Lengths(p.st.g, LengthKind(kind)), nil
+	})
+	if err != nil {
+		return err
+	}
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	for _, t := range c.Trees {
+		s := p.st.trees[t.LeafLimit]
+		if s == nil {
+			s = &slot[*bdd.BDD]{}
+			p.st.trees[t.LeafLimit] = s
+		}
+		seedSlot(p, s, t.Tree, t.BuildRounds, t.Tree.FootprintBytes())
+	}
+	for _, la := range c.Duals {
+		key := labelKey{LengthKind(la.Kind), la.LeafLimit}
+		s := p.st.duals[key]
+		if s == nil {
+			s = &slot[*duallabel.Labeling]{}
+			p.st.duals[key] = s
+		}
+		seedSlot(p, s, la.Labeling, la.BuildRounds, la.Labeling.FootprintBytes())
+	}
+	for _, la := range c.Primals {
+		key := labelKey{LengthKind(la.Kind), la.LeafLimit}
+		s := p.st.primals[key]
+		if s == nil {
+			s = &slot[*primallabel.Labeling]{}
+			p.st.primals[key] = s
+		}
+		seedSlot(p, s, la.Labeling, la.BuildRounds, la.Labeling.FootprintBytes())
+	}
+	return nil
+}
+
+// seedSlot publishes a restored value into an empty slot (caller holds
+// the state lock). Occupied or in-flight slots are skipped: the import
+// must not yank a substrate out from under live queries.
+func seedSlot[T any](p *Prepared, s *slot[T], val T, buildRounds int64, bytes int64) {
+	if s.ready || s.inflight != nil {
+		return
+	}
+	led := ledger.New()
+	led.Charge(restoredPhase, buildRounds)
+	s.val, s.led, s.bytes, s.ready = val, led, bytes, true
+	// Keep the BuildLedger == sum-of-slot-costs invariant: the restored
+	// substrate's original construction cost counts as build cost here too.
+	p.st.build.Merge(led)
+}

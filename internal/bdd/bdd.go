@@ -17,6 +17,7 @@ package bdd
 import (
 	"context"
 	"math/bits"
+	"sort"
 
 	"planarflow/internal/ledger"
 	"planarflow/internal/planar"
@@ -278,6 +279,10 @@ func (t *BDD) split(b *Bag, fd *planar.FaceData) bool {
 	for f := range fx {
 		b.FX = append(b.FX, f)
 	}
+	// Sorted so identical builds produce identical trees byte-for-byte
+	// (label content is FX-order-independent, but the snapshot codec and
+	// the DDG node numbering read the slice as stored).
+	sort.Ints(b.FX)
 	return true
 }
 

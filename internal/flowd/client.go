@@ -121,6 +121,16 @@ func (c *Client) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespon
 	return &out, nil
 }
 
+// Snapshot asks the daemon to persist prepared substrates to its disk
+// tier: the named graph, or every resident bundle when graph is empty.
+func (c *Client) Snapshot(ctx context.Context, graph string) (*SnapshotResponse, error) {
+	var out SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", SnapshotRequest{Graph: graph}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats scrapes /statsz.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse

@@ -12,6 +12,7 @@
 //	GET  /v1/graphs                                list graphs with serving stats
 //	POST /v1/query    QueryRequest                 run one query
 //	POST /v1/batch    BatchRequest                 run a batch under one bundle pin
+//	POST /v1/snapshot SnapshotRequest              persist resident bundles to the disk tier
 //	GET  /statsz                                   store metrics snapshot + per-family counters
 //	GET  /healthz                                  liveness
 //
@@ -139,6 +140,18 @@ type RegisterResponse struct {
 	Warmed bool   `json:"warmed,omitempty"`
 }
 
+// SnapshotRequest asks the daemon to persist prepared substrates to its
+// snapshot directory: one graph when Graph is set, every resident bundle
+// otherwise. Requires the daemon to run with -snapshot-dir.
+type SnapshotRequest struct {
+	Graph string `json:"graph,omitempty"`
+}
+
+// SnapshotResponse reports how many snapshots the request wrote.
+type SnapshotResponse struct {
+	Written int `json:"written"`
+}
+
 // FamilyStats is the per-query-family traffic counter exported on
 // /statsz: how many queries of the family ran, how many errored, and the
 // total simulated rounds they reported (build + query) — enough to see
@@ -220,6 +233,7 @@ func NewServer(st *store.Store) *Server {
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -285,6 +299,8 @@ func statusOf(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, store.ErrGraphLimit):
 		return http.StatusTooManyRequests
+	case errors.Is(err, store.ErrSpillDisabled):
+		return http.StatusBadRequest
 	case errors.Is(err, planarflow.ErrVertexRange),
 		errors.Is(err, planarflow.ErrFaceRange),
 		errors.Is(err, planarflow.ErrSameVertex),
@@ -350,6 +366,34 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		resp.Warmed = true
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot persists resident bundles to the store's disk tier.
+// The write is synchronous: a 200 means the snapshots are on disk, so an
+// operator can snapshot-then-restart knowing the warm set will survive.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	var req SnapshotRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad snapshot request: " + err.Error()})
+		return
+	}
+	var ids []string
+	if req.Graph != "" {
+		ids = append(ids, req.Graph)
+	}
+	written, err := s.st.SnapshotResident(ids...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Written: written})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

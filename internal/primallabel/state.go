@@ -1,0 +1,18 @@
+package primallabel
+
+import "planarflow/internal/bdd"
+
+// State exposes the labeling's per-bag vertex→label maps, indexed by bag
+// ID, for the snapshot codec. The returned slice is the live state, not
+// a copy; callers must treat it as read-only (a published labeling is
+// immutable).
+func (la *Labeling) State() []map[int]*Label { return la.byBag }
+
+// FromState reassembles a Labeling from codec-decoded parts: the tree it
+// decodes over, the per-dart lengths (rederived from the graph, never
+// stored), the negative-cycle flag, and the per-bag label maps in bag-ID
+// order. It is the snapshot codec's inverse of State; the result is
+// indistinguishable from one produced by Compute.
+func FromState(t *bdd.BDD, lengths []int64, negCycle bool, byBag []map[int]*Label) *Labeling {
+	return &Labeling{T: t, Lengths: lengths, NegCycle: negCycle, byBag: byBag}
+}

@@ -1,0 +1,302 @@
+package snapshot
+
+// BDD tree codec (section type 1). A bag is stored as its identity
+// (level, parent, children), its dart list, the measured tree depth, and
+// the separator summary of non-leaf bags; everything derivable from those
+// against the fingerprint-checked graph — dart/edge membership bitmaps,
+// face tables, whole-face flags, the per-dart side assignment — is
+// reconstructed at decode time, which keeps snapshots a fraction of the
+// resident footprint while restoring the exact in-memory structure the
+// builder would have produced.
+
+import (
+	"fmt"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/planar"
+	"planarflow/internal/separator"
+)
+
+// TreeEntry is one BDD substrate: the tree, its artifact key (leaf
+// limit), and its original construction cost in simulated rounds.
+type TreeEntry struct {
+	LeafLimit   int
+	BuildRounds int64
+	Tree        *bdd.BDD
+}
+
+func encodeTree(e *enc, g *planar.Graph, t *TreeEntry) error {
+	tr := t.Tree
+	for i, b := range tr.Bags {
+		if b.ID != i {
+			return fmt.Errorf("snapshot: encode: bag %d stored at index %d", b.ID, i)
+		}
+	}
+	e.uvarint(uint64(t.LeafLimit))
+	e.varint(t.BuildRounds)
+	e.uvarint(uint64(tr.Depth))
+	e.count(len(tr.Bags))
+	for _, b := range tr.Bags {
+		e.uvarint(uint64(b.Level))
+		parent := 0
+		if b.Parent != nil {
+			parent = b.Parent.ID + 1
+		}
+		e.uvarint(uint64(parent))
+		e.count(len(b.Children))
+		for _, c := range b.Children {
+			e.id(c.ID)
+		}
+		e.uvarint(uint64(b.TreeDepth))
+		e.ints(dartsToInts(b.Darts))
+		e.ints(b.SXEdges)
+		e.ints(b.DualSXEdges)
+		e.ints(b.FX)
+		e.bool(b.Sep != nil)
+		if b.Sep != nil {
+			s := b.Sep
+			e.bool(s.EX.Real)
+			e.varint(int64(s.EX.Edge))
+			e.id(s.EX.U)
+			e.id(s.EX.V)
+			e.ints(s.CycleVertices)
+			e.ints(s.CycleEdges)
+			e.uvarint(uint64(s.InsideWeight))
+			e.uvarint(uint64(s.TotalWeight))
+			e.float(s.Balance)
+			e.uvarint(uint64(s.TreeDepth))
+			// Most of Side reconstructs from child membership (the split
+			// assigned every bag dart to the child it landed in); the
+			// remainder — darts of bag edges that are not themselves in the
+			// bag (hole-boundary darts) — is stored explicitly per side.
+			var extra [2][]int
+			for d := 0; d < g.NumDarts(); d++ {
+				side := s.Side[d]
+				if side < 0 || b.Children[0].InBag[d] || b.Children[1].InBag[d] {
+					continue
+				}
+				extra[side] = append(extra[side], d)
+			}
+			e.ints(extra[0])
+			e.ints(extra[1])
+		}
+	}
+	return nil
+}
+
+func decodeTree(d *dec, g *planar.Graph) (*TreeEntry, error) {
+	leafLimit, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	buildRounds, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	depth, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	numBags, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if numBags == 0 {
+		return nil, fmt.Errorf("%w: tree with no bags", ErrCorrupt)
+	}
+	t := &bdd.BDD{G: g, LeafLimit: int(leafLimit), Depth: int(depth)}
+	fd := g.Faces()
+	bags := make([]*bdd.Bag, numBags)
+	for i := range bags {
+		bags[i] = &bdd.Bag{ID: i}
+	}
+	type pending struct {
+		parent   int // -1 for root
+		children []int
+		extra    [2][]int // explicit Side assignments per region
+	}
+	links := make([]pending, numBags)
+	for i, b := range bags {
+		level, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b.Level = int(level)
+		parent, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if parent > uint64(i) { // parent id must be < own id (or 0 = none)
+			return nil, fmt.Errorf("%w: bag %d parent %d", ErrCorrupt, i, parent-1)
+		}
+		links[i].parent = int(parent) - 1
+		nc, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		if nc != 0 && nc != 2 {
+			return nil, fmt.Errorf("%w: bag %d has %d children", ErrCorrupt, i, nc)
+		}
+		for j := 0; j < nc; j++ {
+			c, err := d.id(numBags)
+			if err != nil {
+				return nil, err
+			}
+			if c <= i {
+				return nil, fmt.Errorf("%w: bag %d child %d not below it", ErrCorrupt, i, c)
+			}
+			links[i].children = append(links[i].children, c)
+		}
+		td, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b.TreeDepth = int(td)
+		darts, err := d.ints(g.NumDarts())
+		if err != nil {
+			return nil, err
+		}
+		if len(darts) == 0 {
+			return nil, fmt.Errorf("%w: bag %d has no darts", ErrCorrupt, i)
+		}
+		if b.SXEdges, err = d.ints(g.M()); err != nil {
+			return nil, err
+		}
+		if b.DualSXEdges, err = d.ints(g.M()); err != nil {
+			return nil, err
+		}
+		if b.FX, err = d.ints(fd.NumFaces()); err != nil {
+			return nil, err
+		}
+		fillBagDerived(g, fd, b, darts)
+		hasSep, err := d.bool()
+		if err != nil {
+			return nil, err
+		}
+		if hasSep != (nc == 2) {
+			return nil, fmt.Errorf("%w: bag %d separator/children mismatch", ErrCorrupt, i)
+		}
+		if hasSep {
+			s := &separator.Result{Found: true}
+			if s.EX.Real, err = d.bool(); err != nil {
+				return nil, err
+			}
+			edge, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			if edge < -1 || edge >= int64(g.M()) || (s.EX.Real && edge < 0) {
+				return nil, fmt.Errorf("%w: bag %d EX edge %d", ErrCorrupt, i, edge)
+			}
+			s.EX.Edge = int(edge)
+			if s.EX.U, err = d.id(g.N()); err != nil {
+				return nil, err
+			}
+			if s.EX.V, err = d.id(g.N()); err != nil {
+				return nil, err
+			}
+			if s.CycleVertices, err = d.ints(g.N()); err != nil {
+				return nil, err
+			}
+			if s.CycleEdges, err = d.ints(g.M()); err != nil {
+				return nil, err
+			}
+			iw, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			tw, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			s.InsideWeight, s.TotalWeight = int(iw), int(tw)
+			if s.Balance, err = d.float(); err != nil {
+				return nil, err
+			}
+			std, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			s.TreeDepth = int(std)
+			for side := 0; side < 2; side++ {
+				if links[i].extra[side], err = d.ints(g.NumDarts()); err != nil {
+					return nil, err
+				}
+			}
+			b.Sep = s
+		}
+	}
+	// Link the tree and rebuild each separator's per-dart side assignment
+	// from child membership (split assigned dart d to the child InBag it
+	// lands in; darts outside the bag carry -1).
+	for i, b := range bags {
+		if links[i].parent >= 0 {
+			b.Parent = bags[links[i].parent]
+		}
+		for _, c := range links[i].children {
+			b.Children = append(b.Children, bags[c])
+		}
+		if len(b.Children) == 2 {
+			side := make([]int8, g.NumDarts())
+			for d := range side {
+				side[d] = -1
+			}
+			for ci, c := range b.Children {
+				for _, dart := range c.Darts {
+					side[dart] = int8(ci)
+				}
+			}
+			for ci := range links[i].extra {
+				for _, dart := range links[i].extra[ci] {
+					side[dart] = int8(ci)
+				}
+			}
+			b.Sep.Side = side
+		}
+	}
+	for _, b := range bags {
+		for _, c := range b.Children {
+			if c.Parent != b {
+				return nil, fmt.Errorf("%w: bag %d claimed by two parents", ErrCorrupt, c.ID)
+			}
+		}
+	}
+	t.Root = bags[0]
+	t.Bags = bags
+	return &TreeEntry{LeafLimit: int(leafLimit), BuildRounds: buildRounds, Tree: t}, nil
+}
+
+// fillBagDerived mirrors bdd.(*BDD).fillDerived without the BFS: darts
+// are stored, membership and face tables derive from them, and the
+// measured TreeDepth travels in the snapshot.
+func fillBagDerived(g *planar.Graph, fd *planar.FaceData, b *bdd.Bag, darts []int) {
+	b.Darts = make([]planar.Dart, len(darts))
+	b.InBag = make([]bool, g.NumDarts())
+	b.EdgeIn = make([]bool, g.M())
+	b.FaceSet = make(map[int]bool)
+	faceDarts := map[int]int{}
+	for i, di := range darts {
+		dart := planar.Dart(di)
+		b.Darts[i] = dart
+		b.InBag[dart] = true
+		b.EdgeIn[planar.EdgeOf(dart)] = true
+		f := fd.FaceOf(dart)
+		if !b.FaceSet[f] {
+			b.FaceSet[f] = true
+			b.Faces = append(b.Faces, f)
+		}
+		faceDarts[f]++
+	}
+	b.Whole = make(map[int]bool, len(b.Faces))
+	for _, f := range b.Faces {
+		b.Whole[f] = faceDarts[f] == fd.Len(f)
+	}
+}
+
+func dartsToInts(ds []planar.Dart) []int {
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = int(d)
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package snapshot
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot fixture")
+
+const goldenPath = "testdata/grid5x6-v1.pfsnap"
+
+// TestGoldenByteStability pins the version-1 byte format: the committed
+// fixture must decode, and re-encoding today's build of the same
+// substrates must reproduce it byte-for-byte. A failure means the codec
+// changed encoding for version 1 — which breaks every snapshot already
+// on disk — or a builder stopped being deterministic. Either bump the
+// format version (and keep the old decoder) or fix the regression;
+// regenerate the fixture with `go test -run Golden -update-golden
+// ./internal/snapshot` only for an intentional, version-bumped change.
+func TestGoldenByteStability(t *testing.T) {
+	g := testGraph(t)
+	c := buildContents(t, g)
+	data := encodeAll(t, g, c)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixture rewritten: %d bytes", len(data))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		i := 0
+		for i < len(data) && i < len(want) && data[i] == want[i] {
+			i++
+		}
+		t.Fatalf("snapshot bytes diverge from golden fixture at offset %d (%d vs %d bytes total)",
+			i, len(data), len(want))
+	}
+
+	// The committed bytes must also decode and round-trip.
+	c2, err := Decode(bytes.NewReader(want), g, lengthsFor(g))
+	if err != nil {
+		t.Fatalf("golden fixture failed to decode: %v", err)
+	}
+	if !bytes.Equal(encodeAll(t, g, c2), want) {
+		t.Fatal("golden fixture does not round-trip")
+	}
+}

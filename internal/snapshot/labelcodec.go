@@ -1,0 +1,542 @@
+package snapshot
+
+// Distance-labeling codec (section types 2 and 3). A labeling is stored
+// per bag as its key→label map in sorted key order; each label carries
+// its distance maps and a reference to its child label (the same key in
+// the unique child bag wholly containing it), re-linked after all bags
+// decode. Dual labelings additionally carry the retained base DDGs —
+// nodes, arcs and the all-pairs matrix — whose index maps rebuild from
+// the node list. Lengths vectors are never stored: they derive from the
+// fingerprint-checked graph and the length kind, so the caller supplies
+// them through LengthsFunc.
+
+import (
+	"fmt"
+	"sort"
+
+	"planarflow/internal/bdd"
+	"planarflow/internal/duallabel"
+	"planarflow/internal/planar"
+	"planarflow/internal/primallabel"
+)
+
+// DualEntry is one dual-labeling substrate: the labeling, its artifact
+// key (length kind byte + leaf limit), and its original build cost.
+type DualEntry struct {
+	Kind        byte
+	LeafLimit   int
+	BuildRounds int64
+	Labeling    *duallabel.Labeling
+}
+
+// PrimalEntry is one primal-labeling substrate.
+type PrimalEntry struct {
+	Kind        byte
+	LeafLimit   int
+	BuildRounds int64
+	Labeling    *primallabel.Labeling
+}
+
+// label flag bits.
+const (
+	flagLeaf  = 1 // LeafTo/LeafFrom present (leaf-bag label)
+	flagChild = 2 // label has a child in a child bag
+)
+
+// encodeDistMap writes a key→distance map in sorted key order.
+func encodeDistMap(e *enc, m map[int]int64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	e.count(len(keys))
+	prev := 0
+	for _, k := range keys {
+		e.varint(int64(k - prev))
+		prev = k
+		e.varint(m[k])
+	}
+}
+
+func decodeDistMap(d *dec, limit int) (map[int]int64, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int]int64, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		dk, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += dk
+		if prev < 0 || prev >= int64(limit) {
+			return nil, fmt.Errorf("%w: map key %d out of [0,%d)", ErrCorrupt, prev, limit)
+		}
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		m[int(prev)] = v
+	}
+	return m, nil
+}
+
+// labelWire is the codec-neutral view of one label: both labeling
+// families share the same shape (a key, four maps, an optional child).
+type labelWire struct {
+	key              int
+	leaf             bool
+	childBag         int // -1 = none
+	to, from         map[int]int64
+	leafTo, leafFrom map[int]int64
+}
+
+func encodeLabelMaps(e *enc, w labelWire) {
+	var flags byte
+	if w.leaf {
+		flags |= flagLeaf
+	}
+	if w.childBag >= 0 {
+		flags |= flagChild
+	}
+	e.byte(flags)
+	if w.childBag >= 0 {
+		e.id(w.childBag)
+	}
+	if w.leaf {
+		encodeDistMap(e, w.leafTo)
+		encodeDistMap(e, w.leafFrom)
+	} else {
+		encodeDistMap(e, w.to)
+		encodeDistMap(e, w.from)
+	}
+}
+
+func decodeLabelMaps(d *dec, key, numBags, keyLimit int) (labelWire, error) {
+	w := labelWire{key: key, childBag: -1}
+	flags, err := d.byte()
+	if err != nil {
+		return w, err
+	}
+	if flags&^(flagLeaf|flagChild) != 0 || flags == flagLeaf|flagChild {
+		return w, fmt.Errorf("%w: label flags %#x", ErrCorrupt, flags)
+	}
+	w.leaf = flags&flagLeaf != 0
+	if flags&flagChild != 0 {
+		if w.childBag, err = d.id(numBags); err != nil {
+			return w, err
+		}
+	}
+	if w.leaf {
+		if w.leafTo, err = decodeDistMap(d, keyLimit); err != nil {
+			return w, err
+		}
+		if w.leafFrom, err = decodeDistMap(d, keyLimit); err != nil {
+			return w, err
+		}
+	} else {
+		if w.to, err = decodeDistMap(d, keyLimit); err != nil {
+			return w, err
+		}
+		if w.from, err = decodeDistMap(d, keyLimit); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+// sortedKeys returns the map's keys ascending (deterministic encode order).
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// treeFor resolves the tree a labeling section decodes over: it must
+// have arrived in the same snapshot (labelings always travel with their
+// tree; Export guarantees it, Decode enforces it).
+func treeFor(c *Contents, leafLimit int) (*TreeEntry, error) {
+	for i := range c.Trees {
+		if c.Trees[i].LeafLimit == leafLimit {
+			return &c.Trees[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: labeling references missing tree (leaf limit %d)", ErrCorrupt, leafLimit)
+}
+
+func encodeDual(e *enc, g *planar.Graph, la *DualEntry) error {
+	e.byte(la.Kind)
+	e.uvarint(uint64(la.LeafLimit))
+	e.varint(la.BuildRounds)
+	e.bool(la.Labeling.NegCycle)
+	byBag, ddgs := la.Labeling.State()
+	e.count(len(byBag))
+	for _, labels := range byBag {
+		e.bool(labels != nil)
+		if labels == nil {
+			continue
+		}
+		e.count(len(labels))
+		for _, f := range sortedKeys(labels) {
+			l := labels[f]
+			e.id(f)
+			childBag := -1
+			if l.Child != nil {
+				childBag = l.Child.Bag.ID
+			}
+			encodeLabelMaps(e, labelWire{
+				key: f, leaf: l.LeafTo != nil, childBag: childBag,
+				to: l.To, from: l.From, leafTo: l.LeafTo, leafFrom: l.LeafFrom,
+			})
+		}
+	}
+	for _, ddg := range ddgs {
+		e.bool(ddg != nil)
+		if ddg == nil {
+			continue
+		}
+		e.count(len(ddg.Nodes))
+		for _, n := range ddg.Nodes {
+			e.byte(byte(n.Child))
+			e.id(n.Face)
+		}
+		e.count(len(ddg.Arcs))
+		for _, a := range ddg.Arcs {
+			e.id(a.From)
+			e.id(a.To)
+			e.varint(a.Len)
+			e.varint(int64(a.Dart))
+		}
+		for _, row := range ddg.Dist {
+			if len(row) != len(ddg.Nodes) {
+				return fmt.Errorf("snapshot: encode: ragged DDG distance matrix")
+			}
+			for _, v := range row {
+				e.varint(v)
+			}
+		}
+	}
+	return nil
+}
+
+func decodeDual(d *dec, g *planar.Graph, c *Contents, lengths LengthsFunc) (*DualEntry, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	leafLimit, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	buildRounds, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	negCycle, err := d.bool()
+	if err != nil {
+		return nil, err
+	}
+	te, err := treeFor(c, int(leafLimit))
+	if err != nil {
+		return nil, err
+	}
+	t := te.Tree
+	for i := range c.Duals {
+		if c.Duals[i].Kind == kind && c.Duals[i].LeafLimit == int(leafLimit) {
+			return nil, fmt.Errorf("%w: duplicate dual-labeling section", ErrCorrupt)
+		}
+	}
+	nf := g.Faces().NumFaces()
+	wires, err := decodeBags(d, len(t.Bags), nf)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]map[int]*duallabel.Label, len(t.Bags))
+	for i, bagWires := range wires {
+		if bagWires == nil {
+			continue
+		}
+		m := make(map[int]*duallabel.Label, len(bagWires))
+		for _, w := range bagWires {
+			l := &duallabel.Label{Bag: t.Bags[i], Face: w.key}
+			if w.leaf {
+				l.LeafTo, l.LeafFrom = w.leafTo, w.leafFrom
+			} else {
+				l.To, l.From = w.to, w.from
+			}
+			m[w.key] = l
+		}
+		labels[i] = m
+	}
+	// Re-link child labels now that every bag's map exists.
+	for i, bagWires := range wires {
+		for _, w := range bagWires {
+			if w.childBag < 0 {
+				continue
+			}
+			if !childOf(t.Bags[i], w.childBag) {
+				return nil, fmt.Errorf("%w: label child bag %d not a child of bag %d", ErrCorrupt, w.childBag, i)
+			}
+			child := labels[w.childBag][w.key]
+			if child == nil {
+				return nil, fmt.Errorf("%w: label %d/%d references missing child label", ErrCorrupt, i, w.key)
+			}
+			labels[i][w.key].Child = child
+		}
+	}
+	// DDGs, one presence flag per bag.
+	ddgs := make([]*duallabel.BagDDG, len(t.Bags))
+	for i := range t.Bags {
+		present, err := d.bool()
+		if err != nil {
+			return nil, err
+		}
+		if !present {
+			continue
+		}
+		ddg := &duallabel.BagDDG{
+			Bag:    t.Bags[i],
+			Index:  make(map[duallabel.DDGNode]int),
+			RepsOf: make(map[int][]int),
+		}
+		nn, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nn; j++ {
+			ci, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			if ci > 1 {
+				return nil, fmt.Errorf("%w: DDG node child %d", ErrCorrupt, ci)
+			}
+			f, err := d.id(nf)
+			if err != nil {
+				return nil, err
+			}
+			n := duallabel.DDGNode{Child: int(ci), Face: f}
+			if _, dup := ddg.Index[n]; dup {
+				return nil, fmt.Errorf("%w: duplicate DDG node", ErrCorrupt)
+			}
+			ddg.Index[n] = j
+			ddg.RepsOf[f] = append(ddg.RepsOf[f], j)
+			ddg.Nodes = append(ddg.Nodes, n)
+		}
+		na, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		ddg.Arcs = make([]duallabel.DDGArc, 0, na)
+		for j := 0; j < na; j++ {
+			var a duallabel.DDGArc
+			if a.From, err = d.id(nn); err != nil {
+				return nil, err
+			}
+			if a.To, err = d.id(nn); err != nil {
+				return nil, err
+			}
+			if a.Len, err = d.varint(); err != nil {
+				return nil, err
+			}
+			dart, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			if dart < -1 || dart >= int64(g.NumDarts()) {
+				return nil, fmt.Errorf("%w: DDG arc dart %d", ErrCorrupt, dart)
+			}
+			a.Dart = planar.Dart(dart)
+			ddg.Arcs = append(ddg.Arcs, a)
+		}
+		ddg.Dist = make([][]int64, nn)
+		for r := 0; r < nn; r++ {
+			row := make([]int64, nn)
+			for cIdx := 0; cIdx < nn; cIdx++ {
+				if row[cIdx], err = d.varint(); err != nil {
+					return nil, err
+				}
+			}
+			ddg.Dist[r] = row
+		}
+		ddgs[i] = ddg
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in dual section", ErrCorrupt, d.remaining())
+	}
+	lens, err := lengths(kind)
+	if err != nil {
+		return nil, err
+	}
+	return &DualEntry{
+		Kind: kind, LeafLimit: int(leafLimit), BuildRounds: buildRounds,
+		Labeling: duallabel.FromState(t, lens, negCycle, labels, ddgs),
+	}, nil
+}
+
+func encodePrimal(e *enc, g *planar.Graph, la *PrimalEntry) {
+	e.byte(la.Kind)
+	e.uvarint(uint64(la.LeafLimit))
+	e.varint(la.BuildRounds)
+	e.bool(la.Labeling.NegCycle)
+	byBag := la.Labeling.State()
+	e.count(len(byBag))
+	for _, labels := range byBag {
+		e.bool(labels != nil)
+		if labels == nil {
+			continue
+		}
+		e.count(len(labels))
+		for _, v := range sortedKeys(labels) {
+			l := labels[v]
+			e.id(v)
+			childBag := -1
+			if l.Child != nil {
+				childBag = l.Child.Bag.ID
+			}
+			encodeLabelMaps(e, labelWire{
+				key: v, leaf: l.LeafTo != nil, childBag: childBag,
+				to: l.To, from: l.From, leafTo: l.LeafTo, leafFrom: l.LeafFrom,
+			})
+		}
+	}
+}
+
+func decodePrimal(d *dec, g *planar.Graph, c *Contents, lengths LengthsFunc) (*PrimalEntry, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	leafLimit, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	buildRounds, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	negCycle, err := d.bool()
+	if err != nil {
+		return nil, err
+	}
+	te, err := treeFor(c, int(leafLimit))
+	if err != nil {
+		return nil, err
+	}
+	t := te.Tree
+	for i := range c.Primals {
+		if c.Primals[i].Kind == kind && c.Primals[i].LeafLimit == int(leafLimit) {
+			return nil, fmt.Errorf("%w: duplicate primal-labeling section", ErrCorrupt)
+		}
+	}
+	wires, err := decodeBags(d, len(t.Bags), g.N())
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]map[int]*primallabel.Label, len(t.Bags))
+	for i, bagWires := range wires {
+		if bagWires == nil {
+			continue
+		}
+		m := make(map[int]*primallabel.Label, len(bagWires))
+		for _, w := range bagWires {
+			l := &primallabel.Label{Bag: t.Bags[i], Vertex: w.key}
+			if w.leaf {
+				l.LeafTo, l.LeafFrom = w.leafTo, w.leafFrom
+			} else {
+				l.To, l.From = w.to, w.from
+			}
+			m[w.key] = l
+		}
+		labels[i] = m
+	}
+	for i, bagWires := range wires {
+		for _, w := range bagWires {
+			if w.childBag < 0 {
+				continue
+			}
+			if !childOf(t.Bags[i], w.childBag) {
+				return nil, fmt.Errorf("%w: label child bag %d not a child of bag %d", ErrCorrupt, w.childBag, i)
+			}
+			child := labels[w.childBag][w.key]
+			if child == nil {
+				return nil, fmt.Errorf("%w: label %d/%d references missing child label", ErrCorrupt, i, w.key)
+			}
+			labels[i][w.key].Child = child
+		}
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in primal section", ErrCorrupt, d.remaining())
+	}
+	lens, err := lengths(kind)
+	if err != nil {
+		return nil, err
+	}
+	return &PrimalEntry{
+		Kind: kind, LeafLimit: int(leafLimit), BuildRounds: buildRounds,
+		Labeling: primallabel.FromState(t, lens, negCycle, labels),
+	}, nil
+}
+
+// decodeBags reads the shared per-bag label-map layout: a presence flag
+// per bag, then the sorted key→label entries. The returned wires slice
+// is indexed by bag; nil entries mean the bag had no labels (a labeling
+// aborted by a negative cycle).
+func decodeBags(d *dec, numBags, keyLimit int) ([][]labelWire, error) {
+	nb, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if nb != numBags {
+		return nil, fmt.Errorf("%w: labeling spans %d bags, tree has %d", ErrCorrupt, nb, numBags)
+	}
+	wires := make([][]labelWire, numBags)
+	for i := 0; i < numBags; i++ {
+		p, err := d.bool()
+		if err != nil {
+			return nil, err
+		}
+		if !p {
+			continue
+		}
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		bagWires := make([]labelWire, 0, n)
+		seen := make(map[int]bool, n)
+		for j := 0; j < n; j++ {
+			key, err := d.id(keyLimit)
+			if err != nil {
+				return nil, err
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("%w: duplicate label key %d in bag %d", ErrCorrupt, key, i)
+			}
+			seen[key] = true
+			w, err := decodeLabelMaps(d, key, numBags, keyLimit)
+			if err != nil {
+				return nil, err
+			}
+			bagWires = append(bagWires, w)
+		}
+		wires[i] = bagWires
+	}
+	return wires, nil
+}
+
+// childOf reports whether childID is one of b's children.
+func childOf(b *bdd.Bag, childID int) bool {
+	for _, c := range b.Children {
+		if c.ID == childID {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"planarflow"
+)
+
+// warmDist runs a dist query so the primal labeling builds (or restores).
+func warmDist(t *testing.T, s *Store, id string) int64 {
+	t.Helper()
+	g := s.Graph(id)
+	a, _, err := s.Do(context.Background(), id, planarflow.DistQuery(0, g.N()-1))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return a.Value
+}
+
+// TestEvictionSpillsAndMissRestores is the disk tier's core loop: an
+// eviction demotes the bundle to a snapshot file, and the next miss
+// restores it from disk — counted as a snapshot restore, not a build —
+// with identical answers.
+func TestEvictionSpillsAndMissRestores(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits one bundle: the second graph's build evicts the first.
+	unit := distFootprint(t)
+	s := New(Config{MaxBytes: unit + unit/2, SpillDir: dir})
+	t.Cleanup(s.FlushSpills) // async spills must land before TempDir cleanup
+	for _, id := range []string{"a", "b"} {
+		if _, err := s.RegisterSpec(id, gridSpec(map[string]int64{"a": 1, "b": 2}[id])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantA := warmDist(t, s, "a")
+	builds0 := s.Snapshot().Builds
+	warmDist(t, s, "b") // evicts a → spills its snapshot
+	s.FlushSpills()     // eviction spills are async off the query path
+
+	st := s.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("no eviction happened; budget mis-sized")
+	}
+	if st.SnapshotWrites == 0 {
+		t.Fatal("eviction did not spill a snapshot")
+	}
+	if _, err := os.Stat(s.spillPath("a")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	// Miss on a: must restore from disk, answer identically, build nothing.
+	gotA := warmDist(t, s, "a")
+	if gotA != wantA {
+		t.Fatalf("restored dist %d, want %d", gotA, wantA)
+	}
+	st = s.Snapshot()
+	if st.SnapshotRestores != 1 {
+		t.Fatalf("snapshot_restores = %d, want 1", st.SnapshotRestores)
+	}
+	if st.Builds != builds0+2 { // only b's BDD+labeling, never a's again
+		t.Fatalf("builds = %d, want %d (restore must not rebuild)", st.Builds, builds0+2)
+	}
+	for _, pg := range st.PerGraph {
+		if pg.ID == "a" && pg.SnapshotRestores != 1 {
+			t.Fatalf("per-graph snapshot_restores = %d, want 1", pg.SnapshotRestores)
+		}
+	}
+}
+
+// TestCorruptSnapshotFallsBackToRebuild: a damaged spill file is counted,
+// deleted and the miss rebuilds — wrong answers are impossible, a dead
+// file is not retried.
+func TestCorruptSnapshotFallsBackToRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{SpillDir: dir})
+	if _, err := s.RegisterSpec("g", gridSpec(3)); err != nil {
+		t.Fatal(err)
+	}
+	want := warmDist(t, s, "g")
+	if _, err := s.SnapshotResident("g"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file in place.
+	path := s.spillPath("g")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.EvictAll() // rewrites the snapshot — so corrupt again after dropping
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := warmDist(t, s, "g")
+	if got != want {
+		t.Fatalf("rebuilt dist %d, want %d", got, want)
+	}
+	st := s.Snapshot()
+	if st.SnapshotErrors == 0 {
+		t.Fatal("corrupt snapshot not counted")
+	}
+	if st.SnapshotRestores != 0 {
+		t.Fatal("corrupt snapshot must not count as a restore")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt snapshot file not deleted")
+	}
+}
+
+// TestTryRestoreWarmBoot: the boot path — a fresh store over an existing
+// spill directory restores registered specs without serving a query.
+func TestTryRestoreWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{SpillDir: dir}
+	s1 := New(cfg)
+	if _, err := s1.RegisterSpec("g", gridSpec(4)); err != nil {
+		t.Fatal(err)
+	}
+	want := warmDist(t, s1, "g")
+	if n, err := s1.SnapshotResident(); err != nil || n != 1 {
+		t.Fatalf("SnapshotResident = %d, %v", n, err)
+	}
+
+	s2 := New(cfg)
+	if _, err := s2.RegisterSpec("g", gridSpec(4)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s2.TryRestore("g")
+	if err != nil || !ok {
+		t.Fatalf("TryRestore = %v, %v", ok, err)
+	}
+	st := s2.Snapshot()
+	if st.Resident != 1 || st.Bytes == 0 {
+		t.Fatalf("restored bundle not accounted: resident=%d bytes=%d", st.Resident, st.Bytes)
+	}
+	if got := warmDist(t, s2, "g"); got != want {
+		t.Fatalf("dist after warm boot %d, want %d", got, want)
+	}
+	if st := s2.Snapshot(); st.Builds != 0 {
+		t.Fatalf("warm boot rebuilt %d substrates", st.Builds)
+	}
+	// Idempotent: already resident → false, no error.
+	if ok, err := s2.TryRestore("g"); ok || err != nil {
+		t.Fatalf("second TryRestore = %v, %v", ok, err)
+	}
+	// Unknown id errors.
+	if _, err := s2.TryRestore("nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("got %v, want ErrUnknownGraph", err)
+	}
+}
+
+// TestSnapshotResidentErrors pins the ops-valve edge cases.
+func TestSnapshotResidentErrors(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.SnapshotResident(); !errors.Is(err, ErrSpillDisabled) {
+		t.Fatalf("got %v, want ErrSpillDisabled", err)
+	}
+	s = New(Config{SpillDir: t.TempDir()})
+	if _, err := s.RegisterSpec("g", gridSpec(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Registered but not resident: skipped, not an error.
+	if n, err := s.SnapshotResident(); err != nil || n != 0 {
+		t.Fatalf("SnapshotResident = %d, %v", n, err)
+	}
+	if _, err := s.SnapshotResident("missing"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("got %v, want ErrUnknownGraph", err)
+	}
+}
+
+// TestLastAccessTimestamp: the per-bundle last-access satellite.
+func TestLastAccessTimestamp(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.RegisterSpec("g", gridSpec(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterSpec("idle", gridSpec(7)); err != nil {
+		t.Fatal(err)
+	}
+	before := time.Now().UnixMilli()
+	warmDist(t, s, "g")
+	after := time.Now().UnixMilli()
+	for _, pg := range s.Snapshot().PerGraph {
+		switch pg.ID {
+		case "g":
+			if pg.LastAccessUnixMS < before || pg.LastAccessUnixMS > after {
+				t.Fatalf("last access %d outside [%d, %d]", pg.LastAccessUnixMS, before, after)
+			}
+		case "idle":
+			if pg.LastAccessUnixMS != 0 {
+				t.Fatalf("idle graph has last access %d", pg.LastAccessUnixMS)
+			}
+		}
+	}
+}
+
+// TestConcurrentSpillRestore hammers a budget-constrained spill-enabled
+// store from many goroutines (meaningful under -race): evictions spill
+// while misses restore, and every answer stays correct.
+func TestConcurrentSpillRestore(t *testing.T) {
+	dir := t.TempDir()
+	unit := distFootprint(t)
+	s := New(Config{MaxBytes: unit + unit/2, SpillDir: dir})
+	t.Cleanup(s.FlushSpills) // async spills must land before TempDir cleanup
+	ids := []string{"a", "b", "c"}
+	want := map[string]int64{}
+	for i, id := range ids {
+		g, err := s.RegisterSpec(id, gridSpec(int64(40+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := planarflow.Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.Dist(0, g.N()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = d
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id := ids[(w+i)%len(ids)]
+				g := s.Graph(id)
+				a, _, err := s.Do(context.Background(), id, planarflow.DistQuery(0, g.N()-1))
+				if err != nil {
+					t.Errorf("%s: %v", id, err)
+					return
+				}
+				if a.Value != want[id] {
+					t.Errorf("%s: dist %d, want %d", id, a.Value, want[id])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.FlushSpills()
+	st := s.Snapshot()
+	if st.SnapshotWrites == 0 {
+		t.Fatalf("expected spills under churn, got writes=%d", st.SnapshotWrites)
+	}
+	// Deterministic restore pass: with every spill flushed, dropping the
+	// residents and touching each graph must restore from disk.
+	s.EvictAll()
+	restores0 := st.SnapshotRestores
+	for _, id := range ids {
+		if got := warmDist(t, s, id); got != want[id] {
+			t.Fatalf("%s after final restore: dist %d, want %d", id, got, want[id])
+		}
+	}
+	if st := s.Snapshot(); st.SnapshotRestores <= restores0 {
+		t.Fatalf("final pass restored nothing (restores %d -> %d)", restores0, st.SnapshotRestores)
+	}
+}

@@ -22,15 +22,31 @@
 // resident bundle is in use). Queries racing an eviction are safe: a
 // bundle is immutable, so an evicted bundle keeps serving the requests
 // that hold it and is reclaimed when they finish.
+//
+// Disk tier: with Config.SpillDir set, eviction demotes instead of
+// destroying — the evicted bundle's substrates are written as a snapshot
+// (outside the store lock; the bundle is immutable), and a later miss
+// checks the disk before rebuilding, restoring at decode speed with the
+// snapshot-restore counted separately from builds. Snapshots are
+// invalidated by the graph fingerprint baked into the format: a file
+// that fails to decode (corruption, version skew, a re-registered id
+// with a different graph) is deleted and the miss falls through to a
+// normal rebuild, so the disk tier can only ever save work, never serve
+// wrong answers.
 package store
 
 import (
+	"bufio"
 	"container/list"
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"planarflow"
 )
@@ -42,6 +58,9 @@ var (
 	ErrDuplicateID = errors.New("store: duplicate graph id")
 	// ErrGraphLimit reports a Register past Config.MaxGraphs.
 	ErrGraphLimit = errors.New("store: graph limit reached")
+	// ErrSpillDisabled reports a snapshot request on a store with no
+	// Config.SpillDir.
+	ErrSpillDisabled = errors.New("store: snapshot tier disabled (no spill directory)")
 )
 
 // DefaultMaxGraphs caps registrations when Config.MaxGraphs is zero.
@@ -59,6 +78,11 @@ type Config struct {
 	// themselves are not evictable). 0 means DefaultMaxGraphs; negative
 	// means unlimited.
 	MaxGraphs int
+	// SpillDir enables the disk snapshot tier when non-empty: evicted
+	// bundles write their substrate snapshot under this directory, and a
+	// miss checks the disk before rebuilding. The directory is created on
+	// first use; files are one per graph id.
+	SpillDir string
 }
 
 // GraphStats is the per-graph serving metrics snapshot.
@@ -77,21 +101,35 @@ type GraphStats struct {
 	// graph built, including rebuilds after eviction — the price of cache
 	// pressure in the model's own currency.
 	BuildRounds int64 `json:"build_rounds"`
+	// LastAccessUnixMS is the wall-clock time of the bundle's most recent
+	// acquisition (query, batch or warm), in Unix milliseconds; 0 before
+	// the first access.
+	LastAccessUnixMS int64 `json:"last_access_unix_ms,omitempty"`
+	// SnapshotRestores counts misses this graph served from the disk tier
+	// instead of rebuilding.
+	SnapshotRestores int64 `json:"snapshot_restores,omitempty"`
+	// SnapshotWrites counts snapshots of this graph written to the disk
+	// tier (on eviction or an explicit snapshot request).
+	SnapshotWrites int64 `json:"snapshot_writes,omitempty"`
 }
 
 // Stats is the store-wide snapshot: aggregate counters plus one entry per
 // registered graph (sorted by id).
 type Stats struct {
-	Graphs      int          `json:"graphs"`
-	Resident    int          `json:"resident"`
-	Bytes       int64        `json:"bytes"`
-	MaxBytes    int64        `json:"max_bytes"`
-	Hits        int64        `json:"hits"`
-	Misses      int64        `json:"misses"`
-	Builds      int64        `json:"builds"`
-	Evictions   int64        `json:"evictions"`
-	BuildRounds int64        `json:"build_rounds"`
-	PerGraph    []GraphStats `json:"per_graph"`
+	Graphs      int   `json:"graphs"`
+	Resident    int   `json:"resident"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Builds      int64 `json:"builds"`
+	Evictions   int64 `json:"evictions"`
+	BuildRounds int64 `json:"build_rounds"`
+	// Disk-tier counters (all zero when Config.SpillDir is unset).
+	SnapshotWrites   int64        `json:"snapshot_writes,omitempty"`
+	SnapshotRestores int64        `json:"snapshot_restores,omitempty"`
+	SnapshotErrors   int64        `json:"snapshot_errors,omitempty"`
+	PerGraph         []GraphStats `json:"per_graph"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -118,6 +156,8 @@ type entry struct {
 	rounds     int64
 
 	hits, misses, builds, evictions, buildRounds int64
+	lastAccessMS                                 int64 // Unix ms of the latest acquire
+	snapRestores, snapWrites                     int64
 }
 
 // Store is the registry. Safe for concurrent use.
@@ -131,6 +171,10 @@ type Store struct {
 	bytes                           int64
 	hits, misses, builds, evictions int64
 	buildRounds                     int64
+	snapWrites, snapRestores        int64
+	snapErrors                      int64
+
+	spillWG sync.WaitGroup // in-flight eviction spills
 }
 
 // New returns an empty store with the given budget.
@@ -230,7 +274,13 @@ func (s *Store) With(ctx context.Context, id string, fn func(pg *planarflow.Prep
 	return fn(pg.WithContext(ctx), hit)
 }
 
-// acquire pins the bundle of id, creating it on a miss.
+// acquire pins the bundle of id, creating it on a miss. A miss checks
+// the disk tier first: a valid snapshot restores the substrates at
+// decode speed (accounted immediately, counted as a snapshot restore,
+// not as builds); otherwise the bundle starts empty and substrates build
+// lazily. The restore runs under the store lock — it is decode-bound
+// (milliseconds for serving-sized graphs), and holding the lock keeps
+// the one-bundle-per-id invariant without a second singleflight layer.
 func (s *Store) acquire(id string) (*entry, *planarflow.PreparedGraph, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -238,23 +288,72 @@ func (s *Store) acquire(id string) (*entry, *planarflow.PreparedGraph, bool, err
 	if !ok {
 		return nil, nil, false, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
 	}
+	e.lastAccessMS = time.Now().UnixMilli()
 	hit := e.pg != nil
 	if hit {
 		e.hits++
 		s.hits++
 		s.lru.MoveToFront(e.elem)
 	} else {
-		pg, err := planarflow.Prepare(e.gr) // O(1): substrates build lazily
-		if err != nil {
+		if err := s.residentLocked(e); err != nil {
 			return nil, nil, false, err
 		}
-		e.pg = pg
-		e.elem = s.lru.PushFront(e)
 		e.misses++
 		s.misses++
 	}
 	e.pins++
 	return e, e.pg, hit, nil
+}
+
+// residentLocked makes e's bundle resident on a miss: disk restore when
+// the spill tier holds a valid snapshot, empty bundle otherwise.
+func (s *Store) residentLocked(e *entry) error {
+	if pg := s.restoreLocked(e); pg != nil {
+		e.pg = pg
+		e.elem = s.lru.PushFront(e)
+		// Restored substrates are resident right now: account them on
+		// arrival (release will only ever grow these monotonically).
+		st := pg.Stats()
+		e.bytes, e.substrates, e.rounds = st.Bytes, len(st.Substrates), st.BuildRounds
+		s.bytes += st.Bytes
+		e.snapRestores++
+		s.snapRestores++
+		return nil
+	}
+	pg, err := planarflow.Prepare(e.gr) // O(1): substrates build lazily
+	if err != nil {
+		return err
+	}
+	e.pg = pg
+	e.elem = s.lru.PushFront(e)
+	return nil
+}
+
+// restoreLocked attempts a disk-tier restore for e; nil means no usable
+// snapshot. A file that is provably dead — corrupt bytes, or a
+// fingerprint from a different graph (the id was re-registered) — is
+// deleted so the next miss does not retry it; a transient read error
+// leaves the file in place (it may decode fine next time) and only
+// counts against the error metric.
+func (s *Store) restoreLocked(e *entry) *planarflow.PreparedGraph {
+	if s.cfg.SpillDir == "" {
+		return nil
+	}
+	path := s.spillPath(e.id)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	pg, err := planarflow.RestorePrepared(e.gr, bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		s.snapErrors++
+		if errors.Is(err, planarflow.ErrBadSnapshot) || errors.Is(err, planarflow.ErrSnapshotMismatch) {
+			os.Remove(path)
+		}
+		return nil
+	}
+	return pg
 }
 
 // release re-accounts the bundle's footprint after a query, unpins it,
@@ -265,7 +364,6 @@ func (s *Store) acquire(id string) (*entry, *planarflow.PreparedGraph, bool, err
 func (s *Store) release(e *entry, pg *planarflow.PreparedGraph) {
 	st := pg.Stats()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e.pins--
 	// A bundle only grows, so each accounting field advances monotonically:
 	// a release whose snapshot raced a concurrent build (and is staler than
@@ -287,48 +385,248 @@ func (s *Store) release(e *entry, pg *planarflow.PreparedGraph) {
 			e.rounds = st.BuildRounds
 		}
 	}
-	s.evictLocked()
+	jobs := s.evictLocked()
+	s.mu.Unlock()
+	s.spillAsync(jobs)
+}
+
+// spillJob is one demotion to the disk tier: the bundle captured before
+// dropLocked cleared the entry (immutable, so safe to encode while
+// in-flight queries still hold it).
+type spillJob struct {
+	e  *entry
+	pg *planarflow.PreparedGraph
 }
 
 // evictLocked drops least-recently-used unpinned bundles until the
-// accounted footprint fits the budget.
-func (s *Store) evictLocked() {
+// accounted footprint fits the budget, returning the spill jobs the
+// caller must run after releasing the lock.
+func (s *Store) evictLocked() []spillJob {
 	if s.cfg.MaxBytes <= 0 {
-		return
+		return nil
 	}
+	var jobs []spillJob
 	for el := s.lru.Back(); el != nil && s.bytes > s.cfg.MaxBytes; {
 		e := el.Value.(*entry)
 		prev := el.Prev()
 		if e.pins == 0 {
-			s.dropLocked(e)
+			jobs = append(jobs, s.dropLocked(e)...)
 		}
 		el = prev
 	}
+	return jobs
 }
 
-// dropLocked evicts one resident bundle.
-func (s *Store) dropLocked(e *entry) {
+// dropLocked evicts one resident bundle, returning its spill job when
+// the disk tier is enabled.
+func (s *Store) dropLocked(e *entry) []spillJob {
+	pg := e.pg
 	s.bytes -= e.bytes
 	s.lru.Remove(e.elem)
 	e.pg, e.elem = nil, nil
 	e.bytes, e.substrates, e.rounds = 0, 0, 0
 	e.evictions++
 	s.evictions++
+	if s.cfg.SpillDir == "" {
+		return nil
+	}
+	return []spillJob{{e: e, pg: pg}}
+}
+
+// spillAsync writes demoted bundles to the disk tier off the serving
+// path: the releasing query's latency must not include encode + disk
+// I/O for bundles it happened to push over the budget. A miss that
+// races an in-flight spill simply rebuilds (the spill still lands for
+// the next one); two spills of the same id serialize through the
+// temp+rename, so the file is always one complete snapshot.
+func (s *Store) spillAsync(jobs []spillJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	s.spillWG.Add(1)
+	go func() {
+		defer s.spillWG.Done()
+		s.spill(jobs)
+	}()
+}
+
+// FlushSpills blocks until every in-flight eviction spill has been
+// written — the orderly-shutdown hook (and the tests' determinism
+// valve). Explicit SnapshotResident writes are synchronous already.
+func (s *Store) FlushSpills() { s.spillWG.Wait() }
+
+// spill writes demoted bundles to the disk tier. Errors are counted, not
+// fatal: a failed spill only means the next miss rebuilds.
+func (s *Store) spill(jobs []spillJob) {
+	for _, j := range jobs {
+		err := s.writeSnapshot(j.e.id, j.pg)
+		s.mu.Lock()
+		if err != nil {
+			s.snapErrors++
+		} else {
+			j.e.snapWrites++
+			s.snapWrites++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// writeSnapshot persists one bundle under the spill directory, via a
+// temp file and rename so readers never see a torn snapshot.
+func (s *Store) writeSnapshot(id string, pg *planarflow.PreparedGraph) error {
+	if err := os.MkdirAll(s.cfg.SpillDir, 0o755); err != nil {
+		return err
+	}
+	path := s.spillPath(id)
+	tmp, err := os.CreateTemp(s.cfg.SpillDir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	if err := pg.Snapshot(bw); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// spillPath maps a graph id to its snapshot file. Ids are sanitized to a
+// filesystem-safe alphabet; a short hash of the raw id keeps sanitized
+// collisions (e.g. "a/b" vs "a_b") apart.
+func (s *Store) spillPath(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	var h uint64 = 14695981039346656037 // FNV-1a over the raw id
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return filepath.Join(s.cfg.SpillDir, fmt.Sprintf("%s-%016x.pfsnap", b.String(), h))
+}
+
+// SpillEnabled reports whether the disk tier is configured.
+func (s *Store) SpillEnabled() bool { return s.cfg.SpillDir != "" }
+
+// SnapshotResident writes the current resident bundles (all of them, or
+// just the given ids) to the disk tier without evicting anything — the
+// ops valve behind flowd's POST /v1/snapshot, and the way a daemon
+// persists its warm working set before a planned restart. Unknown ids
+// error; known-but-not-resident ids are skipped (an evicted bundle
+// already spilled on the way out). Returns how many snapshots were
+// written.
+func (s *Store) SnapshotResident(ids ...string) (int, error) {
+	if !s.SpillEnabled() {
+		return 0, ErrSpillDisabled
+	}
+	s.mu.Lock()
+	if len(ids) == 0 {
+		for id := range s.ents {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	}
+	var jobs []spillJob
+	for _, id := range ids {
+		e, ok := s.ents[id]
+		if !ok {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+		}
+		if e.pg != nil {
+			jobs = append(jobs, spillJob{e: e, pg: e.pg})
+		}
+	}
+	s.mu.Unlock()
+	var firstErr error
+	written := 0
+	for _, j := range jobs {
+		err := s.writeSnapshot(j.e.id, j.pg)
+		s.mu.Lock()
+		if err != nil {
+			s.snapErrors++
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			j.e.snapWrites++
+			s.snapWrites++
+			written++
+		}
+		s.mu.Unlock()
+	}
+	return written, firstErr
+}
+
+// TryRestore warm-restores one registered graph from the disk tier
+// without running a query: on a daemon boot, restoring every registered
+// spec turns the first traffic spike from cold rebuilds into decode-time
+// restores. Reports whether a snapshot was restored (false when the
+// bundle is already resident, the tier is disabled, or no usable
+// snapshot exists — none of which is an error).
+func (s *Store) TryRestore(id string) (bool, error) {
+	s.mu.Lock()
+	e, ok := s.ents[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	if e.pg != nil {
+		s.mu.Unlock()
+		return false, nil
+	}
+	pg := s.restoreLocked(e)
+	if pg == nil {
+		s.mu.Unlock()
+		return false, nil
+	}
+	e.pg = pg
+	e.elem = s.lru.PushFront(e)
+	st := pg.Stats()
+	e.bytes, e.substrates, e.rounds = st.Bytes, len(st.Substrates), st.BuildRounds
+	s.bytes += st.Bytes
+	e.snapRestores++
+	s.snapRestores++
+	e.lastAccessMS = time.Now().UnixMilli()
+	jobs := s.evictLocked() // the restore may overshoot the budget
+	s.mu.Unlock()
+	s.spillAsync(jobs)
+	return true, nil
 }
 
 // EvictAll drops every unpinned resident bundle (a debugging/ops valve;
-// pinned bundles are left to the regular budget path).
+// pinned bundles are left to the regular budget path). With the disk
+// tier enabled the dropped bundles spill before EvictAll returns — an
+// ops call, not a serving path, so it waits for its own writes.
 func (s *Store) EvictAll() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var jobs []spillJob
 	for el := s.lru.Back(); el != nil; {
 		e := el.Value.(*entry)
 		prev := el.Prev()
 		if e.pins == 0 {
-			s.dropLocked(e)
+			jobs = append(jobs, s.dropLocked(e)...)
 		}
 		el = prev
 	}
+	s.mu.Unlock()
+	s.spill(jobs)
 }
 
 // Snapshot returns the store-wide metrics.
@@ -339,6 +637,8 @@ func (s *Store) Snapshot() Stats {
 		Graphs: len(s.ents), Bytes: s.bytes, MaxBytes: s.cfg.MaxBytes,
 		Hits: s.hits, Misses: s.misses, Builds: s.builds,
 		Evictions: s.evictions, BuildRounds: s.buildRounds,
+		SnapshotWrites: s.snapWrites, SnapshotRestores: s.snapRestores,
+		SnapshotErrors: s.snapErrors,
 	}
 	ids := make([]string, 0, len(s.ents))
 	for id := range s.ents {
@@ -355,6 +655,8 @@ func (s *Store) Snapshot() Stats {
 			Resident: e.pg != nil, Bytes: e.bytes, Pins: e.pins,
 			Hits: e.hits, Misses: e.misses, Builds: e.builds,
 			Evictions: e.evictions, BuildRounds: e.buildRounds,
+			LastAccessUnixMS: e.lastAccessMS,
+			SnapshotRestores: e.snapRestores, SnapshotWrites: e.snapWrites,
 		})
 	}
 	return st
