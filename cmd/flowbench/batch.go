@@ -16,7 +16,6 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
-	"sort"
 	"time"
 
 	"planarflow/internal/flowd"
@@ -104,14 +103,6 @@ type batchPathResult struct {
 	errs            int
 }
 
-func pctOf(lat []float64, p float64) float64 {
-	if len(lat) == 0 {
-		return 0
-	}
-	sort.Float64s(lat)
-	return lat[int(p*float64(len(lat)-1))]
-}
-
 // runBatchSingle serves the workload as one request per query.
 func runBatchSingle(bc batchCfg, seed, unit int64, groups []batchGroup) (*batchPathResult, error) {
 	cl, shutdown, err := batchDaemon(bc, seed, unit)
@@ -144,7 +135,7 @@ func runBatchSingle(bc batchCfg, seed, unit int64, groups []batchGroup) (*batchP
 		return nil, err
 	}
 	res.qps = float64(len(res.values)) / wall.Seconds()
-	res.p50, res.p99 = pctOf(lat, 0.50), pctOf(lat, 0.99)
+	res.p50, res.p99 = percentile(lat, 0.50), percentile(lat, 0.99)
 	res.hitRate, res.evictions = stats.HitRate, stats.Store.Evictions
 	res.wallMS = float64(wall.Microseconds()) / 1000
 	return res, nil
@@ -183,7 +174,7 @@ func runBatchBatched(bc batchCfg, seed, unit int64, groups []batchGroup) (*batch
 		return nil, err
 	}
 	res.qps = float64(len(res.values)) / wall.Seconds()
-	res.p50, res.p99 = pctOf(lat, 0.50), pctOf(lat, 0.99)
+	res.p50, res.p99 = percentile(lat, 0.50), percentile(lat, 0.99)
 	res.hitRate, res.evictions = stats.HitRate, stats.Store.Evictions
 	res.wallMS = float64(wall.Microseconds()) / 1000
 	return res, nil

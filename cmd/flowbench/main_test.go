@@ -66,9 +66,11 @@ func TestSmokeE8(t *testing.T) {
 
 // TestSmokeServe runs the SERVE experiment at smoke size and checks the
 // serving contract: per-query equality between cold and prepared paths (OK
-// bit), prepared rounds strictly below cold rounds for every workload, and
-// an amortized speedup ≥ 5x for the label-decode (dist) workload — the
-// pattern whose full-size trajectory lives in BENCH_serve.json.
+// bit), prepared rounds strictly below cold rounds for every workload, an
+// amortized speedup ≥ 5x for the label-decode (dist) workload, and a
+// decode-engine (:fast) record per label-backed workload whose OK bit
+// carries the fast-vs-simulated answer equality and qps-ratio gate — the
+// patterns whose full-size trajectories live in BENCH_serve.json.
 func TestSmokeServe(t *testing.T) {
 	dir := t.TempDir()
 	jsonl := filepath.Join(dir, "serve.jsonl")
@@ -92,8 +94,8 @@ func TestSmokeServe(t *testing.T) {
 		}
 		byInstance[r.Instance] = r
 	}
-	if len(byInstance) != 6 {
-		t.Fatalf("want 6 serve records (3 workloads x 2 paths), got %d", len(byInstance))
+	if len(byInstance) != 10 {
+		t.Fatalf("want 10 serve records (3 workloads x 2 paths + 2 fast pairs), got %d", len(byInstance))
 	}
 	for _, workload := range []string{"dist", "dualsssp", "maxflow"} {
 		var cold, prep *Record
@@ -120,6 +122,22 @@ func TestSmokeServe(t *testing.T) {
 	for inst, r := range byInstance {
 		if strings.HasPrefix(inst, "dist-") && strings.HasSuffix(inst, ":prepared") && r.Speedup < 5 {
 			t.Fatalf("dist amortized speedup %.2f below 5x", r.Speedup)
+		}
+	}
+	for _, workload := range []string{"dist", "dualsssp"} {
+		var fast *Record
+		for inst, r := range byInstance {
+			r := r
+			if strings.HasPrefix(inst, workload+"-") && strings.HasSuffix(inst, ":fast") {
+				fast = &r
+			}
+		}
+		if fast == nil {
+			t.Fatalf("workload %s missing :fast record", workload)
+		}
+		if fast.Speedup < serveFastFloor(false) {
+			t.Fatalf("%s: fast-path qps ratio %.2f below smoke floor %.0f",
+				workload, fast.Speedup, serveFastFloor(false))
 		}
 	}
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// percentile returns the p-th percentile of samples by the nearest-rank
+// method: the smallest element with at least a p fraction of the sample at
+// or below it (p in (0, 1]; p <= 0 returns the minimum, an empty sample
+// returns 0). The input is copied before sorting — the experiments reuse
+// their latency slices after reporting, so the shared helper must not
+// mutate the caller. This replaces two per-experiment helpers that sorted
+// in place and floored the rank index, which collapsed p99 of small
+// samples toward p50.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single-p50", []float64{7}, 0.50, 7},
+		{"single-p99", []float64{7}, 0.99, 7},
+		{"two-p50", []float64{2, 1}, 0.50, 1},
+		{"two-p99", []float64{2, 1}, 0.99, 2},
+		// Nearest rank on small N: p99 of 10 samples is the maximum
+		// (ceil(0.99*10) = 10), where the old floored index returned the
+		// 9th-largest.
+		{"ten-p99", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+		{"ten-p50", []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 0.50, 5},
+		{"p-zero-min", []float64{3, 1, 2}, 0, 1},
+		{"p-one-max", []float64{3, 1, 2}, 1, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentile(tc.samples, tc.p); got != tc.want {
+				t.Fatalf("percentile(%v, %v) = %v, want %v", tc.samples, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	percentile(samples, 0.99)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatalf("percentile sorted the caller's slice: %v", samples)
+	}
+}

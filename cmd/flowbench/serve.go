@@ -7,8 +7,17 @@ package main
 // rounds, amortized speedup (cold rounds / prepared rounds), and wall-clock
 // queries/sec. Results of the two paths are checked for equality per query;
 // a mismatch flips the record's OK bit.
+//
+// The :sim/:fast instance pairs additionally gate the decode engine: the
+// same K queries are served once through the simulated CONGEST route on a
+// fresh bundle (:sim — the serving cost of the instance before the engine
+// existed) and once through the default decode route at steady state
+// (:fast — warm, build amortized away, qps measured over repeated sweeps).
+// The fast record's OK requires bit-identical answers and rounds against
+// the simulated route AND a qps ratio of at least serveFastFloor.
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -37,6 +46,8 @@ func serveBench(s *sink, c cfg) {
 		serveDist(s, c, rep, seed)
 		serveDualSSSP(s, c, rep, seed)
 		serveMaxFlow(s, c, rep, seed)
+		serveDistFast(s, c, rep, seed)
+		serveDualSSSPFast(s, c, rep, seed)
 	}
 }
 
@@ -231,6 +242,137 @@ func serveMaxFlow(s *sink, c cfg, rep int, seed int64) {
 	inst := fmt.Sprintf("maxflow-grid%dx%d", rows, cols)
 	serveRecord(s, rep, seed, inst+":cold", "maxflow", "cold", n, d, coldRounds, coldBuild, coldRounds-coldBuild, coldWall, 1, ok)
 	serveRecord(s, rep, seed, inst+":prepared", "maxflow", "prepared", n, d, prepRounds, build, prepRounds-build, prepWall, speedup, ok)
+}
+
+// serveFastFloor is the qps ratio the :fast instances must clear against
+// their :sim comparator. Under -full the tentpole target applies (the
+// decode engine must beat the simulated serving path by >= 100x on the
+// SERVE grid); the smoke grids build so little that the ratio's headroom
+// shrinks (~27x observed), so the smoke gate is looser while still
+// catching an engine that silently falls back to the simulator (ratio ~1).
+func serveFastFloor(full bool) float64 {
+	if full {
+		return 100
+	}
+	return 10
+}
+
+// serveDistFast: the decode-engine gate on the dist serving grid.
+func serveDistFast(s *sink, c cfg, rep int, seed int64) {
+	rows, cols := 12, 12
+	if c.full {
+		rows, cols = 32, 32
+	}
+	g := planarflow.GridGraph(rows, cols).WithRandomAttrs(seed, 1, 9, 1, 16)
+	rng := planar.NewRand(seed)
+	queries := make([]planarflow.Query, serveQueries)
+	for i := range queries {
+		queries[i] = planarflow.DistQuery(rng.IntN(g.N()), rng.IntN(g.N()))
+	}
+	inst := fmt.Sprintf("dist-grid%dx%d", rows, cols)
+	serveFastPath(s, c, rep, seed, "dist", inst, g, g.N(), rows+cols-2, queries)
+}
+
+// serveDualSSSPFast: the decode-engine gate on the dualsssp serving grid —
+// the headline instance of the engine's row cache.
+func serveDualSSSPFast(s *sink, c cfg, rep int, seed int64) {
+	rows, cols := 8, 8
+	if c.full {
+		rows, cols = 16, 16
+	}
+	g := planarflow.GridGraph(rows, cols).WithRandomAttrs(seed+1, 1, 9, 1, 16)
+	rng := planar.NewRand(seed + 1)
+	queries := make([]planarflow.Query, serveQueries)
+	for i := range queries {
+		queries[i] = planarflow.DualSSSPQuery(rng.IntN(g.NumFaces()))
+	}
+	inst := fmt.Sprintf("dualsssp-grid%dx%d", rows, cols)
+	serveFastPath(s, c, rep, seed, "dualsssp", inst, g, g.N(), rows+cols-2, queries)
+}
+
+// serveFastPath emits the :sim/:fast record pair for one workload: a fresh
+// bundle serving the K queries through the simulated route (build
+// included — the instance's serving cost before the decode engine), then a
+// fresh bundle on the default route, whose warmup sweep doubles as the
+// bit-identity check (payload, rounds, build attribution — the full Answer
+// JSON must match query for query) and whose steady-state qps is measured
+// over repeated warm sweeps. Speedup on the :fast record is the qps ratio.
+func serveFastPath(s *sink, c cfg, rep int, seed int64, workload, inst string,
+	g *planarflow.Graph, n, d int, queries []planarflow.Query) {
+	pSim, err := planarflow.Prepare(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	simJSON := make([]string, len(queries))
+	var simRounds, simBuild int64
+	simStart := time.Now()
+	for i, q := range queries {
+		a, err := pSim.Do(nil, q.WithSimulated())
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		simRounds += a.Rounds.Total
+		simBuild += a.Rounds.Build
+		j, err := json.Marshal(a)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		simJSON[i] = string(j)
+	}
+	simWall := time.Since(simStart)
+
+	pFast, err := planarflow.Prepare(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ok := true
+	var fastRounds, fastBuild int64
+	for i, q := range queries {
+		a, err := pFast.Do(nil, q)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fastRounds += a.Rounds.Total
+		fastBuild += a.Rounds.Build
+		j, err := json.Marshal(a)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		ok = ok && string(j) == simJSON[i]
+	}
+
+	// Steady state: sweep the warm query set until enough wall has elapsed
+	// for a stable rate, then report the per-sweep wall (so the record's
+	// qps is the warm decode rate, not a single-sweep timer quantum).
+	sweeps := 0
+	timedStart := time.Now()
+	var elapsed time.Duration
+	for elapsed < 50*time.Millisecond {
+		for _, q := range queries {
+			if _, err := pFast.Do(nil, q.WithoutPhases()); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+		}
+		sweeps++
+		elapsed = time.Since(timedStart)
+	}
+	perSweep := elapsed / time.Duration(sweeps)
+
+	simQPS := float64(serveQueries) / simWall.Seconds()
+	fastQPS := float64(serveQueries) / perSweep.Seconds()
+	ratio := fastQPS / simQPS
+	queryRounds := fastRounds - fastBuild // one warm sweep's charged rounds
+	serveRecord(s, rep, seed, inst+":sim", workload, "sim", n, d,
+		simRounds, simBuild, simRounds-simBuild, simWall, 1, ok)
+	serveRecord(s, rep, seed, inst+":fast", workload, "fast", n, d,
+		queryRounds, 0, queryRounds, perSweep, ratio, ok && ratio >= serveFastFloor(c.full))
 }
 
 func equalInt64s(a, b []int64) bool {

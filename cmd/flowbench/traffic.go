@@ -17,6 +17,15 @@ package main
 // dualsssp 5%): point queries cost nothing once labels are warm, so
 // throughput measures the serving layer — registry, singleflight,
 // eviction, HTTP — not the simulator.
+//
+// The :ssspsim/:ssspfast instance pair additionally exercises the decode
+// engine under fleet traffic: the same dualsssp-heavy mix is served once
+// with the wire's simulated escape hatch and once on the default decode
+// route, each gated by the standard invariants plus a dualsssp
+// wire-vs-library ground-truth check; the fast record carries the qps
+// ratio over the simulated run as its Speedup trajectory point (HTTP
+// overhead dominates per-request wall here, so the ratio is informative,
+// not gated — the >= 100x engine gate lives in SERVE).
 
 import (
 	"context"
@@ -100,8 +109,27 @@ func trafficUnit(tc trafficCfg, seed int64) (int64, error) {
 	return p.Stats().Bytes, nil
 }
 
+// trafficMix selects the op mix and execution route of one TRAFFIC run:
+// cumulative probability thresholds for dist and dualdist (dualsssp gets
+// the remainder) and whether dualsssp requests set the wire's simulated
+// escape hatch.
+type trafficMix struct {
+	label       string // instance suffix; "" is the default serving mix
+	distP, ddsP float64
+	simulated   bool
+}
+
+var (
+	trafficDefaultMix = trafficMix{distP: 0.80, ddsP: 0.95}
+	// The fast-path gate pair: a dualsssp-heavy mix (40%) so the decode
+	// engine — not the point-decode ops — carries the run.
+	trafficSSSPSim  = trafficMix{label: "ssspsim", distP: 0.40, ddsP: 0.60, simulated: true}
+	trafficSSSPFast = trafficMix{label: "ssspfast", distP: 0.40, ddsP: 0.60}
+)
+
 // trafficBench runs the TRAFFIC experiment: one daemon per client count,
-// C=1 then C=8, same working set and query budget.
+// C=1 then C=8 on the default mix, then the simulated/fast dualsssp-heavy
+// pair at C=8. Same working set and query budget throughout.
 func trafficBench(s *sink, c cfg) {
 	tc := trafficSizes(c.full)
 	for rep := 0; rep < c.repeats; rep++ {
@@ -110,26 +138,45 @@ func trafficBench(s *sink, c cfg) {
 			"flowd under Zipf(%.1f) traffic: G=%d grids %dx%d, budget %d/%d resident",
 			tc.skew, tc.graphs, tc.side, tc.side, tc.resident, tc.graphs),
 			"clients", "queries", "qps", "p50ms", "p99ms", "hitrate", "evict", "ok")
+		emit := func(clients int, mix trafficMix, res *trafficResult, speedup float64) {
+			inst := fmt.Sprintf("zipf%.1f-g%d-r%d:c%d", tc.skew, tc.graphs, tc.resident, clients)
+			label := fmt.Sprint(clients)
+			if mix.label != "" {
+				inst += ":" + mix.label
+				label += ":" + mix.label
+			}
+			s.add(Record{
+				Exp:      "TRAFFIC",
+				Instance: inst,
+				N:        tc.side * tc.side, D: 2*tc.side - 2,
+				WallMS: res.wallMS, Repeat: rep, Seed: seed, OK: res.ok,
+				Queries: tc.queries, QPS: res.qps, Speedup: speedup,
+				Clients: clients, HitRate: res.hitRate, Evictions: res.evictions,
+				P50MS: res.p50, P99MS: res.p99,
+			})
+			row(rep, label, tc.queries, res.qps, res.p50, res.p99, res.hitRate,
+				res.evictions, res.ok)
+		}
 		for _, clients := range []int{1, 8} {
-			res, err := runTraffic(tc, seed, clients)
+			res, err := runTraffic(tc, seed, clients, trafficDefaultMix)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			n := tc.side * tc.side
-			d := 2*tc.side - 2
-			s.add(Record{
-				Exp:      "TRAFFIC",
-				Instance: fmt.Sprintf("zipf%.1f-g%d-r%d:c%d", tc.skew, tc.graphs, tc.resident, clients),
-				N:        n, D: d,
-				WallMS: res.wallMS, Repeat: rep, Seed: seed, OK: res.ok,
-				Queries: tc.queries, QPS: res.qps,
-				Clients: clients, HitRate: res.hitRate, Evictions: res.evictions,
-				P50MS: res.p50, P99MS: res.p99,
-			})
-			row(rep, clients, tc.queries, res.qps, res.p50, res.p99, res.hitRate,
-				res.evictions, res.ok)
+			emit(clients, trafficDefaultMix, res, 0)
 		}
+		sim, err := runTraffic(tc, seed, 8, trafficSSSPSim)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		emit(8, trafficSSSPSim, sim, 0)
+		fast, err := runTraffic(tc, seed, 8, trafficSSSPFast)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		emit(8, trafficSSSPFast, fast, fast.qps/sim.qps)
 	}
 }
 
@@ -139,7 +186,7 @@ type trafficResult struct {
 	ok                             bool
 }
 
-func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) {
+func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*trafficResult, error) {
 	unit, err := trafficUnit(tc, seed)
 	if err != nil {
 		return nil, err
@@ -174,6 +221,10 @@ func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	wantSSSP, err := p0.DualSSSP(0)
+	if err != nil {
+		return nil, err
+	}
 
 	z := newZipf(tc.graphs, tc.skew)
 	perClient := tc.queries / clients
@@ -190,12 +241,13 @@ func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) 
 			for q := 0; q < perClient; q++ {
 				req := flowd.QueryRequest{Graph: ids[z.sample(rng)]}
 				switch roll := rng.Float64(); {
-				case roll < 0.80:
+				case roll < mix.distP:
 					req.Op, req.U, req.V = "dist", rng.IntN(n), rng.IntN(n)
-				case roll < 0.95:
+				case roll < mix.ddsP:
 					req.Op, req.U, req.V = "dualdist", rng.IntN(faces), rng.IntN(faces)
 				default:
 					req.Op, req.Source = "dualsssp", rng.IntN(faces)
+					req.Simulated = mix.simulated
 				}
 				t0 := time.Now()
 				if _, err := cl.Query(ctx, req); err != nil {
@@ -218,6 +270,12 @@ func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	checkSSSP, err := cl.Query(ctx, flowd.QueryRequest{
+		Graph: ids[0], Op: "dualsssp", Source: 0, Simulated: mix.simulated,
+	})
+	if err != nil {
+		return nil, err
+	}
 	stats, err := cl.Stats(ctx)
 	if err != nil {
 		return nil, err
@@ -227,18 +285,10 @@ func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) 
 	for _, l := range lat {
 		all = append(all, l...)
 	}
-	sort.Float64s(all)
-	pct := func(p float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
-	}
 	res := &trafficResult{
 		qps:       float64(clients*perClient) / wall.Seconds(),
-		p50:       pct(0.50),
-		p99:       pct(0.99),
+		p50:       percentile(all, 0.50),
+		p99:       percentile(all, 0.99),
 		hitRate:   stats.HitRate,
 		wallMS:    float64(wall.Microseconds()) / 1000,
 		evictions: stats.Store.Evictions,
@@ -246,6 +296,7 @@ func runTraffic(tc trafficCfg, seed int64, clients int) (*trafficResult, error) 
 	res.ok = res.evictions > 0 && // the working set really exceeded the budget
 		res.hitRate >= 0.80 && // the LRU kept the Zipf head resident
 		res.qps >= tc.qpsFloor && // throughput did not collapse
-		check.Value == wantDist // the wire agrees with the library
+		check.Value == wantDist && // the wire agrees with the library
+		equalInt64s(checkSSSP.Dist, wantSSSP.Dist) // on both execution routes
 	return res, nil
 }

@@ -115,6 +115,12 @@ type state struct {
 	primals map[labelKey]*slot[*primallabel.Labeling]
 
 	build *ledger.Ledger // cumulative build cost of every substrate built
+
+	// defaultLeaf caches bdd.DefaultLeafLimit(g), which costs two BFS
+	// traversals — deterministic per graph, and on every query's path via
+	// ResolveLeafLimit, so it must not be recomputed per query.
+	defaultLeafOnce sync.Once
+	defaultLeaf     int
 }
 
 // Prepared is the reusable artifact bundle of one embedded graph: a
@@ -160,7 +166,10 @@ func (p *Prepared) Graph() *planar.Graph { return p.st.g }
 // (0 means the paper's Θ(D log n) default), so equal requests share a slot.
 func (p *Prepared) ResolveLeafLimit(leafLimit int) int {
 	if leafLimit == 0 {
-		leafLimit = bdd.DefaultLeafLimit(p.st.g)
+		p.st.defaultLeafOnce.Do(func() {
+			p.st.defaultLeaf = bdd.DefaultLeafLimit(p.st.g)
+		})
+		leafLimit = p.st.defaultLeaf
 	}
 	if leafLimit < 4 {
 		leafLimit = 4

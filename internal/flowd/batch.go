@@ -35,6 +35,9 @@ type BatchQuery struct {
 	V      int     `json:"v,omitempty"`
 	Source int     `json:"source,omitempty"`
 	Eps    float64 `json:"eps,omitempty"`
+	// Simulated forces the entry through the simulated CONGEST route, as
+	// for QueryRequest.Simulated.
+	Simulated bool `json:"simulated,omitempty"`
 }
 
 // Query maps the entry onto the library's query value. As for
@@ -43,7 +46,8 @@ func (q *BatchQuery) Query() planarflow.Query {
 	return planarflow.Query{
 		Kind: planarflow.QueryKind(q.Op),
 		U:    q.U, V: q.V, Source: q.Source, Eps: q.Eps,
-		NoPhases: true,
+		NoPhases:  true,
+		Simulated: q.Simulated,
 	}
 }
 

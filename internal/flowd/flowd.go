@@ -79,6 +79,10 @@ type QueryRequest struct {
 	V      int     `json:"v,omitempty"`
 	Source int     `json:"source,omitempty"`
 	Eps    float64 `json:"eps,omitempty"`
+	// Simulated forces the label-backed ops through the simulated CONGEST
+	// route instead of the decode engine (identical answer and rounds; an
+	// audit knob, not a serving one).
+	Simulated bool `json:"simulated,omitempty"`
 }
 
 // Query maps the request onto the library's first-class query value — the
@@ -89,17 +93,17 @@ func (r *QueryRequest) Query() planarflow.Query {
 	return planarflow.Query{
 		Kind: planarflow.QueryKind(r.Op),
 		U:    r.U, V: r.V, Source: r.Source, Eps: r.Eps,
-		NoPhases: true,
+		NoPhases:  true,
+		Simulated: r.Simulated,
 	}
 }
 
 // Rounds is the wire-compact round report: the simulated CONGEST cost of
 // the query, split into one-time substrate construction (nonzero only for
 // the request that triggered a build) and per-query work. The point-decode
-// ops (dist, dirdist, dualdist) always report zero: they decode locally at
-// no per-query round cost and their signatures carry no round report, so
-// any build they trigger is visible in /statsz build_rounds rather than on
-// the response.
+// ops (dist, dirdist, dualdist) always report zero Query rounds — they
+// decode locally — so a nonzero report on them is pure Build cost of the
+// triggering request, the same split every other op reports.
 type Rounds struct {
 	Total int64 `json:"total"`
 	Build int64 `json:"build"`

@@ -212,3 +212,53 @@ func TestEvictionVisibleOnStatsz(t *testing.T) {
 		t.Fatalf("resting bytes %d over budget %d", st.Store.Bytes, st.Store.MaxBytes)
 	}
 }
+
+// TestSimulatedWireParity asserts the simulated escape hatch is reachable
+// over the wire and bit-identical to the default decode-engine route: same
+// payload, same per-query rounds, on both the query and batch endpoints.
+func TestSimulatedWireParity(t *testing.T) {
+	c, _ := newTestDaemon(t, store.Config{})
+	ctx := context.Background()
+	if _, err := c.Register(ctx, "g", store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 5, WLo: 1, WHi: 9, CLo: 1, CHi: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// The simulated request runs first and carries the substrate build;
+	// the fast request then decodes warm (Build == 0 on both thereafter).
+	sim, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "dualsssp", Source: 0, Simulated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := c.Query(ctx, QueryRequest{Graph: "g", Op: "dualsssp", Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Dist) != len(sim.Dist) {
+		t.Fatalf("fast returned %d faces, simulated %d", len(fast.Dist), len(sim.Dist))
+	}
+	for i := range fast.Dist {
+		if fast.Dist[i] != sim.Dist[i] {
+			t.Fatalf("face %d: fast %d, simulated %d", i, fast.Dist[i], sim.Dist[i])
+		}
+	}
+	if fast.Rounds.Query != sim.Rounds.Query {
+		t.Fatalf("fast Query rounds %d, simulated %d", fast.Rounds.Query, sim.Rounds.Query)
+	}
+	if fast.Rounds.Build != 0 {
+		t.Fatalf("warm fast query paid Build=%d", fast.Rounds.Build)
+	}
+
+	resp, err := c.QueryBatch(ctx, BatchRequest{Graph: "g", Queries: []BatchQuery{
+		{Op: "girth"},
+		{Op: "girth", Simulated: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, s := resp.Results[0], resp.Results[1]
+	if f.Error != "" || s.Error != "" {
+		t.Fatalf("batch errors: %q / %q", f.Error, s.Error)
+	}
+	if f.Value != s.Value || f.Rounds.Query != s.Rounds.Query {
+		t.Fatalf("batch girth fast %+v diverges from simulated %+v", f, s)
+	}
+}

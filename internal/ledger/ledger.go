@@ -168,6 +168,18 @@ func (l *Ledger) MergeAs(other *Ledger, sc Scope) {
 	}
 }
 
+// MergeScoped folds only other's entries of the given scope into l,
+// preserving kinds and scopes. The decode engine uses it to keep a replayable
+// record of a query's per-query phases without the one-time Build phases the
+// first invocation happened to trigger.
+func (l *Ledger) MergeScoped(other *Ledger, sc Scope) {
+	for _, e := range other.Entries() {
+		if e.Scope == sc {
+			l.addScoped(e.Phase, e.Rounds, e.Kind, e.Scope)
+		}
+	}
+}
+
 // Summary formats per-phase totals sorted by descending rounds.
 func (l *Ledger) Summary() string {
 	phases := l.ByPhase()

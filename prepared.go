@@ -7,6 +7,7 @@ import (
 
 	"planarflow/internal/artifact"
 	"planarflow/internal/core"
+	"planarflow/internal/decode"
 	"planarflow/internal/ledger"
 )
 
@@ -23,16 +24,24 @@ import (
 // the query that triggered a construction carries its cost (Build > 0),
 // queries served from the warm artifact report Build == 0. The point-query
 // methods (Dist, DirectedDist, DualDist) return bare distances — they decode
-// locally at zero per-query round cost, and any construction they trigger is
-// visible through BuildRounds.
+// locally at zero per-query round cost; the Build rounds of a construction
+// they trigger are visible on the corresponding Do answer and through
+// BuildRounds.
 type PreparedGraph struct {
 	gr  *Graph
 	art *artifact.Prepared
 
-	// buildSink absorbs the build charges of point queries, whose
-	// signatures carry no Rounds. It only ever receives entries when a
-	// substrate is actually constructed, so it stays bounded under serving;
-	// the cumulative cost is reported by BuildRounds.
+	// eng is the decode engine: the default execution route of the
+	// label-backed families (dualsssp, girth, dirgirth, globalmincut),
+	// answering from the prepared substrates with no per-query simulated
+	// network while replaying the identical charged-rounds record. Shared
+	// by every WithContext view, like the substrates it decodes from.
+	eng *decode.Engine
+
+	// buildSink absorbs the build charges of Warm and of DoBatch's warmup
+	// pass, whose signatures carry no Rounds. It only ever receives entries
+	// when a substrate is actually constructed, so it stays bounded under
+	// serving; the cumulative cost is reported by BuildRounds.
 	buildSink *ledger.Ledger
 }
 
@@ -42,7 +51,7 @@ func Prepare(gr *Graph) (*PreparedGraph, error) {
 	if gr == nil || gr.g == nil {
 		return nil, fmt.Errorf("planarflow: Prepare: %w", ErrNilGraph)
 	}
-	return &PreparedGraph{gr: gr, art: artifact.New(gr.g), buildSink: ledger.New()}, nil
+	return &PreparedGraph{gr: gr, art: artifact.New(gr.g), eng: decode.New(), buildSink: ledger.New()}, nil
 }
 
 // PrepareContext is Prepare with the returned PreparedGraph bound to ctx,
@@ -63,7 +72,7 @@ func PrepareContext(ctx context.Context, gr *Graph) (*PreparedGraph, error) {
 // (context.Canceled / context.DeadlineExceeded). Substrates built through
 // any view are shared by all views of the same PreparedGraph.
 func (p *PreparedGraph) WithContext(ctx context.Context) *PreparedGraph {
-	return &PreparedGraph{gr: p.gr, art: p.art.WithContext(ctx), buildSink: p.buildSink}
+	return &PreparedGraph{gr: p.gr, art: p.art.WithContext(ctx), eng: p.eng, buildSink: p.buildSink}
 }
 
 // Graph returns the underlying graph.
@@ -115,6 +124,15 @@ func (p *PreparedGraph) checkVertices(vs ...int) error {
 	for _, v := range vs {
 		if v < 0 || v >= p.gr.N() {
 			return fmt.Errorf("planarflow: vertex %d out of [0,%d): %w", v, p.gr.N(), ErrVertexRange)
+		}
+	}
+	return nil
+}
+
+func (p *PreparedGraph) checkFaces(fs ...int) error {
+	for _, f := range fs {
+		if f < 0 || f >= p.gr.NumFaces() {
+			return fmt.Errorf("planarflow: face %d out of [0,%d): %w", f, p.gr.NumFaces(), ErrFaceRange)
 		}
 	}
 	return nil

@@ -20,6 +20,7 @@ import (
 
 	"planarflow/internal/artifact"
 	"planarflow/internal/core"
+	"planarflow/internal/duallabel"
 	"planarflow/internal/ledger"
 )
 
@@ -95,6 +96,13 @@ type Query struct {
 	// rounds-accounting detail knob for serving paths that only consume
 	// the totals.
 	NoPhases bool `json:"no_phases,omitempty"`
+	// Simulated forces the label-backed families (dualsssp, girth,
+	// dirgirth, globalmincut) through the simulated CONGEST route instead
+	// of the decode engine. The two routes return bit-identical answers
+	// and rounds — this escape hatch exists so tests and audits keep
+	// exercising the simulator; it is never needed for serving. Families
+	// without an engine route ignore it.
+	Simulated bool `json:"simulated,omitempty"`
 }
 
 // DistQuery asks for the undirected shortest-path distance from u to v.
@@ -141,6 +149,13 @@ func (q Query) WithLeafLimit(leafLimit int) Query {
 // rounds breakdown.
 func (q Query) WithoutPhases() Query {
 	q.NoPhases = true
+	return q
+}
+
+// WithSimulated returns a copy of q forced through the simulated CONGEST
+// route instead of the decode engine.
+func (q Query) WithSimulated() Query {
+	q.Simulated = true
 	return q
 }
 
@@ -230,9 +245,11 @@ func (q Query) Substrates() []Substrate {
 //	girth, dirgirth           Value (Inf = acyclic), Edges (girth only)
 //	globalmincut              Value, Side, Edges, Rounds
 //
-// The point-decode kinds (dist, dirdist, dualdist) report zero Rounds:
-// they decode locally at no per-query cost, and any construction they
-// trigger is visible through PreparedGraph.BuildRounds.
+// Every Answer reports the same Build/Query rounds split: the query that
+// triggered a substrate construction carries its cost (Build > 0), queries
+// served from warm substrates report Build == 0. The point-decode kinds
+// (dist, dirdist, dualdist) decode locally at no per-query cost, so their
+// Query rounds are always zero — a nonzero Rounds on them is pure Build.
 type Answer struct {
 	Kind  QueryKind `json:"kind"`
 	Value int64     `json:"value"`
@@ -270,10 +287,16 @@ func (p *PreparedGraph) view(ctx context.Context) *PreparedGraph {
 	return p.WithContext(ctx)
 }
 
-// do dispatches one validated query to its core algorithm. Every branch
-// mirrors the historical named method exactly — same argument checks, same
-// error wrapping, same rounds accounting — so the two surfaces cannot
-// drift.
+// do dispatches one validated query to its execution route. The
+// label-backed families (dualsssp, girth, dirgirth, globalmincut) default
+// to the decode engine and take the simulated CONGEST route only when
+// q.Simulated is set; the two routes are bit-identical in payload and
+// rounds (decode_test.go holds them to that). The flow/cut families
+// (maxflow, minstcut, stflow, stcut) are always algorithmic: their
+// Miller–Naor searches build per-query residual labelings that no prepared
+// substrate can answer for, so there is nothing to decode from. Every
+// branch ends in the shared rounds tail, so every Answer reports the same
+// Build/Query split.
 func (p *PreparedGraph) do(q Query) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -290,7 +313,7 @@ func (p *PreparedGraph) do(q Query) (*Answer, error) {
 		if q.Kind == QDirectedDist {
 			kind = artifact.Directed
 		}
-		la, err := p.art.PrimalLabels(kind, q.LeafLimit, p.buildSink)
+		la, err := p.art.PrimalLabels(kind, q.LeafLimit, led)
 		if err != nil {
 			return nil, fmt.Errorf("planarflow: %w", err)
 		}
@@ -298,13 +321,12 @@ func (p *PreparedGraph) do(q Query) (*Answer, error) {
 			return nil, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
 		}
 		a.Value = la.Dist(q.U, q.V)
-		return a, nil
 
 	case QDualDist:
-		if q.U >= p.gr.NumFaces() || q.V >= p.gr.NumFaces() {
-			return nil, fmt.Errorf("planarflow: face pair (%d,%d) out of [0,%d): %w", q.U, q.V, p.gr.NumFaces(), ErrFaceRange)
+		if err := p.checkFaces(q.U, q.V); err != nil {
+			return nil, err
 		}
-		la, err := p.art.DualLabels(artifact.Undirected, q.LeafLimit, p.buildSink)
+		la, err := p.art.DualLabels(artifact.Undirected, q.LeafLimit, led)
 		if err != nil {
 			return nil, fmt.Errorf("planarflow: %w", err)
 		}
@@ -312,10 +334,18 @@ func (p *PreparedGraph) do(q Query) (*Answer, error) {
 			return nil, fmt.Errorf("planarflow: %w", ErrNegativeCycle)
 		}
 		a.Value = la.Dist(q.U, q.V)
-		return a, nil
 
 	case QDualSSSP:
-		res, err := core.DualSSSP(p.art, q.Source, opt, led)
+		if err := p.checkFaces(q.Source); err != nil {
+			return nil, err
+		}
+		var res *duallabel.SSSPResult
+		var err error
+		if q.Simulated {
+			res, err = core.DualSSSP(p.art, q.Source, opt, led)
+		} else {
+			res, err = p.eng.DualSSSP(p.art, q.Source, q.LeafLimit, led)
+		}
 		if err != nil {
 			return nil, sentinelErr(err)
 		}
@@ -366,21 +396,39 @@ func (p *PreparedGraph) do(q Query) (*Answer, error) {
 		a.Value, a.Side, a.Edges = res.Value, res.Side, res.CutEdges
 
 	case QGirth:
-		res, err := core.Girth(p.art, led)
+		var res *core.GirthResult
+		var err error
+		if q.Simulated {
+			res, err = core.Girth(p.art, led)
+		} else {
+			res, err = p.eng.Girth(p.art, led)
+		}
 		if err != nil {
 			return nil, sentinelErr(err)
 		}
 		a.Value, a.Edges = res.Weight, res.CycleEdges
 
 	case QDirectedGirth:
-		w, err := core.DirectedGirth(p.art, opt, led)
+		var w int64
+		var err error
+		if q.Simulated {
+			w, err = core.DirectedGirth(p.art, opt, led)
+		} else {
+			w, err = p.eng.DirectedGirth(p.art, opt, led)
+		}
 		if err != nil {
 			return nil, sentinelErr(err)
 		}
 		a.Value = w
 
 	case QGlobalMinCut:
-		res, err := core.GlobalMinCut(p.art, opt, led)
+		var res *core.GlobalCutResult
+		var err error
+		if q.Simulated {
+			res, err = core.GlobalMinCut(p.art, opt, led)
+		} else {
+			res, err = p.eng.GlobalMinCut(p.art, opt, led)
+		}
 		if err != nil {
 			return nil, sentinelErr(err)
 		}

@@ -115,6 +115,7 @@ func TestDoEquivalence(t *testing.T) {
 	})
 	t.Run("PointDistances", func(t *testing.T) {
 		pLegacy, pDo := fresh(g), fresh(g)
+		first := true
 		for u := 0; u < g.N(); u += 7 {
 			for v := 0; v < g.N(); v += 5 {
 				want, err1 := pLegacy.Dist(u, v)
@@ -122,9 +123,18 @@ func TestDoEquivalence(t *testing.T) {
 				if err1 != nil || err2 != nil {
 					t.Fatal(err1, err2)
 				}
-				if a.Value != want || a.Rounds.Total != 0 {
-					t.Fatalf("dist(%d,%d): Do %d (rounds %d), legacy %d", u, v, a.Value, a.Rounds.Total, want)
+				// Point decodes have no per-query rounds; the one query
+				// that triggers the labeling build carries it as Build.
+				if a.Value != want || a.Rounds.Query != 0 {
+					t.Fatalf("dist(%d,%d): Do %d (query rounds %d), legacy %d", u, v, a.Value, a.Rounds.Query, want)
 				}
+				if first && a.Rounds.Build <= 0 {
+					t.Fatalf("triggering dist query Build=%d, want > 0", a.Rounds.Build)
+				}
+				if !first && a.Rounds.Build != 0 {
+					t.Fatalf("warm dist query Build=%d, want 0", a.Rounds.Build)
+				}
+				first = false
 			}
 		}
 		wantD, err1 := pLegacy.DirectedDist(2, 9)
@@ -416,6 +426,7 @@ func TestQueryGoldenJSON(t *testing.T) {
 		{GlobalMinCutQuery(), `{"kind":"globalmincut"}`},
 		{MaxFlowQuery(0, 35).WithLeafLimit(16).WithoutPhases(),
 			`{"kind":"maxflow","v":35,"leaf_limit":16,"no_phases":true}`},
+		{GirthQuery().WithSimulated(), `{"kind":"girth","simulated":true}`},
 	}
 	if kinds := len(QueryKinds); kinds != 11 {
 		t.Fatalf("QueryKinds has %d kinds; update the golden table", kinds)
