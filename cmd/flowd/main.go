@@ -8,9 +8,17 @@
 // Usage:
 //
 //	flowd -addr :8373 -budget-mb 256          # serve until interrupted
+//	flowd -listen-wire :8374                  # also serve the binary wire transport (TCP)
+//	flowd -listen-uds /run/flowd.sock         # also serve the wire transport on a Unix socket
 //	flowd -demo 8 ...                         # preregister demo grids demo0..demoN-1
 //	flowd -snapshot-dir /var/lib/flowd        # disk tier: spill on evict, restore on miss/boot
 //	flowd -selfcheck                          # end-to-end smoke: serve, query, snapshot, restart, exit
+//
+// The wire listeners serve the same daemon over internal/wire's framed
+// binary protocol — persistent connections, pipelined request-id
+// multiplexing, write coalescing — for the high-rate query path; HTTP
+// remains the control/compat plane. Answers are identical on both
+// planes (flowd.WireClient is the matching Go client).
 //
 // With -snapshot-dir, evicted bundles are demoted to disk snapshots
 // instead of discarded, cache misses restore from disk at decode speed
@@ -39,7 +47,9 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8373", "listen address")
+	addr := flag.String("addr", ":8373", "HTTP listen address")
+	wireAddr := flag.String("listen-wire", "", "binary wire-transport TCP listen address ('' = disabled)")
+	wireUDS := flag.String("listen-uds", "", "binary wire-transport Unix-domain-socket path ('' = disabled)")
 	budgetMB := flag.Int64("budget-mb", 256, "artifact memory budget in MiB (0 = unlimited)")
 	maxGraphs := flag.Int("max-graphs", store.DefaultMaxGraphs, "cap on registered graphs (graphs are not evictable; < 0 = unlimited)")
 	demo := flag.Int("demo", 0, "preregister this many demo grid graphs (demo0..demoN-1)")
@@ -103,6 +113,28 @@ func main() {
 	fmt.Printf("flowd: serving on %s (budget %d MiB, %d graphs preregistered)\n",
 		ln.Addr(), *budgetMB, *demo)
 
+	// Wire plane: both listeners (TCP and UDS) feed one wire.Server
+	// sharing the daemon's execution plane and transport counters.
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowd:", err)
+			os.Exit(2)
+		}
+		go srv.Wire().Serve(wln)
+		fmt.Printf("flowd: wire transport on %s\n", wln.Addr())
+	}
+	if *wireUDS != "" {
+		os.Remove(*wireUDS) // stale socket from an unclean prior shutdown
+		uln, err := net.Listen("unix", *wireUDS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowd:", err)
+			os.Exit(2)
+		}
+		go srv.Wire().Serve(uln)
+		fmt.Printf("flowd: wire transport on unix:%s\n", *wireUDS)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	done := make(chan error, 1)
@@ -117,6 +149,9 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shutCtx)
+		if *wireAddr != "" || *wireUDS != "" {
+			srv.Wire().Close()
+		}
 		st.FlushSpills() // let in-flight eviction spills reach disk
 		fmt.Println("flowd: shut down")
 	}
@@ -269,6 +304,55 @@ func runSelfcheck(cfg store.Config, demo int) error {
 		}
 		want[i] = flowd.RestartKey(resp)
 	}
+	// ---- wire transport parity ----
+	// The same warm checks over the binary transport, TCP and UDS: every
+	// family's RestartKey (value, dist vector, cut edges, neg-cycle bit,
+	// iterations, full rounds breakdown) must match the HTTP answer — the
+	// wire plane is transport, not semantics.
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Wire().Serve(wln)
+	udsDir, err := os.MkdirTemp("", "flowd-selfcheck-wire")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(udsDir)
+	udsPath := udsDir + "/wire.sock"
+	uln, err := net.Listen("unix", udsPath)
+	if err != nil {
+		return err
+	}
+	go srv.Wire().Serve(uln)
+	for _, leg := range []struct{ network, target string }{
+		{"tcp", wln.Addr().String()}, {"unix", udsPath},
+	} {
+		wc := flowd.NewWireClient(leg.network, leg.target, flowd.WireOptions{})
+		if err := wc.Ping(ctx); err != nil {
+			wc.Close()
+			return fmt.Errorf("wire %s ping: %w", leg.network, err)
+		}
+		cw := c.WithWireTransport(wc)
+		for i, q := range checks {
+			resp, err := cw.Query(ctx, q)
+			if err != nil {
+				wc.Close()
+				return fmt.Errorf("wire %s %s: %w", leg.network, q.Op, err)
+			}
+			if got := flowd.RestartKey(resp); got != want[i] {
+				wc.Close()
+				return fmt.Errorf("wire %s %s diverged from http:\n  got  %s\n  want %s",
+					leg.network, q.Op, got, want[i])
+			}
+		}
+		wc.Close()
+	}
+	ws := srv.Wire().Stats()
+	fmt.Printf("wire: %d families bit-identical over tcp+unix (frames in=%d out=%d, bytes in=%d out=%d)\n",
+		len(checks), ws.FramesIn, ws.FramesOut, ws.BytesIn, ws.BytesOut)
+	srv.Wire().Close()
+
 	snap, err := c.Snapshot(ctx, "")
 	if err != nil {
 		return err

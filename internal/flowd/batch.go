@@ -10,6 +10,7 @@ package flowd
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -121,24 +122,34 @@ func DecodeBatch(data []byte) (*BatchRequest, error) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	data, err := readBody(w, r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	req, err := DecodeBatch(data)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	resp, err := s.runBatch(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
 
+// runBatch executes one decoded batch against the store — the execution
+// shared by POST /v1/batch and the wire transport's OpBatch frames, so
+// the two planes cannot drift.
+func (s *Server) runBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
 	begin := time.Now()
 	queries := make([]planarflow.Query, len(req.Queries))
 	for i := range req.Queries {
 		queries[i] = req.Queries[i].Query()
 	}
-	answers, hit, err := s.st.DoBatch(r.Context(), req.Graph, queries, planarflow.BatchOptions{Workers: req.Workers})
+	answers, hit, err := s.st.DoBatch(ctx, req.Graph, queries, planarflow.BatchOptions{Workers: req.Workers})
 	if err != nil {
-		writeError(w, err)
-		return
+		return nil, err
 	}
 
 	resp := &BatchResponse{Graph: req.Graph, Hit: hit, Results: make([]BatchResult, len(answers))}
@@ -163,5 +174,5 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = res
 	}
 	resp.WallMS = float64(time.Since(begin).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }

@@ -11,21 +11,47 @@ import (
 	"planarflow/internal/store"
 )
 
-// Client is the Go client for a flowd daemon. The zero http.Client is
-// used unless WithHTTPClient replaces it; all methods honor ctx.
+// ClientMaxIdleConnsPerHost sizes NewClient's connection pool. The
+// stdlib default (http.DefaultMaxIdleConnsPerHost = 2) closes all but
+// two keep-alive connections to the daemon, so a benchmark driving C=8+
+// concurrent clients re-handshakes on most requests; this floor keeps
+// every benchmark-scale worker on a persistent connection.
+const ClientMaxIdleConnsPerHost = 64
+
+// Client is the Go client for a flowd daemon's HTTP plane. NewClient
+// installs a transport with keep-alive pooling sized for benchmark
+// concurrency (see ClientMaxIdleConnsPerHost); WithHTTPClient replaces
+// it wholesale. All methods honor ctx. For the high-rate query path over
+// the binary transport, pair with a WireClient via WithWireTransport.
 type Client struct {
 	base string
 	hc   *http.Client
+	wc   *WireClient // nil: Query/QueryBatch go over HTTP
 }
 
 // NewClient targets a daemon at base (e.g. "http://127.0.0.1:8373").
 func NewClient(base string) *Client {
-	return &Client{base: base, hc: &http.Client{}}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = ClientMaxIdleConnsPerHost
+	if tr.MaxIdleConns < ClientMaxIdleConnsPerHost {
+		tr.MaxIdleConns = ClientMaxIdleConnsPerHost
+	}
+	return &Client{base: base, hc: &http.Client{Transport: tr}}
 }
 
 // WithHTTPClient substitutes the transport (tests, timeouts, pooling).
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
-	return &Client{base: c.base, hc: hc}
+	return &Client{base: c.base, hc: hc, wc: c.wc}
+}
+
+// WithWireTransport routes Query and QueryBatch over the binary wire
+// transport while every control-plane method (Register, Graphs,
+// Snapshot, Stats, Health) stays on HTTP. Answers are identical either
+// way — the wire plane shares the daemon's decoders and execution (the
+// differential tests pin byte-identity) — only the transport cost
+// changes. The caller owns wc's lifecycle (Close it when done).
+func (c *Client) WithWireTransport(wc *WireClient) *Client {
+	return &Client{base: c.base, hc: c.hc, wc: wc}
 }
 
 // do runs one JSON round trip. A non-2xx response is decoded as the
@@ -100,8 +126,11 @@ func (c *Client) Graphs(ctx context.Context) ([]store.GraphStats, error) {
 	return out, nil
 }
 
-// Query runs one query.
+// Query runs one query, over the wire transport when one is attached.
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if c.wc != nil {
+		return c.wc.Query(ctx, req)
+	}
 	var out QueryResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &out); err != nil {
 		return nil, err
@@ -114,6 +143,9 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 // index-aligned Results entries (Error set); the call itself fails only
 // for batch-level problems (bad request, unknown graph, cancellation).
 func (c *Client) QueryBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	if c.wc != nil {
+		return c.wc.QueryBatch(ctx, req)
+	}
 	var out BatchResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
 		return nil, err

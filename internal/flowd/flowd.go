@@ -33,10 +33,12 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"planarflow"
 	"planarflow/internal/store"
+	"planarflow/internal/wire"
 )
 
 // maxBodyBytes caps request bodies: specs and queries are tiny; anything
@@ -172,6 +174,15 @@ type StatsResponse struct {
 	HitRate  float64                `json:"hit_rate"`
 	UptimeMS float64                `json:"uptime_ms"`
 	Families map[string]FamilyStats `json:"families,omitempty"`
+	// WriteErrors counts HTTP responses whose JSON encoding failed midway
+	// (a client that hung up while the body was streaming): the response
+	// on the wire was truncated, and this is where that becomes visible.
+	WriteErrors int64 `json:"write_errors"`
+	// Transport is the binary wire plane's counters (connections, frames,
+	// bytes, write coalescing, batch folding), present once the daemon has
+	// a wire listener attached. The fleet work reads these to see whether
+	// replicas are wire-bound or engine-bound.
+	Transport *wire.Stats `json:"transport,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -220,7 +231,9 @@ func DecodeQuery(data []byte) (*QueryRequest, error) {
 	return &req, nil
 }
 
-// Server is the HTTP handler over one store.
+// Server is the HTTP handler over one store, and (via Wire) the handler
+// behind the binary wire transport — both planes execute through the
+// same store.Do/DoBatch calls and the same per-family counters.
 type Server struct {
 	st    *store.Store
 	mux   *http.ServeMux
@@ -228,6 +241,13 @@ type Server struct {
 
 	famMu sync.Mutex
 	fam   map[string]*FamilyStats
+
+	// writeErrs counts writeJSON encode failures (half-written HTTP
+	// responses), exported on /statsz.
+	writeErrs atomic.Int64
+
+	wireMu  sync.Mutex
+	wireSrv *wire.Server
 }
 
 // NewServer wraps st in the daemon's HTTP surface.
@@ -240,7 +260,7 @@ func NewServer(st *store.Store) *Server {
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
 }
@@ -282,14 +302,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // directly when it runs the server in-process).
 func (s *Server) Store() *store.Store { return s.st }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one JSON response. An Encode failure here means the
+// response left half-written (the status line is already gone, so the
+// client sees a truncated body, not an error) — it cannot be repaired,
+// but it must not be silent either: the daemon counts it and /statsz
+// exposes the count as write_errors.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.writeErrs.Add(1)
+	}
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 }
 
 // statusOf maps the library's sentinel errors to HTTP statuses: unknown
@@ -338,23 +365,23 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	data, err := readBody(w, r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	var req RegisterRequest
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad register: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad register: " + err.Error()})
 		return
 	}
 	if req.ID == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad register: missing id"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad register: missing id"})
 		return
 	}
 	gr, err := s.st.RegisterSpec(req.ID, req.Spec)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	resp := RegisterResponse{ID: req.ID, N: gr.N(), M: gr.M(), Faces: gr.NumFaces()}
@@ -364,12 +391,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// by a dropped connection — the next query resumes the build.
 	if warm := r.URL.Query().Get("warm"); warm == "1" || warm == "true" {
 		if err := s.st.Warm(r.Context(), req.ID); err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		resp.Warmed = true
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSnapshot persists resident bundles to the store's disk tier.
@@ -378,14 +405,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	data, err := readBody(w, r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	var req SnapshotRequest
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad snapshot request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad snapshot request: " + err.Error()})
 		return
 	}
 	var ids []string
@@ -394,43 +421,45 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	written, err := s.st.SnapshotResident(ids...)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SnapshotResponse{Written: written})
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{Written: written})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.st.Snapshot().PerGraph)
+	s.writeJSON(w, http.StatusOK, s.st.Snapshot().PerGraph)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.st.Snapshot()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Store:    snap,
-		HitRate:  snap.HitRate(),
-		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
-		Families: s.familySnapshot(),
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Store:       snap,
+		HitRate:     snap.HitRate(),
+		UptimeMS:    float64(time.Since(s.start).Microseconds()) / 1000,
+		Families:    s.familySnapshot(),
+		WriteErrors: s.writeErrs.Load(),
+		Transport:   s.wireStats(),
 	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	data, err := readBody(w, r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	req, err := DecodeQuery(data)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	resp, err := s.runQuery(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func roundsOf(r planarflow.Rounds) Rounds {

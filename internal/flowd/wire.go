@@ -1,0 +1,461 @@
+package flowd
+
+// The binary wire plane: the same daemon served over internal/wire's
+// framed transport instead of HTTP. The frame payloads ARE the HTTP
+// JSON bodies — OpQuery carries a QueryRequest and returns a
+// QueryResponse, OpBatch a BatchRequest/BatchResponse — decoded by the
+// same strict decoders and executed by the same runQuery/runBatch, so a
+// wire answer is byte-identical to the HTTP answer for the same request
+// (the differential tests pin that). What changes is purely transport:
+// persistent connections, many in-flight requests per connection
+// multiplexed by request id, and write coalescing on both directions.
+//
+// HTTP stays the control/compat plane (register, snapshot, statsz); the
+// wire plane carries the high-rate query traffic. WireClient is the
+// matching client: a connection pool with true pipelining and an opt-in
+// micro-coalescer that folds concurrent singleton queries into OpBatch
+// frames.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"planarflow/internal/wire"
+)
+
+// encodeBody marshals v exactly as the HTTP plane does (json.Encoder
+// appends a newline), so wire payloads and HTTP bodies are
+// byte-identical for the same value.
+func encodeBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// errBody is the uniform error payload, the wire twin of writeError.
+func errBody(msg string) []byte {
+	b, _ := encodeBody(errorResponse{Error: msg}) // errorResponse always marshals
+	return b
+}
+
+// wireStatusOf projects the library's sentinel errors onto wire
+// statuses through the same classification statusOf uses for HTTP, so
+// the two planes cannot disagree about an error's class. The full
+// mapping table (HTTP status ↔ wire status ↔ sentinel) is in DESIGN.md.
+func wireStatusOf(err error) wire.Status {
+	switch statusOf(err) {
+	case http.StatusNotFound:
+		return wire.StatusNotFound
+	case http.StatusConflict:
+		return wire.StatusConflict
+	case http.StatusTooManyRequests:
+		return wire.StatusOverload
+	case http.StatusBadRequest:
+		return wire.StatusBadRequest
+	case 499:
+		return wire.StatusCanceled
+	case http.StatusGatewayTimeout:
+		return wire.StatusTimeout
+	default:
+		return wire.StatusInternal
+	}
+}
+
+// Wire returns the daemon's binary-transport server, creating it on
+// first use. Serve it on any listener (cmd/flowd wires -listen-wire and
+// -listen-uds here); all listeners share one server, one set of
+// transport counters, and this daemon's execution plane.
+func (s *Server) Wire() *wire.Server {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	if s.wireSrv == nil {
+		s.wireSrv = wire.NewServer(s)
+	}
+	return s.wireSrv
+}
+
+// wireStats snapshots the wire plane's counters for /statsz, nil when
+// no wire server was ever attached.
+func (s *Server) wireStats() *wire.Stats {
+	s.wireMu.Lock()
+	srv := s.wireSrv
+	s.wireMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	st := srv.Stats()
+	return &st
+}
+
+// ServeFrame implements wire.Handler: one request frame in, one
+// response frame out, the payloads exactly the HTTP plane's JSON
+// bodies.
+func (s *Server) ServeFrame(ctx context.Context, op wire.Op, payload []byte) (wire.Status, []byte) {
+	switch op {
+	case wire.OpPing:
+		b, _ := encodeBody(map[string]string{"status": "ok"})
+		return wire.StatusOK, b
+	case wire.OpQuery:
+		req, err := DecodeQuery(payload)
+		if err != nil {
+			return wire.StatusBadRequest, errBody(err.Error())
+		}
+		resp, err := s.runQuery(ctx, req)
+		if err != nil {
+			return wireStatusOf(err), errBody(err.Error())
+		}
+		return s.okBody(resp)
+	case wire.OpBatch:
+		req, err := DecodeBatch(payload)
+		if err != nil {
+			return wire.StatusBadRequest, errBody(err.Error())
+		}
+		// The transport-level fold count: how many queries arrived per
+		// batch frame (the client-side coalescer reports the same shape
+		// from its end).
+		s.Wire().Counters().AddCoalesced(len(req.Queries))
+		resp, err := s.runBatch(ctx, req)
+		if err != nil {
+			return wireStatusOf(err), errBody(err.Error())
+		}
+		return s.okBody(resp)
+	case wire.OpQueryB:
+		req, err := decodeWireQueryRequest(payload)
+		if err != nil {
+			return wire.StatusBadRequest, errBody(err.Error())
+		}
+		resp, err := s.runQuery(ctx, req)
+		if err != nil {
+			return wireStatusOf(err), errBody(err.Error())
+		}
+		return wire.StatusOK, appendWireQueryResponse(make([]byte, 0, 96+8*len(resp.Dist)+8*len(resp.CutEdges)), resp)
+	case wire.OpBatchB:
+		req, err := decodeWireBatchRequest(payload)
+		if err != nil {
+			return wire.StatusBadRequest, errBody(err.Error())
+		}
+		s.Wire().Counters().AddCoalesced(len(req.Queries))
+		resp, err := s.runBatch(ctx, req)
+		if err != nil {
+			return wireStatusOf(err), errBody(err.Error())
+		}
+		return wire.StatusOK, appendWireBatchResponse(make([]byte, 0, 32+96*len(resp.Results)), resp)
+	default:
+		return wire.StatusBadRequest, errBody(fmt.Sprintf("flowd: unknown wire op %d", op))
+	}
+}
+
+// okBody encodes a success payload; an encode failure (cannot happen
+// for the response types, but the transport must stay total) degrades
+// to an internal error so the requester is never left hanging.
+func (s *Server) okBody(v any) (wire.Status, []byte) {
+	b, err := encodeBody(v)
+	if err != nil {
+		return wire.StatusInternal, errBody("flowd: encoding response: " + err.Error())
+	}
+	return wire.StatusOK, b
+}
+
+// StatusError is a daemon-reported failure over the wire transport: the
+// wire status plus the error body's message. errors.Is maps the
+// cancellation statuses back onto the context sentinels, so callers
+// handle "server observed my cancellation" and "my own ctx fired" the
+// same way they do over HTTP.
+type StatusError struct {
+	Status wire.Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("flowd wire: status %s: %s", e.Status, e.Msg)
+}
+
+// Is matches the context sentinels for the cancellation statuses.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case context.Canceled:
+		return e.Status == wire.StatusCanceled
+	case context.DeadlineExceeded:
+		return e.Status == wire.StatusTimeout
+	}
+	return false
+}
+
+// wireErr decodes an error frame into a StatusError.
+func wireErr(status wire.Status, body []byte) error {
+	var e errorResponse
+	if json.Unmarshal(body, &e) != nil || e.Error == "" {
+		e.Error = fmt.Sprintf("(%d-byte undecodable error body)", len(body))
+	}
+	return &StatusError{Status: status, Msg: e.Error}
+}
+
+// WireOptions configures a WireClient.
+type WireOptions struct {
+	// PoolSize is the connection count (<= 0 = wire.DefaultPoolSize).
+	// Requests pipeline freely within each connection, so the pool sizes
+	// for server-side parallelism, not for concurrent callers.
+	PoolSize int
+	// Coalesce enables the micro-coalescer: concurrent singleton Query
+	// calls against the same graph are folded into one OpBatch frame
+	// (execution via the store's batch plane — answers are bit-identical
+	// to the singleton route by the query plane's own differential
+	// tests). Queries keep per-call contexts: a canceled caller stops
+	// waiting while the folded frame completes for the rest.
+	Coalesce bool
+	// CoalesceMax caps queries per folded frame (<= 0 = 64; never more
+	// than MaxBatchQueries).
+	CoalesceMax int
+}
+
+// WireClient is the Go client for the daemon's binary transport: a
+// connection pool with true pipelining — any number of concurrent
+// Query/QueryBatch calls share the pool's connections, each call
+// waiting only on its own request id. Control-plane operations
+// (register, stats, snapshot) stay on the HTTP Client; pair the two
+// with Client.WithWireTransport.
+type WireClient struct {
+	pool *wire.Pool
+	co   *coalescer
+}
+
+// NewWireClient targets a wire listener ("tcp" host:port, or "unix"
+// socket path).
+func NewWireClient(network, addr string, opt WireOptions) *WireClient {
+	c := &WireClient{pool: wire.NewPool(network, addr, opt.PoolSize)}
+	if opt.Coalesce {
+		max := opt.CoalesceMax
+		if max <= 0 {
+			max = 64
+		}
+		if max > MaxBatchQueries {
+			max = MaxBatchQueries
+		}
+		c.co = newCoalescer(c, max)
+		c.co.start()
+	}
+	return c
+}
+
+// TransportStats snapshots the client's transport counters (frames,
+// bytes, flush coalescing, fold sizes).
+func (c *WireClient) TransportStats() wire.Stats { return c.pool.Stats() }
+
+// Ping verifies the transport end to end.
+func (c *WireClient) Ping(ctx context.Context) error { return c.pool.Ping(ctx) }
+
+// Close releases the connections; in-flight requests fail with
+// wire.ErrConnClosed.
+func (c *WireClient) Close() error {
+	if c.co != nil {
+		c.co.stop()
+	}
+	return c.pool.Close()
+}
+
+// Query runs one query over the wire. With coalescing enabled the call
+// may travel inside a folded OpBatch frame; either way the answer is
+// the daemon's QueryResponse for exactly this request.
+func (c *WireClient) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if c.co != nil {
+		return c.co.query(ctx, req)
+	}
+	return c.query(ctx, req)
+}
+
+// query is the direct (uncoalesced) singleton path, on the binary
+// payload codec.
+func (c *WireClient) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	payload := appendWireQueryRequest(make([]byte, 0, 64), &req)
+	status, body, err := c.pool.Do(ctx, wire.OpQueryB, payload)
+	if err != nil {
+		return nil, fmt.Errorf("flowd wire: query: %w", err)
+	}
+	if status != wire.StatusOK {
+		return nil, wireErr(status, body)
+	}
+	out, err := decodeWireQueryResponse(body)
+	if err != nil {
+		return nil, fmt.Errorf("flowd wire: decode: %w", err)
+	}
+	return out, nil
+}
+
+// QueryBatch runs one explicit batch over the wire, with the HTTP batch
+// endpoint's semantics (per-entry error isolation), on the binary
+// payload codec.
+func (c *WireClient) QueryBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	payload := appendWireBatchRequest(make([]byte, 0, 32+56*len(req.Queries)), &req)
+	status, body, err := c.pool.Do(ctx, wire.OpBatchB, payload)
+	if err != nil {
+		return nil, fmt.Errorf("flowd wire: batch: %w", err)
+	}
+	if status != wire.StatusOK {
+		return nil, wireErr(status, body)
+	}
+	out, err := decodeWireBatchResponse(body)
+	if err != nil {
+		return nil, fmt.Errorf("flowd wire: decode: %w", err)
+	}
+	return out, nil
+}
+
+// ---- micro-coalescer ----
+
+// coalItem is one waiting singleton query.
+type coalItem struct {
+	ctx  context.Context
+	req  QueryRequest
+	done chan coalResult // cap 1
+}
+
+type coalResult struct {
+	resp *QueryResponse
+	err  error
+}
+
+// coalescer folds concurrent singleton queries into OpBatch frames: a
+// dispatcher drains everything queued at the moment it wakes, groups by
+// graph id, and ships each group of two-or-more as one batch frame (a
+// group of one goes out as a plain query frame — the fold never adds a
+// round trip). Under sequential load every query is a group of one and
+// the coalescer is a no-op; under concurrent load the fold divides the
+// frame count by the burst size.
+type coalescer struct {
+	c      *WireClient
+	max    int
+	ch     chan *coalItem
+	stopCh chan struct{}
+}
+
+func newCoalescer(c *WireClient, max int) *coalescer {
+	return &coalescer{c: c, max: max, ch: make(chan *coalItem, 4*MaxBatchQueries), stopCh: make(chan struct{})}
+}
+
+func (co *coalescer) start() { go co.run() }
+
+func (co *coalescer) stop() { close(co.stopCh) }
+
+// query submits one singleton through the fold and waits for its
+// result, honoring only this caller's ctx.
+func (co *coalescer) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	item := &coalItem{ctx: ctx, req: req, done: make(chan coalResult, 1)}
+	select {
+	case co.ch <- item:
+	case <-co.stopCh:
+		return co.c.query(ctx, req) // stopped: degrade to the direct path
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-item.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (co *coalescer) run() {
+	for {
+		var first *coalItem
+		select {
+		case first = <-co.ch:
+		case <-co.stopCh:
+			co.failPending()
+			return
+		}
+		batch := []*coalItem{first}
+		yielded := false
+		for len(batch) < co.max {
+			select {
+			case it := <-co.ch:
+				batch = append(batch, it)
+				yielded = false
+				continue
+			default:
+			}
+			// Empty right after an item usually means the concurrent senders
+			// haven't been scheduled yet, not that the burst is over (a send
+			// into ch readies this goroutine immediately). One yield lets
+			// them land; a queue still empty after that is a real lull.
+			if yielded {
+				break
+			}
+			runtime.Gosched()
+			yielded = true
+		}
+		for graph, items := range groupByGraph(batch) {
+			go co.flush(graph, items)
+		}
+	}
+}
+
+// failPending drains queued items after stop; their waiters fall back
+// to the pool, which reports ErrPoolClosed once Close lands.
+func (co *coalescer) failPending() {
+	for {
+		select {
+		case it := <-co.ch:
+			resp, err := co.c.query(it.ctx, it.req)
+			it.done <- coalResult{resp: resp, err: err}
+		default:
+			return
+		}
+	}
+}
+
+func groupByGraph(items []*coalItem) map[string][]*coalItem {
+	groups := make(map[string][]*coalItem, 1)
+	for _, it := range items {
+		groups[it.req.Graph] = append(groups[it.req.Graph], it)
+	}
+	return groups
+}
+
+// flush ships one graph's fold. Two or more items become an OpBatch
+// frame whose per-entry results are translated back into
+// QueryResponses; the frame's context outlives any single caller (a
+// canceled caller stops waiting, the frame completes for the rest).
+func (co *coalescer) flush(graph string, items []*coalItem) {
+	if len(items) == 1 {
+		it := items[0]
+		resp, err := co.c.query(it.ctx, it.req)
+		it.done <- coalResult{resp: resp, err: err}
+		return
+	}
+	co.c.pool.Counters().AddCoalesced(len(items))
+	breq := BatchRequest{Graph: graph, Queries: make([]BatchQuery, len(items))}
+	for i, it := range items {
+		breq.Queries[i] = BatchQuery{
+			Op: it.req.Op, U: it.req.U, V: it.req.V,
+			Source: it.req.Source, Eps: it.req.Eps, Simulated: it.req.Simulated,
+		}
+	}
+	bresp, err := co.c.QueryBatch(context.WithoutCancel(items[0].ctx), breq)
+	if err != nil {
+		for _, it := range items {
+			it.done <- coalResult{err: err}
+		}
+		return
+	}
+	for i, it := range items {
+		r := bresp.Results[i]
+		if r.Error != "" {
+			// Entry-level failures cross the batch plane as strings (as on
+			// HTTP), so the status class is not recoverable here.
+			it.done <- coalResult{err: fmt.Errorf("flowd wire: coalesced query: %s", r.Error)}
+			continue
+		}
+		it.done <- coalResult{resp: &QueryResponse{
+			Graph: graph, Op: r.Op,
+			Value: r.Value, Dist: r.Dist, CutEdges: r.CutEdges,
+			NegCycle: r.NegCycle, Iterations: r.Iterations,
+			Hit: bresp.Hit, Rounds: r.Rounds, WallMS: bresp.WallMS,
+		}}
+	}
+}

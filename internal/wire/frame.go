@@ -1,0 +1,272 @@
+// Package wire is flowd's binary transport: a length-prefixed,
+// CRC-checked framing protocol carried over persistent TCP or
+// Unix-domain-socket connections, with out-of-order response
+// multiplexing by request id. It exists to close the gap between the
+// decode engine (~µs per warm query) and the HTTP/JSON serving path
+// (~100µs per round trip): one connection carries many in-flight
+// requests, responses return in completion order, and both directions
+// coalesce writes at batch boundaries so a pipelined client pays one
+// syscall for many frames.
+//
+// The protocol is pure transport — the JSON ops carry exactly the JSON
+// bodies of the corresponding HTTP endpoints (shared strict decoders),
+// and the binary ops (OpQueryB/OpBatchB) carry the same request and
+// response structs through internal/flowd's hand-written codec, pinned
+// bit-identical to the HTTP route by differential tests. Framing and
+// encoding cost, not semantics, are what this package buys.
+//
+// Frame layout (integers little-endian, CRC32-IEEE over the payload,
+// mirroring the PFSNAP snapshot codec's checksum discipline):
+//
+//	offset size field
+//	0      2    magic "PW"
+//	2      1    version (1)
+//	3      1    kind: request Op, or 0x80|Status for responses
+//	4      8    request id (echoed verbatim in the response frame)
+//	12     4    payload length (<= MaxPayload)
+//	16     n    payload
+//	16+n   4    CRC32(payload)
+//
+// Every decode failure is a typed sentinel (ErrBadMagic, ErrVersion,
+// ErrBadKind, ErrOversize, ErrTruncated, ErrChecksum); decoding never
+// panics and never allocates more than the input in hand justifies —
+// the fuzz harness holds it to that.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the current protocol version. Peers reject anything else:
+// the protocol has no negotiation — a version bump is a fleet upgrade.
+const Version = 1
+
+// HeaderLen is the fixed frame header size preceding the payload.
+const HeaderLen = 16
+
+// crcLen trails every payload.
+const crcLen = 4
+
+// MaxPayload caps one frame's payload, matching the HTTP plane's body
+// cap: queries and answers are small, and a length prefix read off an
+// untrusted connection must never size an unbounded allocation.
+const MaxPayload = 1 << 20
+
+var frameMagic = [2]byte{'P', 'W'}
+
+// Op is a request frame's operation.
+type Op uint8
+
+const (
+	// OpQuery carries a flowd QueryRequest JSON body (POST /v1/query).
+	OpQuery Op = 1
+	// OpBatch carries a flowd BatchRequest JSON body (POST /v1/batch).
+	OpBatch Op = 2
+	// OpPing is the liveness probe (GET /healthz); its payload is empty.
+	OpPing Op = 3
+	// OpQueryB is OpQuery with the compact binary payload codec
+	// (internal/flowd's wirecodec) instead of JSON — same request, same
+	// answer, a fraction of the encode/decode cost. Error responses
+	// (status != OK) carry the JSON error body on every op.
+	OpQueryB Op = 4
+	// OpBatchB is OpBatch with the binary payload codec.
+	OpBatchB Op = 5
+
+	maxOp = 5
+)
+
+// Status is a response frame's outcome, the wire projection of the HTTP
+// status the same request would have drawn (the mapping table lives in
+// DESIGN.md and statusOf/wireStatusOf in internal/flowd).
+type Status uint8
+
+const (
+	StatusOK         Status = 0
+	StatusBadRequest Status = 1 // 400
+	StatusNotFound   Status = 2 // 404
+	StatusConflict   Status = 3 // 409
+	StatusOverload   Status = 4 // 429
+	StatusCanceled   Status = 5 // 499
+	StatusTimeout    Status = 6 // 504
+	StatusInternal   Status = 7 // 500
+
+	maxStatus = 7
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusNotFound:
+		return "not-found"
+	case StatusConflict:
+		return "conflict"
+	case StatusOverload:
+		return "overload"
+	case StatusCanceled:
+		return "canceled"
+	case StatusTimeout:
+		return "timeout"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status-%d", uint8(s))
+}
+
+// respBit marks the kind byte of response frames.
+const respBit = 0x80
+
+// Typed sentinel errors. Every frame decode failure wraps exactly one.
+var (
+	// ErrBadMagic reports bytes that are not a wire frame at all.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion reports a protocol version this build does not speak.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrBadKind reports an unknown op or status byte.
+	ErrBadKind = errors.New("wire: unknown frame kind")
+	// ErrOversize reports a length prefix exceeding MaxPayload.
+	ErrOversize = errors.New("wire: frame payload exceeds cap")
+	// ErrTruncated reports input that ends before the declared frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrChecksum reports a payload whose CRC does not match.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+)
+
+// Frame is one decoded frame. Kind is a request Op for request frames
+// and respBit|Status for response frames.
+type Frame struct {
+	Kind    uint8
+	ID      uint64
+	Payload []byte
+}
+
+// IsResponse reports whether the frame travels server→client.
+func (f *Frame) IsResponse() bool { return f.Kind&respBit != 0 }
+
+// Op returns the request operation (meaningful when !IsResponse).
+func (f *Frame) Op() Op { return Op(f.Kind) }
+
+// Status returns the response status (meaningful when IsResponse).
+func (f *Frame) Status() Status { return Status(f.Kind &^ respBit) }
+
+// validKind accepts known request ops and known response statuses.
+func validKind(kind uint8) bool {
+	if kind&respBit != 0 {
+		return kind&^respBit <= maxStatus
+	}
+	return kind >= 1 && kind <= maxOp
+}
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice. It fails only for payloads over MaxPayload.
+func AppendFrame(dst []byte, kind uint8, id uint64, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d > %d", ErrOversize, len(payload), MaxPayload)
+	}
+	var hdr [HeaderLen]byte
+	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
+	hdr[2] = Version
+	hdr[3] = kind
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var crc [crcLen]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	return append(dst, crc[:]...), nil
+}
+
+// checkHeader validates the fixed 16-byte header and returns the
+// declared payload length.
+func checkHeader(hdr []byte) (int, error) {
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return 0, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, fmt.Errorf("%w: %d (speak %d)", ErrVersion, hdr[2], Version)
+	}
+	if !validKind(hdr[3]) {
+		return 0, fmt.Errorf("%w: 0x%02x", ErrBadKind, hdr[3])
+	}
+	n := binary.LittleEndian.Uint32(hdr[12:16])
+	if n > MaxPayload {
+		return 0, fmt.Errorf("%w: %d > %d", ErrOversize, n, MaxPayload)
+	}
+	return int(n), nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b — it
+// is a view, not a copy — so decoding allocates nothing and is bounded
+// by the bytes already in hand: the declared length is checked against
+// both MaxPayload and the remaining input before anything is touched.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderLen {
+		return Frame{}, 0, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), HeaderLen)
+	}
+	n, err := checkHeader(b[:HeaderLen])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	total := HeaderLen + n + crcLen
+	if len(b) < total {
+		return Frame{}, 0, fmt.Errorf("%w: frame declares %d bytes, %d remain", ErrTruncated, total, len(b))
+	}
+	payload := b[HeaderLen : HeaderLen+n]
+	if binary.LittleEndian.Uint32(b[HeaderLen+n:total]) != crc32.ChecksumIEEE(payload) {
+		return Frame{}, 0, ErrChecksum
+	}
+	return Frame{
+		Kind:    b[3],
+		ID:      binary.LittleEndian.Uint64(b[4:12]),
+		Payload: payload,
+	}, total, nil
+}
+
+// ReadFrame reads one frame off a connection's buffered reader. The
+// payload is freshly allocated (the stream buffer is reused underneath),
+// sized by the validated length prefix — never more than MaxPayload.
+// io.EOF surfaces untouched when the stream ends cleanly between frames;
+// an EOF inside a frame is ErrTruncated.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return Frame{}, err // clean EOF between frames
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return Frame{}, truncated(err)
+	}
+	n, err := checkHeader(hdr[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	body := make([]byte, n+crcLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return Frame{}, truncated(err)
+	}
+	payload := body[:n]
+	if binary.LittleEndian.Uint32(body[n:]) != crc32.ChecksumIEEE(payload) {
+		return Frame{}, ErrChecksum
+	}
+	return Frame{
+		Kind:    hdr[3],
+		ID:      binary.LittleEndian.Uint64(hdr[4:12]),
+		Payload: payload,
+	}, nil
+}
+
+// truncated maps a mid-frame EOF to the sentinel; other I/O errors
+// (closed connections, resets) pass through for the caller to classify.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}

@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+)
+
+// maxConnWorkers bounds how many handler goroutines one connection may
+// have in flight. A pipelined client controls its own window; this cap
+// is the server-side backstop — past it the reader loop stops pulling
+// frames and TCP backpressure does the rest.
+const maxConnWorkers = 128
+
+// respChanCap sizes each connection's response queue. Responses are
+// produced by at most maxConnWorkers handlers, so the writer goroutine
+// can never deadlock against a full queue.
+const respChanCap = maxConnWorkers + 8
+
+// Handler executes one request frame's payload and returns the response
+// status and payload. The wire server is transport only: it never looks
+// inside payloads, so a Handler carries all the semantics (flowd's
+// Server implements it over the JSON bodies the HTTP plane uses).
+//
+// ctx is canceled when the connection drops or the server shuts down,
+// letting in-flight queries abandon substrate builds at their usual
+// checkpoints.
+type Handler interface {
+	ServeFrame(ctx context.Context, op Op, payload []byte) (Status, []byte)
+}
+
+// Server serves the framed protocol over any set of listeners (TCP and
+// Unix-domain sockets in flowd). One reader goroutine per connection
+// feeds handler goroutines; responses multiplex back over a per-conn
+// writer that coalesces frames between flushes, so out-of-order
+// completion is the normal case, matched by request id.
+type Server struct {
+	h   Handler
+	ctr Counters
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps h in a frame server.
+func NewServer(h Handler) *Server {
+	return &Server{h: h, lns: make(map[net.Listener]struct{}), conns: make(map[net.Conn]struct{})}
+}
+
+// Stats snapshots the server's transport counters.
+func (s *Server) Stats() Stats { return s.ctr.Snapshot() }
+
+// Counters exposes the live counters (flowd adds coalesced-batch sizes
+// observed while decoding OpBatch frames).
+func (s *Server) Counters() *Counters { return &s.ctr }
+
+// ErrServerClosed is returned by Serve after Close, mirroring
+// http.ErrServerClosed so callers can treat shutdown as clean.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// Serve accepts connections on ln until Close (or a listener error) and
+// blocks for as long as it serves. One Server may serve any number of
+// listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.ctr.connsTotal.Add(1)
+		s.ctr.connsOpen.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Close shuts the server down: listeners and connections close, in-flight
+// handler contexts cancel, and Close returns once every connection
+// goroutine has drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// outFrame is one response queued for a connection's writer.
+type outFrame struct {
+	kind    uint8
+	id      uint64
+	payload []byte
+}
+
+// serveConn runs one connection: a reader loop dispatching handler
+// goroutines (bounded by maxConnWorkers) and a writer goroutine
+// multiplexing their responses back in completion order.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan outFrame, respChanCap)
+	writerDone := make(chan struct{})
+	go s.connWriter(nc, out, writerDone)
+
+	var handlers sync.WaitGroup
+	sem := make(chan struct{}, maxConnWorkers)
+	br := bufio.NewReaderSize(nc, 1<<16)
+	var readErr error
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if f.IsResponse() {
+			readErr = fmt.Errorf("%w: response frame 0x%02x on the request direction", ErrBadKind, f.Kind)
+			break
+		}
+		s.ctr.noteFrameIn(len(f.Payload))
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(f Frame) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			status, payload := s.h.ServeFrame(ctx, f.Op(), f.Payload)
+			// The writer drains out until every handler is done, so this
+			// send cannot block forever even if the conn is already dead.
+			out <- outFrame{kind: respBit | uint8(status), id: f.ID, payload: payload}
+		}(f)
+	}
+
+	// A protocol violation poisons the connection: frame boundaries are
+	// untrustworthy after it, so drop the conn rather than resync.
+	cancel()
+	nc.Close() // unblocks nothing here, but stops the writer's net writes cleanly
+	handlers.Wait()
+	close(out)
+	<-writerDone
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.ctr.connsOpen.Add(-1)
+	_ = readErr // clean EOF and peer resets end the conn the same way
+}
+
+// connWriter multiplexes response frames onto the connection. Frames are
+// appended to one buffered writer and flushed only when the queue goes
+// idle (or the buffer fills), so a burst of pipelined completions —
+// e.g. a decode-engine batch finishing in microseconds — leaves in one
+// syscall instead of one per response.
+func (s *Server) connWriter(nc net.Conn, out <-chan outFrame, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(nc, 1<<16)
+	var scratch []byte
+	dead := false
+	for f := range out {
+		for {
+			if !dead {
+				scratch = scratch[:0]
+				b, err := AppendFrame(scratch, f.kind, f.id, f.payload)
+				if err != nil {
+					// Handler payload over MaxPayload: report it in-band so the
+					// client is not left waiting on the id.
+					b, _ = AppendFrame(scratch, respBit|uint8(StatusInternal), f.id, nil)
+				}
+				scratch = b
+				if _, werr := bw.Write(b); werr != nil {
+					dead = true // keep draining so handlers never block
+				} else {
+					s.ctr.noteFrameOut(len(f.payload))
+				}
+			}
+			// Coalesce: keep encoding while more responses are ready. The
+			// queue looking empty right after a frame is usually scheduling,
+			// not idleness (handler completions ready this goroutine
+			// instantly); one yield lets them land before the flush syscall
+			// is paid.
+			nf, ok, idle := recvFrame(out)
+			if idle {
+				runtime.Gosched()
+				nf, ok, idle = recvFrame(out)
+			}
+			if idle {
+				break
+			}
+			if !ok {
+				if !dead {
+					bw.Flush()
+					s.ctr.flushes.Add(1)
+				}
+				return
+			}
+			f = nf
+		}
+		if !dead {
+			if err := bw.Flush(); err != nil {
+				dead = true
+			} else {
+				s.ctr.flushes.Add(1)
+			}
+		}
+	}
+}
+
+// recvFrame is a nonblocking receive: (frame, channel-open, queue-idle).
+func recvFrame(out <-chan outFrame) (outFrame, bool, bool) {
+	select {
+	case f, ok := <-out:
+		return f, ok, false
+	default:
+		return outFrame{}, true, true
+	}
+}
+
+// isClosedConn reports errors that just mean "the peer went away".
+func isClosedConn(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,87 @@
+package wire
+
+import "sync/atomic"
+
+// Counters is the transport's observability surface: lock-free counts
+// bumped on the hot path by servers, client pools and the flowd
+// micro-coalescer, snapshotted into Stats for /statsz. A zero Counters
+// is ready to use.
+type Counters struct {
+	connsOpen  atomic.Int64
+	connsTotal atomic.Int64
+	framesIn   atomic.Int64
+	framesOut  atomic.Int64
+	bytesIn    atomic.Int64
+	bytesOut   atomic.Int64
+	flushes    atomic.Int64
+
+	coalescedBatches atomic.Int64
+	coalescedQueries atomic.Int64
+	coalescedMax     atomic.Int64
+}
+
+// Stats is one JSON-friendly snapshot of a Counters.
+type Stats struct {
+	// ConnsOpen / ConnsTotal: currently open and lifetime-accepted (or
+	// dialed) connections.
+	ConnsOpen  int64 `json:"conns_open"`
+	ConnsTotal int64 `json:"conns_total"`
+	// Frame and byte totals, both directions, at frame granularity
+	// (header + payload + CRC).
+	FramesIn  int64 `json:"frames_in"`
+	FramesOut int64 `json:"frames_out"`
+	BytesIn   int64 `json:"bytes_in"`
+	BytesOut  int64 `json:"bytes_out"`
+	// Flushes counts writer syscalls; FramesOut/Flushes is the write
+	// coalescing factor a pipelined load achieves.
+	Flushes int64 `json:"flushes"`
+	// Coalesced batch shape: how many multi-query batch frames were
+	// formed, the total singleton queries folded into them, and the
+	// largest fold observed. Bumped by whichever side observes the fold
+	// (the client's micro-coalescer, or the server decoding OpBatch).
+	CoalescedBatches int64 `json:"coalesced_batches"`
+	CoalescedQueries int64 `json:"coalesced_queries"`
+	CoalescedMax     int64 `json:"coalesced_max"`
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		ConnsOpen:        c.connsOpen.Load(),
+		ConnsTotal:       c.connsTotal.Load(),
+		FramesIn:         c.framesIn.Load(),
+		FramesOut:        c.framesOut.Load(),
+		BytesIn:          c.bytesIn.Load(),
+		BytesOut:         c.bytesOut.Load(),
+		Flushes:          c.flushes.Load(),
+		CoalescedBatches: c.coalescedBatches.Load(),
+		CoalescedQueries: c.coalescedQueries.Load(),
+		CoalescedMax:     c.coalescedMax.Load(),
+	}
+}
+
+// AddCoalesced records one batch frame folding n queries. Singletons
+// (n <= 1) are not folds and are not counted.
+func (c *Counters) AddCoalesced(n int) {
+	if n <= 1 {
+		return
+	}
+	c.coalescedBatches.Add(1)
+	c.coalescedQueries.Add(int64(n))
+	for {
+		cur := c.coalescedMax.Load()
+		if int64(n) <= cur || c.coalescedMax.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+func (c *Counters) noteFrameIn(payloadLen int) {
+	c.framesIn.Add(1)
+	c.bytesIn.Add(int64(HeaderLen + payloadLen + crcLen))
+}
+
+func (c *Counters) noteFrameOut(payloadLen int) {
+	c.framesOut.Add(1)
+	c.bytesOut.Add(int64(HeaderLen + payloadLen + crcLen))
+}

@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler answers every frame with its own payload. Payloads of the
+// form "sleep:<dur>:<body>" park in the handler for dur first (or until
+// ctx cancels), and "block:<body>" parks until release closes — the
+// knobs the pipelining and cancellation tests turn.
+type echoHandler struct {
+	release chan struct{}
+}
+
+func (h *echoHandler) ServeFrame(ctx context.Context, op Op, payload []byte) (Status, []byte) {
+	if op == OpPing {
+		return StatusOK, []byte("pong")
+	}
+	s := string(payload)
+	if rest, ok := strings.CutPrefix(s, "sleep:"); ok {
+		durStr, body, _ := strings.Cut(rest, ":")
+		d, _ := time.ParseDuration(durStr)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return StatusCanceled, []byte("canceled")
+		}
+		return StatusOK, []byte(body)
+	}
+	if body, ok := strings.CutPrefix(s, "block:"); ok {
+		select {
+		case <-h.release:
+		case <-ctx.Done():
+			return StatusCanceled, []byte("canceled")
+		}
+		return StatusOK, []byte(body)
+	}
+	return StatusOK, payload
+}
+
+// startServer serves h on an ephemeral loopback TCP listener.
+func startServer(t *testing.T, h Handler) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(h)
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+func TestPoolEchoTCPAndUnix(t *testing.T) {
+	h := &echoHandler{}
+	_, addr := startServer(t, h)
+	uds := filepath.Join(t.TempDir(), "wire.sock")
+	uln, err := net.Listen("unix", uds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := NewServer(h)
+	go us.Serve(uln)
+	t.Cleanup(func() { us.Close() })
+
+	ctx := context.Background()
+	for _, tc := range []struct{ network, target string }{{"tcp", addr}, {"unix", uds}} {
+		p := NewPool(tc.network, tc.target, 2)
+		if err := p.Ping(ctx); err != nil {
+			t.Fatalf("%s: %v", tc.network, err)
+		}
+		status, payload, err := p.Do(ctx, OpQuery, []byte("hello"))
+		if err != nil || status != StatusOK || string(payload) != "hello" {
+			t.Fatalf("%s: echo = (%v, %q, %v)", tc.network, status, payload, err)
+		}
+		p.Close()
+		if _, _, err := p.Do(ctx, OpQuery, []byte("x")); !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("%s: after close err = %v, want ErrPoolClosed", tc.network, err)
+		}
+	}
+}
+
+// TestPipeliningOutOfOrder issues requests with inverted latencies over
+// one connection: the first request sleeps longest, so responses must
+// come back out of submission order and still land on the right waiters.
+func TestPipeliningOutOfOrder(t *testing.T) {
+	_, addr := startServer(t, &echoHandler{})
+	p := NewPool("tcp", addr, 1) // one conn: ordering pressure is maximal
+	defer p.Close()
+	ctx := context.Background()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sleep := time.Duration(n-i) * 20 * time.Millisecond
+			want := "r" + strconv.Itoa(i)
+			payload := fmt.Sprintf("sleep:%s:%s", sleep, want)
+			status, resp, err := p.Do(ctx, OpQuery, []byte(payload))
+			if err != nil || status != StatusOK || string(resp) != want {
+				errs[i] = fmt.Errorf("req %d: (%v, %q, %v)", i, status, resp, err)
+				return
+			}
+			order <- i
+		}(i)
+	}
+	wg.Wait()
+	close(order)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	for i := range order {
+		got = append(got, i)
+	}
+	if len(got) != n {
+		t.Fatalf("completed %d of %d", len(got), n)
+	}
+	// With a 20ms latency ladder the completion order must be roughly the
+	// reverse of submission; it being exactly ascending would mean the
+	// transport serialized the requests.
+	if got[0] == 0 && got[1] == 1 && got[2] == 2 {
+		t.Fatalf("responses completed in submission order %v — no pipelining", got)
+	}
+	if p.Stats().FramesIn != int64(n) {
+		t.Fatalf("frames_in = %d, want %d", p.Stats().FramesIn, n)
+	}
+}
+
+// TestCancellationFailsExactlyThoseRequests pins the cancellation
+// contract: with N requests in flight, canceling K of their contexts
+// fails exactly those K with context.Canceled while the rest complete
+// normally on the same connection.
+func TestCancellationFailsExactlyThoseRequests(t *testing.T) {
+	h := &echoHandler{release: make(chan struct{})}
+	_, addr := startServer(t, h)
+	p := NewPool("tcp", addr, 1)
+	defer p.Close()
+
+	const n, k = 6, 3
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i < k {
+				ctx = cancelCtx
+			}
+			started <- struct{}{}
+			_, resp, err := p.Do(ctx, OpQuery, []byte("block:done"))
+			if err == nil && string(resp) != "done" {
+				err = fmt.Errorf("bad payload %q", resp)
+			}
+			errs[i] = err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	time.Sleep(50 * time.Millisecond) // let all n block server-side
+	cancel()
+	time.Sleep(50 * time.Millisecond) // canceled waiters return, others still blocked
+	close(h.release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if i < k {
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("canceled req %d: err = %v, want context.Canceled", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("live req %d: err = %v, want success", i, err)
+		}
+	}
+
+	// The connection survives cancellations: an immediate follow-up works.
+	status, resp, err := p.Do(context.Background(), OpQuery, []byte("after"))
+	if err != nil || status != StatusOK || string(resp) != "after" {
+		t.Fatalf("post-cancel echo = (%v, %q, %v)", status, resp, err)
+	}
+	if got := p.Stats().ConnsTotal; got != 1 {
+		t.Fatalf("conns_total = %d, want 1 (no redial after cancels)", got)
+	}
+}
+
+// TestConnDeathFailsInFlightAndPoolRedials pins the failure contract: a
+// dropped connection fails every in-flight request with ErrConnClosed
+// (not a hang, not context.Canceled), and the pool replaces the dead
+// connection on next use.
+func TestConnDeathFailsInFlightAndPoolRedials(t *testing.T) {
+	h := &echoHandler{release: make(chan struct{})}
+	srv, addr := startServer(t, h)
+	p := NewPool("tcp", addr, 1)
+	defer p.Close()
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = p.Do(context.Background(), OpQuery, []byte("block:x"))
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // all n in flight
+	srv.Close()                       // kills the conn server-side mid-pipeline
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrConnClosed) {
+			t.Errorf("in-flight req %d: err = %v, want ErrConnClosed", i, err)
+		}
+	}
+
+	// Server returns on the same address; the pool's next use must dial a
+	// fresh connection and succeed.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(&echoHandler{})
+	go srv2.Serve(ln)
+	defer srv2.Close()
+	status, resp, err := p.Do(context.Background(), OpQuery, []byte("reborn"))
+	if err != nil || status != StatusOK || string(resp) != "reborn" {
+		t.Fatalf("post-death echo = (%v, %q, %v)", status, resp, err)
+	}
+	if got := p.Stats().ConnsTotal; got != 2 {
+		t.Fatalf("conns_total = %d, want 2 (one redial)", got)
+	}
+}
+
+// TestServerRejectsGarbageConn: a connection speaking not-the-protocol
+// is dropped without taking the server down.
+func TestServerRejectsGarbageConn(t *testing.T) {
+	_, addr := startServer(t, &echoHandler{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	buf := make([]byte, 1)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("server answered a garbage connection instead of dropping it")
+	}
+	nc.Close()
+
+	// The listener is still alive for well-formed peers.
+	p := NewPool("tcp", addr, 1)
+	defer p.Close()
+	if err := p.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteCoalescing: a pipelined burst reaches the server in far
+// fewer flushes than frames, and the server's responses coalesce too.
+func TestWriteCoalescing(t *testing.T) {
+	srv, addr := startServer(t, &echoHandler{})
+	p := NewPool("tcp", addr, 1)
+	defer p.Close()
+	ctx := context.Background()
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.Do(ctx, OpQuery, []byte(strconv.Itoa(i)))
+		}(i)
+	}
+	wg.Wait()
+	cs, ss := p.Stats(), srv.Stats()
+	if cs.FramesOut != n || ss.FramesIn != n || ss.FramesOut != n || cs.FramesIn != n {
+		t.Fatalf("frame counts client=%+v server=%+v", cs, ss)
+	}
+	if cs.BytesOut == 0 || ss.BytesIn != cs.BytesOut {
+		t.Fatalf("byte accounting client out=%d server in=%d", cs.BytesOut, ss.BytesIn)
+	}
+	// Not a tight bound (scheduling-dependent), but if every frame cost
+	// its own flush the transport isn't coalescing at all.
+	if cs.Flushes >= n || ss.Flushes >= n {
+		t.Logf("weak coalescing: client flushes=%d server flushes=%d for %d frames", cs.Flushes, ss.Flushes, n)
+	}
+}
+
+func TestCountersCoalesced(t *testing.T) {
+	var c Counters
+	c.AddCoalesced(1) // not a fold
+	c.AddCoalesced(4)
+	c.AddCoalesced(9)
+	c.AddCoalesced(2)
+	s := c.Snapshot()
+	if s.CoalescedBatches != 3 || s.CoalescedQueries != 15 || s.CoalescedMax != 9 {
+		t.Fatalf("coalesced counters %+v", s)
+	}
+}
