@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
 	"planarflow/internal/planar"
 	"planarflow/internal/store"
 )
@@ -98,6 +99,7 @@ type batchPathResult struct {
 	values          []int64 // scalar answer per query, in workload order
 	qps             float64
 	p50, p99        float64 // per-HTTP-request latency percentiles
+	phases          phaseMeans
 	hitRate, wallMS float64
 	evictions       int64
 	errs            int
@@ -112,7 +114,8 @@ func runBatchSingle(bc batchCfg, seed, unit int64, groups []batchGroup) (*batchP
 	defer shutdown()
 	ctx := context.Background()
 	res := &batchPathResult{values: make([]int64, 0, bc.queries)}
-	lat := make([]float64, 0, bc.queries)
+	hist := obs.NewHistogram()
+	phasesBefore := snapPhases()
 	begin := time.Now()
 	for _, grp := range groups {
 		for _, q := range grp.queries {
@@ -120,7 +123,7 @@ func runBatchSingle(bc batchCfg, seed, unit int64, groups []batchGroup) (*batchP
 			qr, err := cl.Query(ctx, flowd.QueryRequest{
 				Graph: grp.graph, Op: q.Op, U: q.U, V: q.V, Source: q.Source, Eps: q.Eps,
 			})
-			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+			hist.Observe(time.Since(t0))
 			if err != nil {
 				res.errs++
 				res.values = append(res.values, 0)
@@ -130,12 +133,13 @@ func runBatchSingle(bc batchCfg, seed, unit int64, groups []batchGroup) (*batchP
 		}
 	}
 	wall := time.Since(begin)
+	res.phases = snapPhases().meansSince(phasesBefore)
 	stats, err := cl.Stats(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res.qps = float64(len(res.values)) / wall.Seconds()
-	res.p50, res.p99 = percentile(lat, 0.50), percentile(lat, 0.99)
+	res.p50, res.p99 = quantilesMS(hist)
 	res.hitRate, res.evictions = stats.HitRate, stats.Store.Evictions
 	res.wallMS = float64(wall.Microseconds()) / 1000
 	return res, nil
@@ -150,12 +154,13 @@ func runBatchBatched(bc batchCfg, seed, unit int64, groups []batchGroup) (*batch
 	defer shutdown()
 	ctx := context.Background()
 	res := &batchPathResult{values: make([]int64, 0, bc.queries)}
-	lat := make([]float64, 0, len(groups))
+	hist := obs.NewHistogram()
+	phasesBefore := snapPhases()
 	begin := time.Now()
 	for _, grp := range groups {
 		t0 := time.Now()
 		br, err := cl.QueryBatch(ctx, flowd.BatchRequest{Graph: grp.graph, Queries: grp.queries})
-		lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		hist.Observe(time.Since(t0))
 		if err != nil {
 			return nil, err
 		}
@@ -169,12 +174,13 @@ func runBatchBatched(bc batchCfg, seed, unit int64, groups []batchGroup) (*batch
 		}
 	}
 	wall := time.Since(begin)
+	res.phases = snapPhases().meansSince(phasesBefore)
 	stats, err := cl.Stats(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res.qps = float64(len(res.values)) / wall.Seconds()
-	res.p50, res.p99 = percentile(lat, 0.50), percentile(lat, 0.99)
+	res.p50, res.p99 = quantilesMS(hist)
 	res.hitRate, res.evictions = stats.HitRate, stats.Store.Evictions
 	res.wallMS = float64(wall.Microseconds()) / 1000
 	return res, nil
@@ -242,6 +248,9 @@ func batchBench(s *sink, c cfg) {
 			Queries: bc.queries, QPS: single.qps, Clients: 1,
 			HitRate: single.hitRate, Evictions: single.evictions,
 			P50MS: single.p50, P99MS: single.p99,
+			PhaseDecodeMS: single.phases.decode, PhaseAcquireMS: single.phases.acquire,
+			PhaseBuildMS: single.phases.build, PhaseExecMS: single.phases.exec,
+			PhaseEncodeMS: single.phases.encode,
 		})
 		s.add(Record{
 			Exp: "BATCH", Instance: fmt.Sprintf("%s:batch%d", inst, bc.batch), N: n, D: d,
@@ -249,6 +258,9 @@ func batchBench(s *sink, c cfg) {
 			Queries: bc.queries, QPS: batched.qps, Clients: 1, Batch: bc.batch,
 			HitRate: batched.hitRate, Evictions: batched.evictions,
 			P50MS: batched.p50, P99MS: batched.p99,
+			PhaseDecodeMS: batched.phases.decode, PhaseAcquireMS: batched.phases.acquire,
+			PhaseBuildMS: batched.phases.build, PhaseExecMS: batched.phases.exec,
+			PhaseEncodeMS: batched.phases.encode,
 		})
 		row(rep, "single", bc.queries, bc.queries, single.qps, single.p50, single.p99,
 			single.hitRate, single.evictions, singleOK)

@@ -1,0 +1,67 @@
+package main
+
+// Telemetry-backed measurement helpers. Latency percentiles come from
+// internal/obs histograms — the same HDR-lite buckets the daemon serves
+// on /metricsz (<= 12.5% relative error) — instead of unbounded
+// in-memory sample slices, so a long run's latency digest costs a fixed
+// 304-bucket array per path rather than one float64 per request. The
+// TRAFFIC and BATCH records additionally carry per-phase wall
+// breakdowns computed as snapshot deltas of the daemon's
+// flowd_phase_seconds histograms around each run: the benchmark daemons
+// run in-process, so they share the process registry with the driver.
+
+import (
+	"time"
+
+	"planarflow/internal/obs"
+)
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// quantilesMS digests one run's latency histogram: (p50, p99) in ms.
+func quantilesMS(h *obs.Histogram) (float64, float64) {
+	snap := h.Snapshot()
+	return ms(snap.Quantile(0.50)), ms(snap.Quantile(0.99))
+}
+
+// phaseSnap is a point-in-time snapshot of the daemon's per-phase
+// histograms (get-or-create, so taking one before any daemon exists is
+// fine — the daemon's initObs resolves the same series).
+type phaseSnap [obs.NumPhases]obs.Snapshot
+
+func snapPhases() phaseSnap {
+	var ps phaseSnap
+	r := obs.Default()
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		ps[p] = r.Histogram("flowd_phase_seconds",
+			"Per-request phase wall time (decode, acquire, build, exec, encode, write).",
+			obs.L("phase", p.String())).Snapshot()
+	}
+	return ps
+}
+
+// phaseMeans is the mean per-request wall of each serving phase over one
+// run, in ms. Phases a run never touches stay 0.
+type phaseMeans struct {
+	decode, acquire, build, exec, encode float64
+}
+
+// meansSince computes the per-phase means accumulated between two
+// snapshots (before -> after).
+func (after phaseSnap) meansSince(before phaseSnap) phaseMeans {
+	val := func(p obs.Phase) float64 {
+		d := after[p]
+		d.Sub(before[p])
+		if d.Count == 0 {
+			return 0
+		}
+		return ms(d.Mean())
+	}
+	return phaseMeans{
+		decode:  val(obs.PhaseDecode),
+		acquire: val(obs.PhaseAcquire),
+		build:   val(obs.PhaseBuild),
+		exec:    val(obs.PhaseExec),
+		encode:  val(obs.PhaseEncode),
+	}
+}

@@ -46,6 +46,16 @@ type Record struct {
 	// Batch metrics (BATCH experiment only).
 	Batch int `json:"batch,omitempty"` // queries per request (0 = singleton path)
 
+	// Per-phase mean wall per request (TRAFFIC and BATCH; snapshot deltas
+	// of the daemon's flowd_phase_seconds histograms over the measured
+	// window). Exec is inclusive of Build — the split tells build-heavy
+	// churn from decode-heavy steady state.
+	PhaseDecodeMS  float64 `json:"phase_decode_ms,omitempty"`
+	PhaseAcquireMS float64 `json:"phase_acquire_ms,omitempty"`
+	PhaseBuildMS   float64 `json:"phase_build_ms,omitempty"`
+	PhaseExecMS    float64 `json:"phase_exec_ms,omitempty"`
+	PhaseEncodeMS  float64 `json:"phase_encode_ms,omitempty"`
+
 	// Persistence metrics (COLDSTART experiment only).
 	BuildMS   float64 `json:"build_ms,omitempty"`   // wall-clock to build all substrates cold
 	RestoreMS float64 `json:"restore_ms,omitempty"` // wall-clock to restore them from a snapshot
@@ -74,6 +84,7 @@ var csvHeader = []string{
 	"queries", "speedup_x", "qps",
 	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms", "batch",
 	"build_ms", "restore_ms",
+	"phase_decode_ms", "phase_acquire_ms", "phase_build_ms", "phase_exec_ms", "phase_encode_ms",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -117,6 +128,9 @@ func (s *sink) add(r Record) {
 			strconv.FormatFloat(r.P50MS, 'f', 3, 64), strconv.FormatFloat(r.P99MS, 'f', 3, 64),
 			strconv.Itoa(r.Batch),
 			strconv.FormatFloat(r.BuildMS, 'f', 3, 64), strconv.FormatFloat(r.RestoreMS, 'f', 3, 64),
+			strconv.FormatFloat(r.PhaseDecodeMS, 'f', 4, 64), strconv.FormatFloat(r.PhaseAcquireMS, 'f', 4, 64),
+			strconv.FormatFloat(r.PhaseBuildMS, 'f', 4, 64), strconv.FormatFloat(r.PhaseExecMS, 'f', 4, 64),
+			strconv.FormatFloat(r.PhaseEncodeMS, 'f', 4, 64),
 		})
 	}
 	if s.enc != nil {

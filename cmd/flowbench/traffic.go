@@ -52,6 +52,7 @@ import (
 
 	"planarflow"
 	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
 	"planarflow/internal/planar"
 	"planarflow/internal/store"
 )
@@ -225,6 +226,9 @@ func trafficBench(s *sink, c cfg) {
 				Queries: queries, QPS: res.qps, Speedup: speedup,
 				Clients: clients, HitRate: res.hitRate, Evictions: res.evictions,
 				P50MS: res.p50, P99MS: res.p99,
+				PhaseDecodeMS: res.phases.decode, PhaseAcquireMS: res.phases.acquire,
+				PhaseBuildMS: res.phases.build, PhaseExecMS: res.phases.exec,
+				PhaseEncodeMS: res.phases.encode,
 			})
 			row(rep, label, queries, res.qps, res.p50, res.p99, res.hitRate,
 				res.evictions, res.ok)
@@ -273,6 +277,7 @@ func trafficBench(s *sink, c cfg) {
 
 type trafficResult struct {
 	qps, p50, p99, hitRate, wallMS float64
+	phases                         phaseMeans
 	evictions                      int64
 	ok                             bool
 }
@@ -348,9 +353,13 @@ func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*traffi
 
 	z := newZipf(tc.graphs, tc.skew)
 	perClient := tc.queries / clients
-	lat := make([][]float64, clients)
+	// One shared latency histogram for the run: Observe is atomic, so all
+	// clients feed it without coordination, and the digest is the same
+	// HDR-lite shape the daemon itself exports.
+	hist := obs.NewHistogram()
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
+	phasesBefore := snapPhases()
 	begin := time.Now()
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
@@ -374,7 +383,6 @@ func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*traffi
 				}
 				reqs[q] = req
 			}
-			lat[w] = make([]float64, perClient)
 			if mix.window <= 1 {
 				// Synchronous: one request in flight, the HTTP discipline.
 				for q, req := range reqs {
@@ -383,7 +391,7 @@ func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*traffi
 						errs[w] = fmt.Errorf("client %d query %d: %w", w, q, err)
 						return
 					}
-					lat[w][q] = float64(time.Since(t0).Microseconds()) / 1000
+					hist.Observe(time.Since(t0))
 				}
 				return
 			}
@@ -406,7 +414,7 @@ func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*traffi
 						})
 						return
 					}
-					lat[w][q] = float64(time.Since(t0).Microseconds()) / 1000
+					hist.Observe(time.Since(t0))
 				}(q, req)
 			}
 			cwg.Wait()
@@ -414,6 +422,9 @@ func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*traffi
 	}
 	wg.Wait()
 	wall := time.Since(begin)
+	// Phase attribution of the measured window only: snapshot before the
+	// ground-truth queries below add their own samples.
+	phases := snapPhases().meansSince(phasesBefore)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -437,14 +448,12 @@ func runTraffic(tc trafficCfg, seed int64, clients int, mix trafficMix) (*traffi
 		return nil, err
 	}
 
-	all := make([]float64, 0, tc.queries)
-	for _, l := range lat {
-		all = append(all, l...)
-	}
+	p50, p99 := quantilesMS(hist)
 	res := &trafficResult{
 		qps:       float64(clients*perClient) / wall.Seconds(),
-		p50:       percentile(all, 0.50),
-		p99:       percentile(all, 0.99),
+		p50:       p50,
+		p99:       p99,
+		phases:    phases,
 		hitRate:   stats.HitRate,
 		wallMS:    float64(wall.Microseconds()) / 1000,
 		evictions: stats.Store.Evictions,

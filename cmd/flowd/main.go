@@ -27,8 +27,13 @@
 // demand (e.g. before a planned restart).
 //
 // Endpoints: POST /v1/graphs, GET /v1/graphs, POST /v1/query,
-// POST /v1/batch, POST /v1/snapshot, GET /statsz, GET /healthz — see
-// internal/flowd for the protocol.
+// POST /v1/batch, POST /v1/snapshot, GET /statsz, GET /healthz,
+// GET /metricsz (Prometheus text), GET /tracez (recent + slow spans),
+// GET /versionz — see internal/flowd for the protocol.
+//
+// Observability flags: -log-level sets the structured-log threshold
+// (debug logs every request), -slow-query-ms sets the slow-query log
+// threshold, and -debug-addr serves net/http/pprof on a side listener.
 package main
 
 import (
@@ -36,13 +41,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr side listener
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
 	"planarflow/internal/store"
 )
 
@@ -55,7 +64,32 @@ func main() {
 	demo := flag.Int("demo", 0, "preregister this many demo grid graphs (demo0..demoN-1)")
 	snapDir := flag.String("snapshot-dir", "", "disk snapshot tier: evicted bundles spill here, misses and boot restore from here ('' = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run an end-to-end check (including snapshot → restart → query), exit")
+	logLevel := flag.String("log-level", "warn", "structured-log threshold: debug|info|warn|error (debug logs every request)")
+	slowMS := flag.Int("slow-query-ms", 250, "requests at least this slow land in the slow-query log and /tracez")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address ('' = disabled)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "flowd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	opts := flowd.ServerOptions{
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowd:", err)
+			os.Exit(2)
+		}
+		// net/http/pprof registers on DefaultServeMux; the main plane uses
+		// its own mux, so the profiler is reachable only on this listener.
+		go http.Serve(dln, nil)
+		fmt.Printf("flowd: debug server (pprof) on %s\n", dln.Addr())
+	}
 
 	cfg := store.Config{MaxBytes: *budgetMB << 20, MaxGraphs: *maxGraphs, SpillDir: *snapDir}
 
@@ -69,7 +103,7 @@ func main() {
 			defer os.RemoveAll(dir)
 			cfg.SpillDir = dir
 		}
-		if err := runSelfcheck(cfg, *demo); err != nil {
+		if err := runSelfcheck(cfg, *demo, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "flowd selfcheck:", err)
 			os.Exit(1)
 		}
@@ -102,7 +136,7 @@ func main() {
 			fmt.Printf("flowd: warm-restored %d graph(s) from %s\n", restored, *snapDir)
 		}
 	}
-	srv := flowd.NewServer(st)
+	srv := flowd.NewServerWith(st, opts)
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	ln, err := net.Listen("tcp", *addr)
@@ -187,11 +221,17 @@ func serveLoopback(srv *flowd.Server) (*flowd.Client, func(), error) {
 
 // runSelfcheck is the end-to-end smoke path: serve on a loopback port,
 // drive the daemon through its own client (register, one query per
-// family, batch, statsz), then persist the warm working set with
-// POST /v1/snapshot, restart onto a fresh store over the same snapshot
-// directory, and verify the restored daemon answers every family
-// bit-identically without rebuilding.
-func runSelfcheck(cfg store.Config, demo int) error {
+// family, batch, statsz), validate the telemetry plane (/metricsz
+// exposition well-formedness and counter monotonicity across a query
+// burst, a slow span with build-phase attribution on /tracez), then
+// persist the warm working set with POST /v1/snapshot, restart onto a
+// fresh store over the same snapshot directory, and verify the restored
+// daemon answers every family bit-identically without rebuilding.
+func runSelfcheck(cfg store.Config, demo int, opts flowd.ServerOptions) error {
+	// A 1ms slow threshold guarantees the cold-build query below lands in
+	// the slow log; errors-only logging keeps the marker output stable.
+	opts.SlowThreshold = time.Millisecond
+	opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
 	newStore := func() (*store.Store, error) {
 		st := store.New(cfg)
 		for i := 0; i < demo; i++ {
@@ -205,7 +245,7 @@ func runSelfcheck(cfg store.Config, demo int) error {
 	if err != nil {
 		return err
 	}
-	srv := flowd.NewServer(st)
+	srv := flowd.NewServerWith(st, opts)
 	c, shutdown, err := serveLoopback(srv)
 	if err != nil {
 		return err
@@ -214,8 +254,12 @@ func runSelfcheck(cfg store.Config, demo int) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	if err := c.Health(ctx); err != nil {
+	h, err := c.Health(ctx)
+	if err != nil {
 		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q", h.Status)
 	}
 	fmt.Println("flowd selfcheck: healthz ok")
 
@@ -352,6 +396,95 @@ func runSelfcheck(cfg store.Config, demo int) error {
 	fmt.Printf("wire: %d families bit-identical over tcp+unix (frames in=%d out=%d, bytes in=%d out=%d)\n",
 		len(checks), ws.FramesIn, ws.FramesOut, ws.BytesIn, ws.BytesOut)
 	srv.Wire().Close()
+
+	// ---- telemetry plane ----
+	// /metricsz must be well-formed Prometheus text (the strict parser
+	// rejects any malformed line), counters must be monotone across a
+	// query burst, both transports must have per-family latency series,
+	// and a cold-build query must land in /tracez's slow log with its
+	// build phase attributed.
+	scrape := func() (map[string]float64, error) {
+		raw, err := c.Metricsz(ctx)
+		if err != nil {
+			return nil, err
+		}
+		series, err := obs.ParseExposition(raw)
+		if err != nil {
+			return nil, fmt.Errorf("metricsz: %w", err)
+		}
+		return series, nil
+	}
+	m1, err := scrape()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := c.Query(ctx, queries[i%len(queries)]); err != nil {
+			return fmt.Errorf("burst query %d: %w", i, err)
+		}
+	}
+	// Cold build under a query (not register-warm): a 20x20 grid's
+	// substrate build is far above the 1ms slow threshold, so this span
+	// is guaranteed to land in the slow log with PhaseBuild > 0.
+	coldSpec := store.GraphSpec{Kind: "grid", Rows: 20, Cols: 20, Seed: 7, WLo: 1, WHi: 9, CLo: 1, CHi: 16}
+	regCold, err := c.Register(ctx, "coldcheck", coldSpec)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Query(ctx, flowd.QueryRequest{Graph: "coldcheck", Op: "dist", U: 0, V: regCold.N - 1}); err != nil {
+		return err
+	}
+	m2, err := scrape()
+	if err != nil {
+		return err
+	}
+	monotone := 0
+	for k, v1 := range m1 {
+		if !strings.Contains(k, "_total") && !strings.Contains(k, "_count") {
+			continue
+		}
+		v2, ok := m2[k]
+		if !ok {
+			return fmt.Errorf("metricsz: series %s disappeared between scrapes", k)
+		}
+		if v2 < v1 {
+			return fmt.Errorf("metricsz: counter %s went backwards: %g -> %g", k, v1, v2)
+		}
+		monotone++
+	}
+	if monotone == 0 {
+		return fmt.Errorf("metricsz: no counter series found")
+	}
+	distHTTP := `flowd_requests_total{family="dist",transport="http"}`
+	if m2[distHTTP] <= m1[distHTTP] {
+		return fmt.Errorf("metricsz: %s did not advance across the burst (%g -> %g)",
+			distHTTP, m1[distHTTP], m2[distHTTP])
+	}
+	for _, tr := range []string{"http", "wire"} {
+		k := fmt.Sprintf(`flowd_request_seconds_count{family="dist",transport=%q}`, tr)
+		if m2[k] < 1 {
+			return fmt.Errorf("metricsz: missing per-family latency series on %s transport (%s)", tr, k)
+		}
+	}
+	traces, err := c.Tracez(ctx)
+	if err != nil {
+		return err
+	}
+	if len(traces.Slow) == 0 {
+		return fmt.Errorf("tracez: slow log empty despite %.0fms threshold", traces.SlowThresholdMS)
+	}
+	slowBuild := false
+	for _, sv := range traces.Slow {
+		if sv.PhasesMS["build"] > 0 {
+			slowBuild = true
+			break
+		}
+	}
+	if !slowBuild {
+		return fmt.Errorf("tracez: no slow span carries a build phase (slow=%d)", len(traces.Slow))
+	}
+	fmt.Printf("telemetry: %d series parsed, %d counters monotone, %d slow span(s) traced\n",
+		len(m2), monotone, len(traces.Slow))
 
 	snap, err := c.Snapshot(ctx, "")
 	if err != nil {

@@ -32,13 +32,26 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
 
 	"planarflow/internal/bdd"
 	"planarflow/internal/duallabel"
 	"planarflow/internal/ledger"
+	"planarflow/internal/obs"
 	"planarflow/internal/planar"
 	"planarflow/internal/primallabel"
 )
+
+// Per-substrate build-duration histograms, resolved once. The builder of
+// a slot records the wall time here and charges it to the triggering
+// request's span (singleflight waiters charge nothing), mirroring the
+// ledger's charge-the-builder round accounting.
+var mBuild = map[string]*obs.Histogram{
+	"bdd": obs.Default().Histogram("substrate_build_seconds",
+		"Substrate construction wall time by kind (inclusive: a labeling built on a cold graph includes its BDD build).", obs.L("substrate", "bdd")),
+	"dual-label":   obs.Default().Histogram("substrate_build_seconds", "", obs.L("substrate", "dual-label")),
+	"primal-label": obs.Default().Histogram("substrate_build_seconds", "", obs.L("substrate", "primal-label")),
+}
 
 // LengthKind identifies a per-dart length function derived from the graph's
 // edge weights. Together with the leaf limit it keys a cached labeling.
@@ -181,7 +194,7 @@ func (p *Prepared) ResolveLeafLimit(leafLimit int) int {
 // inflight build, or become the builder. build constructs the value into
 // the supplied slot ledger; errors (cancellation) leave the slot empty so
 // a later live request restarts the build.
-func get[T any](p *Prepared, s *slot[T],
+func get[T any](p *Prepared, s *slot[T], kind string,
 	build func(ctx context.Context, led *ledger.Ledger) (T, int64, error)) (T, *ledger.Ledger, bool, error) {
 	mu := &p.st.mu
 	var zero T
@@ -209,7 +222,7 @@ func get[T any](p *Prepared, s *slot[T],
 		s.inflight = ch
 		mu.Unlock()
 
-		v, led, err := runBuild(p, s, ch, build)
+		v, led, err := runBuild(p, s, ch, kind, build)
 		if err != nil {
 			return zero, nil, false, err
 		}
@@ -222,7 +235,7 @@ func get[T any](p *Prepared, s *slot[T],
 // degenerate generated graph, say) cannot leave the inflight channel
 // unclosed and hang every later query for the slot — the panic
 // propagates, the slot empties, and the next caller rebuilds.
-func runBuild[T any](p *Prepared, s *slot[T], ch chan struct{},
+func runBuild[T any](p *Prepared, s *slot[T], ch chan struct{}, kind string,
 	build func(ctx context.Context, led *ledger.Ledger) (T, int64, error)) (v T, led *ledger.Ledger, err error) {
 	led = ledger.New()
 	var bytes int64
@@ -236,8 +249,25 @@ func runBuild[T any](p *Prepared, s *slot[T], ch chan struct{},
 		close(ch)
 		p.st.mu.Unlock()
 	}()
+	sp := obs.SpanFromContext(p.ctx)
+	nested := sp.PhaseNS(obs.PhaseBuild)
+	t0 := time.Now()
 	v, bytes, err = build(p.ctx, led)
 	completed = true
+	if err == nil {
+		d := time.Since(t0)
+		if h := mBuild[kind]; h != nil {
+			// Histogram wall is inclusive: a labeling built on a cold graph
+			// includes its BDD construction (see the metric help).
+			h.Observe(d)
+		}
+		// Span charge is exclusive: a nested build (the BDD under a labeling)
+		// already charged its own wall through its own runBuild, so only the
+		// increment beyond what the span accumulated during this build counts.
+		if inner := sp.PhaseNS(obs.PhaseBuild) - nested; d.Nanoseconds() > inner {
+			sp.Add(obs.PhaseBuild, d-time.Duration(inner))
+		}
+	}
 	return v, led, err
 }
 
@@ -254,7 +284,7 @@ func (p *Prepared) Tree(leafLimit int, led *ledger.Ledger) (*bdd.BDD, error) {
 		p.st.trees[leafLimit] = s
 	}
 	p.st.mu.Unlock()
-	v, slotLed, built, err := get(p, s,
+	v, slotLed, built, err := get(p, s, "bdd",
 		func(ctx context.Context, bled *ledger.Ledger) (*bdd.BDD, int64, error) {
 			t, err := bdd.BuildContext(ctx, p.st.g, leafLimit, bled)
 			if err != nil {
@@ -286,7 +316,7 @@ func (p *Prepared) DualLabels(kind LengthKind, leafLimit int, led *ledger.Ledger
 		p.st.duals[key] = s
 	}
 	p.st.mu.Unlock()
-	v, slotLed, built, err := get(p, s,
+	v, slotLed, built, err := get(p, s, "dual-label",
 		func(ctx context.Context, bled *ledger.Ledger) (*duallabel.Labeling, int64, error) {
 			// The tree slot accounts its own (possible) construction against
 			// the caller's ledger and the cumulative build ledger; this slot's
@@ -324,7 +354,7 @@ func (p *Prepared) PrimalLabels(kind LengthKind, leafLimit int, led *ledger.Ledg
 		p.st.primals[key] = s
 	}
 	p.st.mu.Unlock()
-	v, slotLed, built, err := get(p, s,
+	v, slotLed, built, err := get(p, s, "primal-label",
 		func(ctx context.Context, bled *ledger.Ledger) (*primallabel.Labeling, int64, error) {
 			tree, err := p.Tree(leafLimit, led)
 			if err != nil {

@@ -269,14 +269,14 @@ func TestPanickingBuilderReleasesSlot(t *testing.T) {
 				t.Fatal("builder panic did not propagate")
 			}
 		}()
-		get(p, s, func(ctx context.Context, led *ledger.Ledger) (int, int64, error) {
+		get(p, s, "test", func(ctx context.Context, led *ledger.Ledger) (int, int64, error) {
 			panic("degenerate input")
 		})
 	}()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		v, _, built, err := get(p, s, func(ctx context.Context, led *ledger.Ledger) (int, int64, error) {
+		v, _, built, err := get(p, s, "test", func(ctx context.Context, led *ledger.Ledger) (int, int64, error) {
 			return 7, 1, nil
 		})
 		if err != nil || !built || v != 7 {

@@ -25,6 +25,7 @@ package decode
 
 import (
 	"sync"
+	"time"
 
 	"planarflow/internal/artifact"
 	"planarflow/internal/core"
@@ -124,10 +125,14 @@ func (e *Engine) row(la *duallabel.Labeling, source int) *ssspRow {
 	r := e.rows[k]
 	e.mu.Unlock()
 	if r != nil {
+		mRowHits.Inc()
 		return r
 	}
+	mRowMisses.Inc()
+	t0 := time.Now()
 	scratch := ledger.New()
 	r = &ssspRow{res: la.SSSP(source, scratch), led: scratch}
+	mDecode["dualsssp"].Observe(time.Since(t0))
 	e.mu.Lock()
 	if prev := e.rows[k]; prev != nil {
 		r = prev
@@ -145,18 +150,22 @@ func (e *Engine) Girth(p *artifact.Prepared, led *ledger.Ledger) (*core.GirthRes
 	m := e.girth[0]
 	e.mu.Unlock()
 	if m != nil {
+		mMemoHits["girth"].Inc()
 		led.Merge(m.led)
 		return &core.GirthResult{
 			Weight:     m.res.Weight,
 			CycleEdges: append([]int(nil), m.res.CycleEdges...),
 		}, nil
 	}
+	mMemoMisses["girth"].Inc()
+	t0 := time.Now()
 	scratch := ledger.New()
 	res, err := core.Girth(p, scratch)
 	led.Merge(scratch)
 	if err != nil {
 		return nil, err
 	}
+	mDecode["girth"].Observe(time.Since(t0))
 	e.mu.Lock()
 	if e.girth[0] == nil {
 		e.girth[0] = &girthMemo{res: res, led: queryOnly(scratch)}
@@ -176,15 +185,19 @@ func (e *Engine) DirectedGirth(p *artifact.Prepared, opt core.Options, led *ledg
 	m := e.dir[k]
 	e.mu.Unlock()
 	if m != nil {
+		mMemoHits["dirgirth"].Inc()
 		led.Merge(m.led)
 		return m.weight, nil
 	}
+	mMemoMisses["dirgirth"].Inc()
+	t0 := time.Now()
 	scratch := ledger.New()
 	w, err := core.DirectedGirth(p, opt, scratch)
 	led.Merge(scratch)
 	if err != nil {
 		return 0, err
 	}
+	mDecode["dirgirth"].Observe(time.Since(t0))
 	e.mu.Lock()
 	if e.dir[k] == nil {
 		e.dir[k] = &dirMemo{weight: w, led: queryOnly(scratch)}
@@ -203,15 +216,19 @@ func (e *Engine) GlobalMinCut(p *artifact.Prepared, opt core.Options, led *ledge
 	m := e.cut[k]
 	e.mu.Unlock()
 	if m != nil {
+		mMemoHits["globalmincut"].Inc()
 		led.Merge(m.led)
 		return copyCut(m.res), nil
 	}
+	mMemoMisses["globalmincut"].Inc()
+	t0 := time.Now()
 	scratch := ledger.New()
 	res, err := core.GlobalMinCut(p, opt, scratch)
 	led.Merge(scratch)
 	if err != nil {
 		return nil, err
 	}
+	mDecode["globalmincut"].Observe(time.Since(t0))
 	e.mu.Lock()
 	if e.cut[k] == nil {
 		e.cut[k] = &cutMemo{res: res, led: queryOnly(scratch)}

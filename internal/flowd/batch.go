@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"planarflow"
+	"planarflow/internal/obs"
 )
 
 // MaxBatchQueries caps the number of queries one batch request may carry:
@@ -120,22 +121,33 @@ func DecodeBatch(data []byte) (*BatchRequest, error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := s.beginSpan(r.Context(), "http")
+	sp.Family = decodeFamily
 	data, err := readBody(w, r)
 	if err != nil {
+		sp.MarkSince(obs.PhaseDecode, sp.Start)
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.finishRequest(sp, err.Error())
 		return
 	}
 	req, err := DecodeBatch(data)
+	sp.MarkSince(obs.PhaseDecode, sp.Start)
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.finishRequest(sp, err.Error())
 		return
 	}
-	resp, err := s.runBatch(r.Context(), req)
+	sp.Family, sp.Graph = batchFamily, req.Graph
+	resp, err := s.runBatch(ctx, req)
 	if err != nil {
 		s.writeError(w, err)
+		s.finishRequest(sp, err.Error())
 		return
 	}
+	t0 := time.Now()
 	s.writeJSON(w, http.StatusOK, resp)
+	sp.MarkSince(obs.PhaseEncode, t0)
+	s.finishRequest(sp, "")
 }
 
 // runBatch executes one decoded batch against the store — the execution

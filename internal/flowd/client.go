@@ -172,7 +172,42 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	return &out, nil
 }
 
-// Health checks /healthz.
-func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+// Health scrapes /healthz and returns the typed readiness body.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metricsz scrapes GET /metricsz and returns the raw Prometheus text
+// exposition (parse it with obs.ParseExposition if needed).
+func (c *Client) Metricsz(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metricsz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("flowd client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("flowd client: GET /metricsz: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("flowd client: read: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("flowd client: GET /metricsz: status %d", resp.StatusCode)
+	}
+	return data, nil
+}
+
+// Tracez scrapes GET /tracez: the recent-span ring and slow-query log.
+func (c *Client) Tracez(ctx context.Context) (*TraceResponse, error) {
+	var out TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/tracez", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

@@ -31,12 +31,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"planarflow"
+	"planarflow/internal/obs"
 	"planarflow/internal/store"
 	"planarflow/internal/wire"
 )
@@ -183,6 +185,10 @@ type StatsResponse struct {
 	// a wire listener attached. The fleet work reads these to see whether
 	// replicas are wire-bound or engine-bound.
 	Transport *wire.Stats `json:"transport,omitempty"`
+	// Latency digests the end-to-end latency histograms per
+	// "transport/family" (count, mean, p50/p90/p99, max) — the same
+	// histograms /metricsz exposes in full.
+	Latency map[string]HistSummary `json:"latency,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -233,7 +239,8 @@ func DecodeQuery(data []byte) (*QueryRequest, error) {
 
 // Server is the HTTP handler over one store, and (via Wire) the handler
 // behind the binary wire transport — both planes execute through the
-// same store.Do/DoBatch calls and the same per-family counters.
+// same store.Do/DoBatch calls, the same per-family counters, and the
+// same telemetry plane (obs.go: spans, latency histograms, /metricsz).
 type Server struct {
 	st    *store.Store
 	mux   *http.ServeMux
@@ -248,20 +255,35 @@ type Server struct {
 
 	wireMu  sync.Mutex
 	wireSrv *wire.Server
+
+	// Telemetry plane (initObs): structured logger, span tracer, request
+	// id sequence for the HTTP plane (wire requests key by frame id), the
+	// prebuilt (transport, family) metric grid and per-phase histograms.
+	log       *slog.Logger
+	tracer    *obs.Tracer
+	reqSeq    atomic.Uint64
+	fmGrid    map[famKey]*famMetrics
+	phaseHist [obs.NumPhases]*obs.Histogram
 }
 
-// NewServer wraps st in the daemon's HTTP surface.
-func NewServer(st *store.Store) *Server {
+// NewServer wraps st in the daemon's HTTP surface with default
+// telemetry options.
+func NewServer(st *store.Store) *Server { return NewServerWith(st, ServerOptions{}) }
+
+// NewServerWith wraps st with explicit telemetry options.
+func NewServerWith(st *store.Store, opt ServerOptions) *Server {
 	s := &Server{st: st, mux: http.NewServeMux(), start: time.Now(), fam: map[string]*FamilyStats{}}
+	s.initObs(opt)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
+	s.mux.HandleFunc("GET /versionz", s.handleVersionz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
@@ -312,6 +334,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		s.writeErrs.Add(1)
+		s.log.Warn("response write failed", "status", status, "err", err.Error())
 	}
 }
 
@@ -381,6 +404,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	gr, err := s.st.RegisterSpec(req.ID, req.Spec)
 	if err != nil {
+		s.log.Warn("register failed", "graph", req.ID, "err", err.Error())
 		s.writeError(w, err)
 		return
 	}
@@ -421,6 +445,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	written, err := s.st.SnapshotResident(ids...)
 	if err != nil {
+		s.log.Warn("snapshot failed", "graph", req.Graph, "err", err.Error())
 		s.writeError(w, err)
 		return
 	}
@@ -440,26 +465,40 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Families:    s.familySnapshot(),
 		WriteErrors: s.writeErrs.Load(),
 		Transport:   s.wireStats(),
+		Latency:     s.latencySnapshot(),
 	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := s.beginSpan(r.Context(), "http")
+	sp.Family = decodeFamily
 	data, err := readBody(w, r)
 	if err != nil {
+		sp.MarkSince(obs.PhaseDecode, sp.Start)
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.finishRequest(sp, err.Error())
 		return
 	}
 	req, err := DecodeQuery(data)
+	sp.MarkSince(obs.PhaseDecode, sp.Start)
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.finishRequest(sp, err.Error())
 		return
 	}
-	resp, err := s.runQuery(r.Context(), req)
+	sp.Family, sp.Graph, sp.Route = req.Op, req.Graph, routeOf(req.Simulated)
+	resp, err := s.runQuery(ctx, req)
 	if err != nil {
 		s.writeError(w, err)
+		s.finishRequest(sp, err.Error())
 		return
 	}
+	// Encode and write fuse on the HTTP plane: the JSON encoder streams
+	// into the ResponseWriter (PhaseWrite stays zero here).
+	t0 := time.Now()
 	s.writeJSON(w, http.StatusOK, resp)
+	sp.MarkSince(obs.PhaseEncode, t0)
+	s.finishRequest(sp, "")
 }
 
 func roundsOf(r planarflow.Rounds) Rounds {

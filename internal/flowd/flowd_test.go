@@ -23,8 +23,12 @@ func newTestDaemon(t *testing.T, cfg store.Config) (*Client, *store.Store) {
 func TestRegisterAndQueryEndToEnd(t *testing.T) {
 	c, _ := newTestDaemon(t, store.Config{})
 	ctx := context.Background()
-	if err := c.Health(ctx); err != nil {
+	h, err := c.Health(ctx)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Graphs != 0 {
+		t.Fatalf("fresh daemon health: %+v", h)
 	}
 	spec := store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 3, WLo: 1, WHi: 9, CLo: 1, CHi: 16}
 	reg, err := c.Register(ctx, "g", spec)

@@ -1,0 +1,315 @@
+package flowd
+
+// The daemon's face of the telemetry plane (internal/obs): per-request
+// spans with phase attribution, end-to-end latency histograms per
+// (transport, family), structured request logging, and the scrape
+// endpoints — GET /metricsz (Prometheus text exposition), GET /tracez
+// (recent + slow spans), GET /versionz (build/runtime info), and the
+// readiness body on GET /healthz.
+//
+// Hot-path discipline: every per-request record resolves through maps
+// prebuilt at server construction (famMetrics below), so serving a
+// request touches no registry lock — the marginal cost is a few atomic
+// bumps, one tracer ring insert, and a level-gated slog call.
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"planarflow/internal/obs"
+)
+
+// ServerOptions tunes the daemon's telemetry; the zero value gives
+// always-on defaults (warn-level logging to stderr, 128-span rings,
+// 250ms slow threshold).
+type ServerOptions struct {
+	// Logger receives structured request/error lines. nil means a
+	// text handler on stderr at LevelWarn — errors and slow queries are
+	// visible, per-request lines are not.
+	Logger *slog.Logger
+	// SlowThreshold flags requests at least this slow for the slow-query
+	// log (0 = obs.DefaultSlowThreshold).
+	SlowThreshold time.Duration
+	// TraceRing sizes the recent- and slow-span rings
+	// (0 = obs.DefaultTraceRing).
+	TraceRing int
+}
+
+// famMetrics is one (transport, family) cell of the prebuilt metric
+// grid: the end-to-end latency histogram and request/error counters.
+type famMetrics struct {
+	lat  *obs.Histogram
+	reqs *obs.Counter
+	errs *obs.Counter
+}
+
+// famKey addresses one grid cell. A struct key (rather than a joined
+// string) keeps the per-request lookup allocation-free.
+type famKey struct {
+	transport, family string
+}
+
+// decodeFamily is the pseudo-family requests that fail before their op
+// is known are accounted under.
+const decodeFamily = "_decode"
+
+// batchFamily is the family of /v1/batch requests at the handler level
+// (per-entry ops keep their own statsz family counters).
+const batchFamily = "batch"
+
+// transports the daemon serves on.
+var transports = []string{"http", "wire"}
+
+// initObs builds the per-(transport, family) metric grid, the phase
+// histograms, the tracer, and the daemon gauges. Metric handles come
+// from the process registry via get-or-create, so several servers in
+// one process (tests, benches) share series.
+func (s *Server) initObs(opt ServerOptions) {
+	s.log = opt.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	s.tracer = obs.NewTracer(opt.TraceRing, opt.SlowThreshold)
+
+	r := obs.Default()
+	families := append(append([]string{}, Ops...), batchFamily, decodeFamily)
+	s.fmGrid = make(map[famKey]*famMetrics, len(transports)*len(families))
+	for _, tr := range transports {
+		for _, fam := range families {
+			s.fmGrid[famKey{tr, fam}] = &famMetrics{
+				lat: r.Histogram("flowd_request_seconds",
+					"End-to-end request latency by transport and query family.",
+					obs.L("transport", tr), obs.L("family", fam)),
+				reqs: r.Counter("flowd_requests_total",
+					"Requests served by transport and query family.",
+					obs.L("transport", tr), obs.L("family", fam)),
+				errs: r.Counter("flowd_errors_total",
+					"Requests that failed, by transport and query family.",
+					obs.L("transport", tr), obs.L("family", fam)),
+			}
+		}
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		s.phaseHist[p] = r.Histogram("flowd_phase_seconds",
+			"Per-request phase wall time (decode, acquire, build, exec, encode, write).",
+			obs.L("phase", p.String()))
+	}
+
+	st := s.st
+	r.Gauge("flowd_graphs", "Registered graphs.", func() float64 {
+		g, _, _ := st.Counts()
+		return float64(g)
+	})
+	r.Gauge("flowd_resident_graphs", "Graphs with a resident artifact bundle.", func() float64 {
+		_, res, _ := st.Counts()
+		return float64(res)
+	})
+	r.Gauge("flowd_store_bytes", "Accounted footprint of resident bundles.", func() float64 {
+		_, _, b := st.Counts()
+		return float64(b)
+	})
+	start := s.start
+	r.Gauge("flowd_uptime_seconds", "Daemon uptime.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	obs.RegisterRuntimeGauges(r)
+}
+
+// beginSpan opens the span for one request and hands back the context
+// the execution plane should run under.
+func (s *Server) beginSpan(ctx context.Context, transport string) (*obs.Span, context.Context) {
+	sp := obs.NewSpan(s.reqSeq.Add(1), transport)
+	return sp, obs.ContextWithSpan(ctx, sp)
+}
+
+// finishRequest closes out one request: end-to-end histogram, request
+// and error counters on the (transport, family) cell, phase histograms
+// from the span's accumulators, tracer ring insert, and the structured
+// log line (always for errors, always for slow requests, and for every
+// request when the logger admits LevelDebug).
+func (s *Server) finishRequest(sp *obs.Span, errMsg string) {
+	total := time.Since(sp.Start)
+	if m := s.fmGrid[famKey{sp.Transport, sp.Family}]; m != nil {
+		m.lat.Observe(total)
+		m.reqs.Inc()
+		if errMsg != "" {
+			m.errs.Inc()
+		}
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if ns := sp.PhaseNS(p); ns > 0 {
+			s.phaseHist[p].ObserveNS(ns)
+		}
+	}
+	slow := s.tracer.Finish(sp, total, errMsg)
+
+	switch {
+	case errMsg != "":
+		s.log.Warn("request failed",
+			"id", sp.ID, "transport", sp.Transport, "family", sp.Family,
+			"graph", sp.Graph, "ms", durMS(total), "err", errMsg)
+	case slow:
+		s.log.Warn("slow request",
+			"id", sp.ID, "transport", sp.Transport, "family", sp.Family,
+			"graph", sp.Graph, "ms", durMS(total),
+			"build_ms", phaseMS(sp, obs.PhaseBuild), "exec_ms", phaseMS(sp, obs.PhaseExec))
+	case s.log.Enabled(context.Background(), slog.LevelDebug):
+		s.log.Debug("request",
+			"id", sp.ID, "transport", sp.Transport, "family", sp.Family,
+			"graph", sp.Graph, "route", sp.Route, "ms", durMS(total))
+	}
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func phaseMS(sp *obs.Span, p obs.Phase) float64 {
+	return float64(sp.PhaseNS(p)) / 1e6
+}
+
+// routeOf names the execution route a request asked for: "sim" when it
+// forces the simulated CONGEST route, "fast" otherwise (the query plane
+// serves label-backed families through the decode engine by default).
+func routeOf(simulated bool) string {
+	if simulated {
+		return "sim"
+	}
+	return "fast"
+}
+
+// HealthResponse is the GET /healthz readiness body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Graphs / Resident: registered graphs and how many have a resident
+	// artifact bundle right now.
+	Graphs   int `json:"graphs"`
+	Resident int `json:"resident"`
+	// WarmRestores counts disk-tier snapshot restores since boot — nonzero
+	// right after a warm restart means the working set survived.
+	WarmRestores int64   `json:"warm_restores"`
+	UptimeMS     float64 `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.st.Snapshot()
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Graphs: snap.Graphs, Resident: snap.Resident,
+		WarmRestores: snap.SnapshotRestores,
+		UptimeMS:     durMS(time.Since(s.start)),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default().WritePrometheus(w); err != nil {
+		s.writeErrs.Add(1)
+		s.log.Warn("metricsz write failed", "err", err.Error())
+	}
+}
+
+// TraceResponse is the GET /tracez payload: recent spans newest-first,
+// the slow-query log, and the threshold that feeds it.
+type TraceResponse struct {
+	SlowThresholdMS float64        `json:"slow_threshold_ms"`
+	SlowTotal       int64          `json:"slow_total"`
+	Recent          []obs.SpanView `json:"recent"`
+	Slow            []obs.SpanView `json:"slow"`
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, TraceResponse{
+		SlowThresholdMS: durMS(s.tracer.Threshold()),
+		SlowTotal:       s.tracer.SlowCount(),
+		Recent:          s.tracer.Recent(),
+		Slow:            s.tracer.Slow(),
+	})
+}
+
+// VersionResponse is the GET /versionz payload: build identity plus the
+// runtime vitals an operator checks first.
+type VersionResponse struct {
+	GoVersion  string            `json:"go_version"`
+	Module     string            `json:"module,omitempty"`
+	Revision   string            `json:"revision,omitempty"`
+	BuildTime  string            `json:"build_time,omitempty"`
+	Settings   map[string]string `json:"settings,omitempty"`
+	UptimeMS   float64           `json:"uptime_ms"`
+	Goroutines int               `json:"goroutines"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	GCCycles   uint32            `json:"gc_cycles"`
+	HeapAlloc  uint64            `json:"heap_alloc_bytes"`
+}
+
+func (s *Server) handleVersionz(w http.ResponseWriter, r *http.Request) {
+	resp := VersionResponse{
+		GoVersion:  runtime.Version(),
+		UptimeMS:   durMS(time.Since(s.start)),
+		Goroutines: runtime.NumGoroutine(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	resp.GCCycles, resp.HeapAlloc = ms.NumGC, ms.HeapAlloc
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				resp.Revision = kv.Value
+			case "vcs.time":
+				resp.BuildTime = kv.Value
+			case "GOARCH", "GOOS", "vcs.modified":
+				if resp.Settings == nil {
+					resp.Settings = map[string]string{}
+				}
+				resp.Settings[kv.Key] = kv.Value
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// HistSummary is the quantile digest of one latency histogram, folded
+// into /statsz next to the counter stats.
+type HistSummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func summarize(snap obs.Snapshot) HistSummary {
+	return HistSummary{
+		Count:  snap.Count,
+		MeanMS: durMS(snap.Mean()),
+		P50MS:  durMS(snap.Quantile(0.50)),
+		P90MS:  durMS(snap.Quantile(0.90)),
+		P99MS:  durMS(snap.Quantile(0.99)),
+		MaxMS:  float64(snap.Max) / 1e6,
+	}
+}
+
+// latencySnapshot digests the non-empty (transport, family) histograms
+// as "transport/family" → summary.
+func (s *Server) latencySnapshot() map[string]HistSummary {
+	var out map[string]HistSummary
+	for key, m := range s.fmGrid {
+		snap := m.lat.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]HistSummary)
+		}
+		out[key.transport+"/"+key.family] = summarize(snap)
+	}
+	return out
+}

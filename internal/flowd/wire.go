@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"time"
 
+	"planarflow/internal/obs"
 	"planarflow/internal/wire"
 )
 
@@ -69,12 +71,15 @@ func wireStatusOf(err error) wire.Status {
 // Wire returns the daemon's binary-transport server, creating it on
 // first use. Serve it on any listener (cmd/flowd wires -listen-wire and
 // -listen-uds here); all listeners share one server, one set of
-// transport counters, and this daemon's execution plane.
+// transport counters, and this daemon's execution plane. The counters
+// register on the process telemetry registry as the server role (client
+// pools keep theirs off the registry to avoid colliding series).
 func (s *Server) Wire() *wire.Server {
 	s.wireMu.Lock()
 	defer s.wireMu.Unlock()
 	if s.wireSrv == nil {
 		s.wireSrv = wire.NewServer(s)
+		s.wireSrv.Counters().RegisterObs(obs.Default(), obs.L("role", "server"))
 	}
 	return s.wireSrv
 }
@@ -94,60 +99,87 @@ func (s *Server) wireStats() *wire.Stats {
 
 // ServeFrame implements wire.Handler: one request frame in, one
 // response frame out, the payloads exactly the HTTP plane's JSON
-// bodies.
-func (s *Server) ServeFrame(ctx context.Context, op wire.Op, payload []byte) (wire.Status, []byte) {
+// bodies (or their binary twins). Each query/batch frame runs under a
+// span keyed by the frame id; pings and unknown ops are not traced.
+func (s *Server) ServeFrame(ctx context.Context, op wire.Op, id uint64, payload []byte) (wire.Status, []byte) {
 	switch op {
 	case wire.OpPing:
 		b, _ := encodeBody(map[string]string{"status": "ok"})
 		return wire.StatusOK, b
 	case wire.OpQuery:
-		req, err := DecodeQuery(payload)
-		if err != nil {
-			return wire.StatusBadRequest, errBody(err.Error())
-		}
-		resp, err := s.runQuery(ctx, req)
-		if err != nil {
-			return wireStatusOf(err), errBody(err.Error())
-		}
-		return s.okBody(resp)
+		return s.serveQueryFrame(ctx, id, payload, DecodeQuery,
+			func(resp *QueryResponse) (wire.Status, []byte) { return s.okBody(resp) })
 	case wire.OpBatch:
-		req, err := DecodeBatch(payload)
-		if err != nil {
-			return wire.StatusBadRequest, errBody(err.Error())
-		}
-		// The transport-level fold count: how many queries arrived per
-		// batch frame (the client-side coalescer reports the same shape
-		// from its end).
-		s.Wire().Counters().AddCoalesced(len(req.Queries))
-		resp, err := s.runBatch(ctx, req)
-		if err != nil {
-			return wireStatusOf(err), errBody(err.Error())
-		}
-		return s.okBody(resp)
+		return s.serveBatchFrame(ctx, id, payload, DecodeBatch,
+			func(resp *BatchResponse) (wire.Status, []byte) { return s.okBody(resp) })
 	case wire.OpQueryB:
-		req, err := decodeWireQueryRequest(payload)
-		if err != nil {
-			return wire.StatusBadRequest, errBody(err.Error())
-		}
-		resp, err := s.runQuery(ctx, req)
-		if err != nil {
-			return wireStatusOf(err), errBody(err.Error())
-		}
-		return wire.StatusOK, appendWireQueryResponse(make([]byte, 0, 96+8*len(resp.Dist)+8*len(resp.CutEdges)), resp)
+		return s.serveQueryFrame(ctx, id, payload, decodeWireQueryRequest,
+			func(resp *QueryResponse) (wire.Status, []byte) {
+				return wire.StatusOK, appendWireQueryResponse(make([]byte, 0, 96+8*len(resp.Dist)+8*len(resp.CutEdges)), resp)
+			})
 	case wire.OpBatchB:
-		req, err := decodeWireBatchRequest(payload)
-		if err != nil {
-			return wire.StatusBadRequest, errBody(err.Error())
-		}
-		s.Wire().Counters().AddCoalesced(len(req.Queries))
-		resp, err := s.runBatch(ctx, req)
-		if err != nil {
-			return wireStatusOf(err), errBody(err.Error())
-		}
-		return wire.StatusOK, appendWireBatchResponse(make([]byte, 0, 32+96*len(resp.Results)), resp)
+		return s.serveBatchFrame(ctx, id, payload, decodeWireBatchRequest,
+			func(resp *BatchResponse) (wire.Status, []byte) {
+				return wire.StatusOK, appendWireBatchResponse(make([]byte, 0, 32+96*len(resp.Results)), resp)
+			})
 	default:
 		return wire.StatusBadRequest, errBody(fmt.Sprintf("flowd: unknown wire op %d", op))
 	}
+}
+
+// serveQueryFrame is the wire plane's span-wrapped singleton execution,
+// parameterized over the JSON and binary payload codecs.
+func (s *Server) serveQueryFrame(ctx context.Context, id uint64, payload []byte,
+	decode func([]byte) (*QueryRequest, error),
+	encode func(*QueryResponse) (wire.Status, []byte)) (wire.Status, []byte) {
+	sp := obs.NewSpan(id, "wire")
+	sp.Family = decodeFamily
+	req, err := decode(payload)
+	sp.MarkSince(obs.PhaseDecode, sp.Start)
+	if err != nil {
+		s.finishRequest(sp, err.Error())
+		return wire.StatusBadRequest, errBody(err.Error())
+	}
+	sp.Family, sp.Graph, sp.Route = req.Op, req.Graph, routeOf(req.Simulated)
+	resp, err := s.runQuery(obs.ContextWithSpan(ctx, sp), req)
+	if err != nil {
+		s.finishRequest(sp, err.Error())
+		return wireStatusOf(err), errBody(err.Error())
+	}
+	t0 := time.Now()
+	status, body := encode(resp)
+	sp.MarkSince(obs.PhaseEncode, t0)
+	s.finishRequest(sp, "")
+	return status, body
+}
+
+// serveBatchFrame is serveQueryFrame's batch twin; it also feeds the
+// transport-level fold counter (how many queries arrived per batch
+// frame — the client-side coalescer reports the same shape from its
+// end).
+func (s *Server) serveBatchFrame(ctx context.Context, id uint64, payload []byte,
+	decode func([]byte) (*BatchRequest, error),
+	encode func(*BatchResponse) (wire.Status, []byte)) (wire.Status, []byte) {
+	sp := obs.NewSpan(id, "wire")
+	sp.Family = decodeFamily
+	req, err := decode(payload)
+	sp.MarkSince(obs.PhaseDecode, sp.Start)
+	if err != nil {
+		s.finishRequest(sp, err.Error())
+		return wire.StatusBadRequest, errBody(err.Error())
+	}
+	sp.Family, sp.Graph = batchFamily, req.Graph
+	s.Wire().Counters().AddCoalesced(len(req.Queries))
+	resp, err := s.runBatch(obs.ContextWithSpan(ctx, sp), req)
+	if err != nil {
+		s.finishRequest(sp, err.Error())
+		return wireStatusOf(err), errBody(err.Error())
+	}
+	t0 := time.Now()
+	status, body := encode(resp)
+	sp.MarkSince(obs.PhaseEncode, t0)
+	s.finishRequest(sp, "")
+	return status, body
 }
 
 // okBody encodes a success payload; an encode failure (cannot happen

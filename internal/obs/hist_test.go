@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket layout: exact singleton buckets
+// below histMinors, then 8 linear sub-buckets per octave, contiguous
+// edges, and clamping at both ends.
+func TestBucketBoundaries(t *testing.T) {
+	golden := []struct {
+		ns  int64
+		idx int
+	}{
+		{0, 0}, {1, 1}, {7, 7}, // exact singletons
+		{8, 8}, {15, 15}, // first split octave, shift 0
+		{16, 16}, {17, 16}, {18, 17}, // octave [16,32): width-2 sub-buckets
+		{31, 23}, {32, 24}, // octave boundary
+		{1000, bucketIdx(1000)},
+		{-5, 0},                      // negative clamps to zero
+		{1 << 62, histBuckets - 1},   // beyond histMaxMajor clamps to last
+		{int64(^uint64(0) >> 1), histBuckets - 1},
+	}
+	for _, g := range golden {
+		if got := bucketIdx(g.ns); got != g.idx {
+			t.Errorf("bucketIdx(%d) = %d, want %d", g.ns, got, g.idx)
+		}
+	}
+
+	// Every bucket's upper edge must map back into that bucket, and edges
+	// must be contiguous: upper(i)+1 lands in bucket i+1.
+	for i := 0; i < histBuckets-1; i++ {
+		up := bucketUpper(i)
+		if got := bucketIdx(up); got != i {
+			t.Fatalf("bucketIdx(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if got := bucketIdx(up + 1); got != i+1 {
+			t.Fatalf("bucketIdx(%d+1) = %d, want %d", up, got, i+1)
+		}
+		if next := bucketUpper(i + 1); next <= up {
+			t.Fatalf("bucketUpper not increasing at %d: %d -> %d", i, up, next)
+		}
+	}
+
+	// Relative bucket width stays within the designed 12.5% above the
+	// singleton range.
+	for i := histMinors; i < histBuckets; i++ {
+		up, lo := bucketUpper(i), bucketUpper(i-1)+1
+		if width := up - lo + 1; float64(width) > 0.125*float64(lo)+1 {
+			t.Fatalf("bucket %d too wide: [%d,%d]", i, lo, up)
+		}
+	}
+}
+
+// TestQuantileVsSortedReference drives randomized inputs through the
+// histogram and checks every extracted quantile against the exact
+// nearest-rank statistic of the sorted sample, within one bucket's
+// relative resolution.
+func TestQuantileVsSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		n := 100 + rng.Intn(5000)
+		samples := make([]int64, n)
+		for i := range samples {
+			// log-uniform spread: ns to ~minutes
+			v := int64(1) << uint(rng.Intn(36))
+			v += rng.Int63n(v + 1)
+			samples[i] = v
+			h.ObserveNS(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(n) {
+			t.Fatalf("count = %d, want %d", snap.Count, n)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+			rank := int(float64(n)*q+0.9999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= n {
+				rank = n - 1
+			}
+			exact := samples[rank]
+			got := int64(snap.Quantile(q))
+			// The histogram reports the containing bucket's upper edge, so
+			// it can only overshoot, and by at most one bucket width.
+			if got < exact {
+				t.Fatalf("q%.2f = %d below exact %d", q, got, exact)
+			}
+			if float64(got) > float64(exact)*1.126+1 {
+				t.Fatalf("q%.2f = %d, exact %d: error > bucket resolution", q, got, exact)
+			}
+		}
+		if got, want := int64(snap.Quantile(1)), samples[n-1]; got != want {
+			t.Fatalf("Quantile(1) = %d, want exact max %d", got, want)
+		}
+	}
+}
+
+// TestConcurrentMergeEquivalence bumps one shared histogram from many
+// goroutines and separately each goroutine's private histogram, then
+// checks the merged private snapshots equal the shared snapshot. Run
+// under -race this also exercises the atomic paths.
+func TestConcurrentMergeEquivalence(t *testing.T) {
+	const workers, per = 8, 2000
+	shared := NewHistogram()
+	privs := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		privs[w] = NewHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				v := rng.Int63n(int64(10 * time.Second))
+				shared.ObserveNS(v)
+				privs[w].ObserveNS(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var merged Snapshot
+	for _, p := range privs {
+		merged.Merge(p.Snapshot())
+	}
+	got := shared.Snapshot()
+	if got != merged {
+		t.Fatalf("merged private snapshots != shared snapshot\nshared: count=%d sum=%d max=%d\nmerged: count=%d sum=%d max=%d",
+			got.Count, got.Sum, got.Max, merged.Count, merged.Sum, merged.Max)
+	}
+}
+
+// TestSnapshotSub checks interval deltas: observe, snapshot, observe
+// more, and the difference must describe only the second batch.
+func TestSnapshotSub(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveNS(100)
+	h.ObserveNS(200)
+	before := h.Snapshot()
+	h.ObserveNS(1000)
+	h.ObserveNS(3000)
+	after := h.Snapshot()
+	after.Sub(before)
+	if after.Count != 2 || after.Sum != 4000 {
+		t.Fatalf("delta count=%d sum=%d, want 2/4000", after.Count, after.Sum)
+	}
+	if got := int64(after.Quantile(0.5)); got < 1000 || got > 1125 {
+		t.Fatalf("delta p50 = %d, want ~1000", got)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var s Snapshot
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+// Lightweight per-request tracing: a Span accumulates per-phase wall
+// time as the request crosses the serving layers (decode → store acquire
+// → substrate build → execution → encode → write), keyed by the request
+// id that already flows through the HTTP and wire planes. Spans are
+// carried down the stack via context — store, artifact and decode mark
+// their phases without any API signature changes — and finished spans
+// land in a bounded ring (plus a separate slow-query ring above a
+// configurable threshold) that /tracez serves as JSON.
+//
+// Phase counters are atomic: a batch request's worker goroutines share
+// one span, so concurrent marks must not race.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one segment of a request's life.
+type Phase int
+
+const (
+	// PhaseDecode: parsing and validating the request payload.
+	PhaseDecode Phase = iota
+	// PhaseAcquire: store registry lookup, LRU touch, pin (including any
+	// disk-tier restore a miss triggers).
+	PhaseAcquire
+	// PhaseBuild: substrate construction charged to this request (the
+	// singleflight builder's wall; waiters charge nothing here).
+	PhaseBuild
+	// PhaseExec: query execution against the pinned bundle — decode
+	// engine or simulated route — inclusive of PhaseBuild time, which is
+	// reported separately to split build-heavy from decode-heavy requests.
+	PhaseExec
+	// PhaseEncode: response encoding (on the HTTP plane this includes the
+	// network write: encoder and ResponseWriter are fused).
+	PhaseEncode
+	// PhaseWrite: response write where it is separable from encoding
+	// (unused on HTTP; the wire plane's writer-queue dwell has its own
+	// histogram since frames outlive their span).
+	PhaseWrite
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"decode", "acquire", "build", "exec", "encode", "write"}
+
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Span is one request's phase accounting. Identity fields are written
+// once by the owning handler before the span enters shared contexts;
+// phase marks are atomic.
+type Span struct {
+	ID        uint64
+	Transport string // "http" | "wire"
+	Family    string // query op, or "batch"
+	Graph     string
+	Route     string // "fast" | "sim" | ""
+	Start     time.Time
+
+	phases [NumPhases]atomic.Int64 // ns
+}
+
+// NewSpan starts a span for one request.
+func NewSpan(id uint64, transport string) *Span {
+	return &Span{ID: id, Transport: transport, Start: time.Now()}
+}
+
+// Add charges d to phase p.
+func (s *Span) Add(p Phase, d time.Duration) {
+	if s == nil || p < 0 || p >= NumPhases {
+		return
+	}
+	s.phases[p].Add(d.Nanoseconds())
+}
+
+// MarkSince charges the wall since t0 to phase p and returns that
+// duration (so callers can feed the same measurement to a histogram).
+func (s *Span) MarkSince(p Phase, t0 time.Time) time.Duration {
+	d := time.Since(t0)
+	s.Add(p, d)
+	return d
+}
+
+// PhaseNS returns the accumulated nanoseconds of phase p.
+func (s *Span) PhaseNS(p Phase) int64 {
+	if s == nil || p < 0 || p >= NumPhases {
+		return 0
+	}
+	return s.phases[p].Load()
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to ctx for the layers below.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span attached to ctx, or nil. All Span
+// methods tolerate a nil receiver, so callers may mark unconditionally.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SpanView is the JSON shape of a finished span served on /tracez.
+type SpanView struct {
+	ID          uint64             `json:"id"`
+	Transport   string             `json:"transport"`
+	Family      string             `json:"family"`
+	Graph       string             `json:"graph,omitempty"`
+	Route       string             `json:"route,omitempty"`
+	Err         string             `json:"err,omitempty"`
+	StartUnixMS int64              `json:"start_unix_ms"`
+	TotalMS     float64            `json:"total_ms"`
+	PhasesMS    map[string]float64 `json:"phases_ms,omitempty"`
+}
+
+// view freezes a finished span. Only nonzero phases are materialized.
+func view(s *Span, total time.Duration, errMsg string) SpanView {
+	v := SpanView{
+		ID: s.ID, Transport: s.Transport, Family: s.Family,
+		Graph: s.Graph, Route: s.Route, Err: errMsg,
+		StartUnixMS: s.Start.UnixMilli(),
+		TotalMS:     float64(total.Microseconds()) / 1000,
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if ns := s.phases[p].Load(); ns > 0 {
+			if v.PhasesMS == nil {
+				v.PhasesMS = make(map[string]float64, int(NumPhases))
+			}
+			v.PhasesMS[p.String()] = float64(ns) / 1e6
+		}
+	}
+	return v
+}
+
+// Tracer keeps the most recent finished spans in a bounded ring and the
+// most recent slow ones (total >= threshold) in a second ring.
+type Tracer struct {
+	mu        sync.Mutex
+	recent    []SpanView
+	recentAt  int
+	slow      []SpanView
+	slowAt    int
+	threshold time.Duration
+	slowTotal int64
+}
+
+// DefaultTraceRing is the recent-span ring size when unconfigured.
+const DefaultTraceRing = 128
+
+// DefaultSlowThreshold flags requests slower than this for the
+// slow-query log when unconfigured.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// NewTracer sizes the rings; zero or negative values take the defaults
+// (slow ring defaults to the recent ring's size).
+func NewTracer(ring int, threshold time.Duration) *Tracer {
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	return &Tracer{
+		recent:    make([]SpanView, 0, ring),
+		slow:      make([]SpanView, 0, ring),
+		threshold: threshold,
+	}
+}
+
+// Threshold returns the slow-query threshold.
+func (t *Tracer) Threshold() time.Duration { return t.threshold }
+
+// SlowCount returns how many finished spans crossed the threshold.
+func (t *Tracer) SlowCount() int64 { return atomic.LoadInt64(&t.slowTotal) }
+
+// Finish records a completed span and reports whether it was slow. The
+// span must not be marked after Finish.
+func (t *Tracer) Finish(s *Span, total time.Duration, errMsg string) bool {
+	v := view(s, total, errMsg)
+	slow := total >= t.threshold
+	t.mu.Lock()
+	t.recentAt = push(&t.recent, t.recentAt, cap(t.recent), v)
+	if slow {
+		t.slowAt = push(&t.slow, t.slowAt, cap(t.slow), v)
+	}
+	t.mu.Unlock()
+	if slow {
+		atomic.AddInt64(&t.slowTotal, 1)
+	}
+	return slow
+}
+
+// push appends v into the ring backing slice, overwriting the oldest
+// entry once full, and returns the next write position.
+func push(ring *[]SpanView, at, size int, v SpanView) int {
+	if len(*ring) < size {
+		*ring = append(*ring, v)
+		return 0 // unused until the ring wraps
+	}
+	if at >= size {
+		at = 0
+	}
+	(*ring)[at] = v
+	return at + 1
+}
+
+// Recent returns the retained spans, newest first.
+func (t *Tracer) Recent() []SpanView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return drain(t.recent, t.recentAt)
+}
+
+// Slow returns the retained slow spans, newest first.
+func (t *Tracer) Slow() []SpanView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return drain(t.slow, t.slowAt)
+}
+
+// drain copies a ring out newest-first. While the ring is still filling,
+// the newest entry is the last appended; after wrapping, it is the one
+// just before the write cursor.
+func drain(ring []SpanView, at int) []SpanView {
+	out := make([]SpanView, 0, len(ring))
+	if len(ring) < cap(ring) {
+		for i := len(ring) - 1; i >= 0; i-- {
+			out = append(out, ring[i])
+		}
+		return out
+	}
+	for i := 0; i < len(ring); i++ {
+		idx := at - 1 - i
+		for idx < 0 {
+			idx += len(ring)
+		}
+		out = append(out, ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTraceRingEviction fills a small ring past capacity and checks
+// newest-first ordering with the oldest spans evicted.
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTracer(4, time.Hour)
+	for i := 1; i <= 10; i++ {
+		s := NewSpan(uint64(i), "http")
+		s.Family = fmt.Sprintf("q%d", i)
+		tr.Finish(s, time.Duration(i)*time.Millisecond, "")
+	}
+	got := tr.Recent()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(got))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if got[i].ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d (order: %+v)", i, got[i].ID, want, got)
+		}
+	}
+	if len(tr.Slow()) != 0 {
+		t.Fatal("nothing crossed the slow threshold")
+	}
+}
+
+// TestTraceRingPartial checks newest-first order before the ring wraps.
+func TestTraceRingPartial(t *testing.T) {
+	tr := NewTracer(8, time.Hour)
+	for i := 1; i <= 3; i++ {
+		tr.Finish(NewSpan(uint64(i), "wire"), time.Millisecond, "")
+	}
+	got := tr.Recent()
+	if len(got) != 3 || got[0].ID != 3 || got[2].ID != 1 {
+		t.Fatalf("partial ring order wrong: %+v", got)
+	}
+}
+
+// TestSlowLog checks threshold classification and the slow ring.
+func TestSlowLog(t *testing.T) {
+	tr := NewTracer(16, 10*time.Millisecond)
+	if tr.Finish(NewSpan(1, "http"), 2*time.Millisecond, "") {
+		t.Fatal("fast span flagged slow")
+	}
+	s := NewSpan(2, "http")
+	s.Family = "maxflow"
+	s.Add(PhaseBuild, 40*time.Millisecond)
+	if !tr.Finish(s, 50*time.Millisecond, "") {
+		t.Fatal("slow span not flagged")
+	}
+	slow := tr.Slow()
+	if len(slow) != 1 || slow[0].ID != 2 {
+		t.Fatalf("slow log = %+v", slow)
+	}
+	if slow[0].PhasesMS["build"] != 40 {
+		t.Fatalf("slow span lost phase attribution: %+v", slow[0].PhasesMS)
+	}
+	if tr.SlowCount() != 1 {
+		t.Fatalf("SlowCount = %d", tr.SlowCount())
+	}
+}
+
+// TestSpanContext checks context plumbing and nil-span tolerance.
+func TestSpanContext(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a span")
+	}
+	var nilSpan *Span
+	nilSpan.Add(PhaseExec, time.Second) // must not panic
+	nilSpan.MarkSince(PhaseExec, time.Now())
+	if nilSpan.PhaseNS(PhaseExec) != 0 {
+		t.Fatal("nil span reported phase time")
+	}
+
+	s := NewSpan(7, "wire")
+	ctx := ContextWithSpan(context.Background(), s)
+	got := SpanFromContext(ctx)
+	if got != s {
+		t.Fatal("span did not round-trip through context")
+	}
+	got.Add(PhaseDecode, 3*time.Millisecond)
+	got.Add(PhaseDecode, 2*time.Millisecond)
+	if s.PhaseNS(PhaseDecode) != int64(5*time.Millisecond) {
+		t.Fatalf("phase accumulation = %d", s.PhaseNS(PhaseDecode))
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		n := p.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("phase %d name %q invalid or duplicate", p, n)
+		}
+		seen[n] = true
+	}
+	if Phase(-1).String() != "unknown" || NumPhases.String() != "unknown" {
+		t.Fatal("out-of-range phases must stringify as unknown")
+	}
+}

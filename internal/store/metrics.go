@@ -1,0 +1,19 @@
+package store
+
+// Telemetry handles, resolved once at init: every serving-path record is
+// atomic bumps on these, never a registry lookup.
+
+import "planarflow/internal/obs"
+
+var (
+	mQueueWait = obs.Default().Histogram("store_queue_wait_seconds",
+		"Time spent waiting for the store registry lock on acquire.")
+	mAcquire = obs.Default().Histogram("store_acquire_seconds",
+		"Bundle acquire latency: registry lookup, LRU touch, pin, and any disk-tier restore a miss triggers.")
+	mRestore = obs.Default().Histogram("store_restore_seconds",
+		"Disk-tier snapshot restore latency (successful restores only).")
+	mSpillWrite = obs.Default().Histogram("store_spill_write_seconds",
+		"Disk-tier snapshot write latency (evictions and explicit snapshots).")
+	mEvictions = obs.Default().Counter("store_evictions_total",
+		"Resident bundles evicted under the memory budget.")
+)

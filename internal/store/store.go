@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"planarflow"
+	"planarflow/internal/obs"
 )
 
 var (
@@ -266,12 +267,20 @@ func (s *Store) IDs() []string {
 // the bundle's footprint is re-accounted and LRU eviction runs if the
 // store is over budget.
 func (s *Store) With(ctx context.Context, id string, fn func(pg *planarflow.PreparedGraph, hit bool) error) error {
+	sp := obs.SpanFromContext(ctx)
+	t0 := time.Now()
 	e, pg, hit, err := s.acquire(id)
+	d := time.Since(t0)
+	mAcquire.Observe(d)
+	sp.Add(obs.PhaseAcquire, d)
 	if err != nil {
 		return err
 	}
 	defer s.release(e, pg)
-	return fn(pg.WithContext(ctx), hit)
+	t0 = time.Now()
+	err = fn(pg.WithContext(ctx), hit)
+	sp.MarkSince(obs.PhaseExec, t0)
+	return err
 }
 
 // acquire pins the bundle of id, creating it on a miss. A miss checks
@@ -282,7 +291,9 @@ func (s *Store) With(ctx context.Context, id string, fn func(pg *planarflow.Prep
 // (milliseconds for serving-sized graphs), and holding the lock keeps
 // the one-bundle-per-id invariant without a second singleflight layer.
 func (s *Store) acquire(id string) (*entry, *planarflow.PreparedGraph, bool, error) {
+	t0 := time.Now()
 	s.mu.Lock()
+	mQueueWait.Observe(time.Since(t0))
 	defer s.mu.Unlock()
 	e, ok := s.ents[id]
 	if !ok {
@@ -344,6 +355,7 @@ func (s *Store) restoreLocked(e *entry) *planarflow.PreparedGraph {
 	if err != nil {
 		return nil
 	}
+	t0 := time.Now()
 	pg, err := planarflow.RestorePrepared(e.gr, bufio.NewReader(f))
 	f.Close()
 	if err != nil {
@@ -353,6 +365,7 @@ func (s *Store) restoreLocked(e *entry) *planarflow.PreparedGraph {
 		}
 		return nil
 	}
+	mRestore.Observe(time.Since(t0))
 	return pg
 }
 
@@ -427,6 +440,7 @@ func (s *Store) dropLocked(e *entry) []spillJob {
 	e.bytes, e.substrates, e.rounds = 0, 0, 0
 	e.evictions++
 	s.evictions++
+	mEvictions.Inc()
 	if s.cfg.SpillDir == "" {
 		return nil
 	}
@@ -474,6 +488,8 @@ func (s *Store) spill(jobs []spillJob) {
 // writeSnapshot persists one bundle under the spill directory, via a
 // temp file and rename so readers never see a torn snapshot.
 func (s *Store) writeSnapshot(id string, pg *planarflow.PreparedGraph) error {
+	t0 := time.Now()
+	defer func() { mSpillWrite.Observe(time.Since(t0)) }()
 	if err := os.MkdirAll(s.cfg.SpillDir, 0o755); err != nil {
 		return err
 	}
@@ -627,6 +643,15 @@ func (s *Store) EvictAll() {
 	}
 	s.mu.Unlock()
 	s.spill(jobs)
+}
+
+// Counts returns the cheap aggregate triple — registered graphs,
+// resident bundles, accounted bytes — for gauge callbacks that must not
+// pay Snapshot's per-graph walk on every scrape.
+func (s *Store) Counts() (graphs, resident int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ents), s.lru.Len(), s.bytes
 }
 
 // Snapshot returns the store-wide metrics.

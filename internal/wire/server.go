@@ -9,7 +9,16 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
+
+	"planarflow/internal/obs"
 )
+
+// mWriteDwell measures how long a finished response sits in the
+// connection's write queue before the writer encodes it — the price of
+// write coalescing, visible nowhere else (the frame outlives its span).
+var mWriteDwell = obs.Default().Histogram("wire_write_queue_seconds",
+	"Server response dwell in the per-connection write queue before encoding.")
 
 // maxConnWorkers bounds how many handler goroutines one connection may
 // have in flight. A pipelined client controls its own window; this cap
@@ -29,9 +38,10 @@ const respChanCap = maxConnWorkers + 8
 //
 // ctx is canceled when the connection drops or the server shuts down,
 // letting in-flight queries abandon substrate builds at their usual
-// checkpoints.
+// checkpoints. id is the request frame's id — stable for the frame's
+// lifetime, which makes it the natural per-request trace key.
 type Handler interface {
-	ServeFrame(ctx context.Context, op Op, payload []byte) (Status, []byte)
+	ServeFrame(ctx context.Context, op Op, id uint64, payload []byte) (Status, []byte)
 }
 
 // Server serves the framed protocol over any set of listeners (TCP and
@@ -137,6 +147,7 @@ type outFrame struct {
 	kind    uint8
 	id      uint64
 	payload []byte
+	enq     time.Time // when the handler queued it (write dwell)
 }
 
 // serveConn runs one connection: a reader loop dispatching handler
@@ -169,10 +180,10 @@ func (s *Server) serveConn(nc net.Conn) {
 		go func(f Frame) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			status, payload := s.h.ServeFrame(ctx, f.Op(), f.Payload)
+			status, payload := s.h.ServeFrame(ctx, f.Op(), f.ID, f.Payload)
 			// The writer drains out until every handler is done, so this
 			// send cannot block forever even if the conn is already dead.
-			out <- outFrame{kind: respBit | uint8(status), id: f.ID, payload: payload}
+			out <- outFrame{kind: respBit | uint8(status), id: f.ID, payload: payload, enq: time.Now()}
 		}(f)
 	}
 
@@ -203,6 +214,7 @@ func (s *Server) connWriter(nc net.Conn, out <-chan outFrame, done chan<- struct
 	for f := range out {
 		for {
 			if !dead {
+				mWriteDwell.Observe(time.Since(f.enq))
 				scratch = scratch[:0]
 				b, err := AppendFrame(scratch, f.kind, f.id, f.payload)
 				if err != nil {

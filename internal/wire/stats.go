@@ -1,6 +1,10 @@
 package wire
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"planarflow/internal/obs"
+)
 
 // Counters is the transport's observability surface: lock-free counts
 // bumped on the hot path by servers, client pools and the flowd
@@ -74,6 +78,27 @@ func (c *Counters) AddCoalesced(n int) {
 			return
 		}
 	}
+}
+
+// RegisterObs exposes these counters on a telemetry registry, read at
+// scrape time so the hot path stays a single set of atomic bumps. The
+// labels distinguish roles when several Counters (a server, client
+// pools) share one registry; re-registering the same labels rebinds the
+// series to c.
+func (c *Counters) RegisterObs(r *obs.Registry, labels ...obs.Label) {
+	ctr := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc(name, help, v.Load, labels...)
+	}
+	r.Gauge("wire_conns_open", "Currently open wire connections.",
+		func() float64 { return float64(c.connsOpen.Load()) }, labels...)
+	ctr("wire_conns_total", "Lifetime accepted (or dialed) wire connections.", &c.connsTotal)
+	ctr("wire_frames_in_total", "Frames received.", &c.framesIn)
+	ctr("wire_frames_out_total", "Frames sent.", &c.framesOut)
+	ctr("wire_bytes_in_total", "Bytes received at frame granularity.", &c.bytesIn)
+	ctr("wire_bytes_out_total", "Bytes sent at frame granularity.", &c.bytesOut)
+	ctr("wire_flushes_total", "Writer flush syscalls (frames_out/flushes is the coalescing factor).", &c.flushes)
+	ctr("wire_coalesced_batches_total", "Multi-query batch frames formed by coalescing.", &c.coalescedBatches)
+	ctr("wire_coalesced_queries_total", "Singleton queries folded into coalesced batches.", &c.coalescedQueries)
 }
 
 func (c *Counters) noteFrameIn(payloadLen int) {

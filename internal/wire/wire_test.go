@@ -21,7 +21,7 @@ type echoHandler struct {
 	release chan struct{}
 }
 
-func (h *echoHandler) ServeFrame(ctx context.Context, op Op, payload []byte) (Status, []byte) {
+func (h *echoHandler) ServeFrame(ctx context.Context, op Op, id uint64, payload []byte) (Status, []byte) {
 	if op == OpPing {
 		return StatusOK, []byte("pong")
 	}
