@@ -1,0 +1,349 @@
+package main
+
+// FLEET experiment: the sharded serving plane under failure. Three
+// in-process replicas (each its own store and daemon) sit behind the
+// consistent-hash fleet client; a Zipf-distributed working set is
+// registered through the ring, replicated to standbys via the snapshot
+// stream, and driven by concurrent clients whose every answer is checked
+// bit-for-bit against single-node library ground truth. Mid-run the
+// owner of the most popular graph is killed: the client must eject it
+// (epoch bump), fail queries over to the ring successor, and keep
+// serving — from the successor's peer-restored bundle, not a rebuild.
+//
+// Two records per run carry the trajectory:
+//
+//	:pre  — healthy fleet: qps, p50/p99, hit rate; OK = every answer
+//	        matched ground truth and standby sync shipped > 0 bundles.
+//	:post — after the kill: the same serving metrics (the recovery
+//	        point), plus the fleet counters. OK gates the failover
+//	        story: every post-kill answer still bit-identical, the
+//	        client ejected and failed over (>= 1 each), survivors hold
+//	        peer-restored bundles (> 0), zero substrate rebuilds for
+//	        the previously-built working set, and the ring epoch
+//	        advanced past the healthy run's.
+//
+// The rebuild gate is the point of the snapshot plane: a failover that
+// rebuilds is correct but pays the full Õ(D²) construction again; a
+// failover onto a standby that already restored the owner's bundle
+// serves the first post-kill query from warm labels.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"planarflow"
+	"planarflow/internal/fleet"
+	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
+	"planarflow/internal/planar"
+	"planarflow/internal/store"
+)
+
+// fleetCfg sizes one FLEET run.
+type fleetCfg struct {
+	replicas int     // fleet size
+	graphs   int     // working-set size G
+	side     int     // grid side (same size, different seeds)
+	skew     float64 // Zipf exponent over graph popularity ranks
+	queries  int     // total queries per phase (pre-kill and post-kill)
+	clients  int     // concurrent clients per phase
+}
+
+func fleetSizes(full bool) fleetCfg {
+	if full {
+		return fleetCfg{replicas: 3, graphs: 12, side: 8, skew: 1.3, queries: 800, clients: 4}
+	}
+	return fleetCfg{replicas: 3, graphs: 8, side: 6, skew: 1.3, queries: 240, clients: 4}
+}
+
+func fleetSpec(fc fleetCfg, seed int64, i int) store.GraphSpec {
+	return store.GraphSpec{
+		Kind: "grid", Rows: fc.side, Cols: fc.side,
+		Seed: seed + int64(i), WLo: 1, WHi: 9, CLo: 1, CHi: 16,
+	}
+}
+
+// fleetQuery is one pre-generated request with its library-computed
+// expected answer — the bit-identity oracle for both phases.
+type fleetQuery struct {
+	req  flowd.QueryRequest
+	want int64
+}
+
+// fleetPhase is the serving metrics of one traffic phase.
+type fleetPhase struct {
+	qps, p50, p99, hitRate, wallMS float64
+	matched                        bool // every answer bit-identical to ground truth
+}
+
+type fleetResult struct {
+	pre, post    fleetPhase
+	killed       string // replica killed between the phases
+	synced       int    // graph/standby pairs shipped by standby sync
+	peerRestores int64  // survivor bundles restored via the peer ladder
+	rebuilds     int64  // survivor substrate builds after the kill (gated == 0)
+	stats        fleet.Stats
+	epochPre     uint64
+	epochPost    uint64
+}
+
+func fleetBench(s *sink, c cfg) {
+	fcfg := fleetSizes(c.full)
+	for rep := 0; rep < c.repeats; rep++ {
+		seed := c.seedFor(40, rep)
+		header(rep, "FLEET", fmt.Sprintf(
+			"%d-replica fleet under Zipf(%.1f), owner killed mid-run: G=%d grids %dx%d",
+			fcfg.replicas, fcfg.skew, fcfg.graphs, fcfg.side, fcfg.side),
+			"phase", "queries", "qps", "p50ms", "p99ms", "hitrate", "restores", "rebuilds", "ok")
+		res, err := runFleet(fcfg, seed)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		inst := fmt.Sprintf("fleet%d-zipf%.1f-g%d", fcfg.replicas, fcfg.skew, fcfg.graphs)
+		preOK := res.pre.matched && res.synced > 0
+		s.add(Record{
+			Exp: "FLEET", Instance: inst + ":pre",
+			N: fcfg.side * fcfg.side, D: 2*fcfg.side - 2,
+			WallMS: res.pre.wallMS, Repeat: rep, Seed: seed, OK: preOK,
+			Queries: fcfg.queries, QPS: res.pre.qps, Clients: fcfg.clients,
+			HitRate: res.pre.hitRate, P50MS: res.pre.p50, P99MS: res.pre.p99,
+			Replicas: fcfg.replicas,
+		})
+		row(rep, "pre", fcfg.queries, res.pre.qps, res.pre.p50, res.pre.p99,
+			res.pre.hitRate, int64(0), int64(0), preOK)
+		postOK := res.post.matched && // gate 1: bit-identical across the kill
+			res.peerRestores > 0 && res.rebuilds == 0 && // gate 2: standby served warm
+			res.stats.Ejects >= 1 && res.stats.Failovers >= 1 &&
+			res.epochPost > res.epochPre
+		s.add(Record{
+			Exp: "FLEET", Instance: inst + ":post",
+			N: fcfg.side * fcfg.side, D: 2*fcfg.side - 2,
+			WallMS: res.post.wallMS, Repeat: rep, Seed: seed, OK: postOK,
+			Queries: fcfg.queries, QPS: res.post.qps, Clients: fcfg.clients,
+			HitRate: res.post.hitRate, P50MS: res.post.p50, P99MS: res.post.p99,
+			Replicas:  fcfg.replicas,
+			Failovers: res.stats.Failovers, PeerRestores: res.peerRestores,
+			Rebuilds: res.rebuilds,
+		})
+		row(rep, "post:"+res.killed, fcfg.queries, res.post.qps, res.post.p50, res.post.p99,
+			res.post.hitRate, res.peerRestores, res.rebuilds, postOK)
+	}
+}
+
+func runFleet(fcfg fleetCfg, seed int64) (*fleetResult, error) {
+	spillRoot, err := os.MkdirTemp("", "flowbench-fleet-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillRoot)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	reps := make([]*fleet.Replica, fcfg.replicas)
+	members := make([]fleet.Member, fcfg.replicas)
+	for i := range reps {
+		r, err := fleet.StartReplica(fleet.ReplicaConfig{
+			Name:   fmt.Sprintf("r%d", i),
+			Store:  store.Config{SpillDir: spillRoot},
+			Logger: quiet,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = r
+		members[i] = r.Member()
+	}
+	defer func() {
+		for _, r := range reps {
+			if r != nil {
+				r.Stop()
+			}
+		}
+	}()
+	fc, err := fleet.New(members, fleet.Options{
+		ProbeInterval: -1, // the kill is permanent for this run
+		BackoffBase:   2 * time.Millisecond,
+		BackoffCap:    20 * time.Millisecond,
+		Seed:          seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fc.Close()
+	ctx := context.Background()
+
+	// Register the working set through the ring (warm: substrates built
+	// at the owner before the first query) and prepare the single-node
+	// ground truth the answers are checked against.
+	ids := make([]string, fcfg.graphs)
+	truth := make([]*planarflow.PreparedGraph, fcfg.graphs)
+	var n, faces int
+	for i := range ids {
+		ids[i] = fmt.Sprintf("g%02d", i)
+		spec := fleetSpec(fcfg, seed, i)
+		if err := fc.Register(ctx, ids[i], spec); err != nil {
+			return nil, err
+		}
+		g, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		if truth[i], err = planarflow.Prepare(g); err != nil {
+			return nil, err
+		}
+		n = g.N()
+		faces = g.NumFaces()
+	}
+
+	// Replicate every bundle to its ring standby over the snapshot
+	// stream, so the kill below lands on a successor already serving
+	// from a peer-restored bundle.
+	synced, err := fc.SyncStandby(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &fleetResult{synced: synced, epochPre: fc.Ring().Epoch()}
+
+	// The two phases share one rng-derived workload shape: queries are
+	// generated (and their expected answers decoded from the library's
+	// labelings) up front, so transport failures cannot skew the mix.
+	gen := func(phase int64, count int) ([]fleetQuery, error) {
+		rng := planar.NewRand(seed + 77*phase)
+		z := newZipf(fcfg.graphs, fcfg.skew)
+		qs := make([]fleetQuery, count)
+		for q := range qs {
+			gi := z.sample(rng)
+			fq := fleetQuery{req: flowd.QueryRequest{Graph: ids[gi]}}
+			if rng.Float64() < 0.7 {
+				fq.req.Op, fq.req.U, fq.req.V = "dist", rng.IntN(n), rng.IntN(n)
+				want, err := truth[gi].Dist(fq.req.U, fq.req.V)
+				if err != nil {
+					return nil, err
+				}
+				fq.want = want
+			} else {
+				fq.req.Op, fq.req.U, fq.req.V = "dualdist", rng.IntN(faces), rng.IntN(faces)
+				want, err := truth[gi].DualDist(fq.req.U, fq.req.V)
+				if err != nil {
+					return nil, err
+				}
+				fq.want = want
+			}
+			qs[q] = fq
+		}
+		return qs, nil
+	}
+	runPhase := func(qs []fleetQuery, alive []*fleet.Replica) (fleetPhase, error) {
+		h0, m0 := fleetHitsMisses(alive)
+		hist := obs.NewHistogram()
+		per := len(qs) / fcfg.clients
+		errs := make([]error, fcfg.clients)
+		var wg sync.WaitGroup
+		begin := time.Now()
+		for w := 0; w < fcfg.clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for q, fq := range qs[w*per : (w+1)*per] {
+					t0 := time.Now()
+					resp, err := fc.Query(ctx, fq.req)
+					if err != nil {
+						errs[w] = fmt.Errorf("client %d query %d: %w", w, q, err)
+						return
+					}
+					hist.Observe(time.Since(t0))
+					if resp.Value != fq.want {
+						errs[w] = fmt.Errorf("client %d query %d (%s %s): got %d want %d",
+							w, q, fq.req.Op, fq.req.Graph, resp.Value, fq.want)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(begin)
+		for _, err := range errs {
+			if err != nil {
+				return fleetPhase{}, err
+			}
+		}
+		h1, m1 := fleetHitsMisses(alive)
+		p50, p99 := quantilesMS(hist)
+		ph := fleetPhase{
+			qps: float64(per*fcfg.clients) / wall.Seconds(),
+			p50: p50, p99: p99,
+			wallMS:  float64(wall.Microseconds()) / 1000,
+			matched: true,
+		}
+		if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
+			ph.hitRate = float64(dh) / float64(dh+dm)
+		}
+		return ph, nil
+	}
+
+	preQ, err := gen(1, fcfg.queries)
+	if err != nil {
+		return nil, err
+	}
+	if res.pre, err = runPhase(preQ, reps); err != nil {
+		return nil, err
+	}
+
+	// Kill the owner of the most popular graph — the worst-case victim:
+	// the Zipf head's traffic all re-routes through the failover path.
+	victim, ok := fc.Owner(ids[0])
+	if !ok {
+		return nil, fmt.Errorf("fleet: no owner for %s", ids[0])
+	}
+	res.killed = victim
+	survivors := make([]*fleet.Replica, 0, len(reps)-1)
+	var builds0 int64
+	for i, r := range reps {
+		if r.Name == victim {
+			r.Stop()
+			reps[i] = nil
+			continue
+		}
+		survivors = append(survivors, r)
+		builds0 += r.Store.Snapshot().Builds
+	}
+
+	postQ, err := gen(2, fcfg.queries)
+	if err != nil {
+		return nil, err
+	}
+	if res.post, err = runPhase(postQ, survivors); err != nil {
+		return nil, err
+	}
+
+	var builds1, restores1 int64
+	for _, r := range survivors {
+		st := r.Store.Snapshot()
+		builds1 += st.Builds
+		restores1 += st.PeerRestores
+	}
+	res.rebuilds = builds1 - builds0
+	res.peerRestores = restores1 // the standby syncs above are these restores
+	res.stats = fc.Stats()
+	res.epochPost = fc.Ring().Epoch()
+	return res, nil
+}
+
+// fleetHitsMisses sums the store hit/miss counters across replicas.
+func fleetHitsMisses(reps []*fleet.Replica) (hits, misses int64) {
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		st := r.Store.Snapshot()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	return hits, misses
+}

@@ -71,11 +71,11 @@ var experiments = []struct {
 	{"E4", e4Girth}, {"E5", e5Labels}, {"E6", e6MinCut},
 	{"E7", e7PA}, {"E8", e8BDD}, {"E9", e9Crossover}, {"E10", e10GirthAblation},
 	{"SCHED", schedBench}, {"SERVE", serveBench}, {"TRAFFIC", trafficBench},
-	{"BATCH", batchBench}, {"COLDSTART", coldstartBench},
+	{"BATCH", batchBench}, {"COLDSTART", coldstartBench}, {"FLEET", fleetBench},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E10, SCHED, SERVE, TRAFFIC, BATCH, COLDSTART, or all)")
+	exp := flag.String("exp", "all", "experiment id (E1..E10, SCHED, SERVE, TRAFFIC, BATCH, COLDSTART, FLEET, or all)")
 	full := flag.Bool("full", false, "run larger instances")
 	repeats := flag.Int("repeats", 1, "repeat each experiment with derived seeds")
 	csvPath := flag.String("csv", "", "write one CSV row per instance run")

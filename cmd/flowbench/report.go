@@ -59,6 +59,12 @@ type Record struct {
 	// Persistence metrics (COLDSTART experiment only).
 	BuildMS   float64 `json:"build_ms,omitempty"`   // wall-clock to build all substrates cold
 	RestoreMS float64 `json:"restore_ms,omitempty"` // wall-clock to restore them from a snapshot
+
+	// Fleet metrics (FLEET experiment only).
+	Replicas     int   `json:"replicas,omitempty"`      // fleet size the run started with
+	Failovers    int64 `json:"failovers,omitempty"`     // requests re-routed after a replica kill
+	PeerRestores int64 `json:"peer_restores,omitempty"` // survivor bundles restored over the snapshot stream
+	Rebuilds     int64 `json:"rebuilds,omitempty"`      // survivor substrate builds after the kill (gated == 0)
 }
 
 // key identifies a record across runs for baseline comparison. Wall-clock
@@ -85,6 +91,7 @@ var csvHeader = []string{
 	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms", "batch",
 	"build_ms", "restore_ms",
 	"phase_decode_ms", "phase_acquire_ms", "phase_build_ms", "phase_exec_ms", "phase_encode_ms",
+	"replicas", "failovers", "peer_restores", "rebuilds",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -131,6 +138,8 @@ func (s *sink) add(r Record) {
 			strconv.FormatFloat(r.PhaseDecodeMS, 'f', 4, 64), strconv.FormatFloat(r.PhaseAcquireMS, 'f', 4, 64),
 			strconv.FormatFloat(r.PhaseBuildMS, 'f', 4, 64), strconv.FormatFloat(r.PhaseExecMS, 'f', 4, 64),
 			strconv.FormatFloat(r.PhaseEncodeMS, 'f', 4, 64),
+			strconv.Itoa(r.Replicas), strconv.FormatInt(r.Failovers, 10),
+			strconv.FormatInt(r.PeerRestores, 10), strconv.FormatInt(r.Rebuilds, 10),
 		})
 	}
 	if s.enc != nil {

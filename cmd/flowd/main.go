@@ -48,8 +48,10 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"planarflow/internal/fleet"
 	"planarflow/internal/flowd"
 	"planarflow/internal/obs"
 	"planarflow/internal/store"
@@ -63,7 +65,8 @@ func main() {
 	maxGraphs := flag.Int("max-graphs", store.DefaultMaxGraphs, "cap on registered graphs (graphs are not evictable; < 0 = unlimited)")
 	demo := flag.Int("demo", 0, "preregister this many demo grid graphs (demo0..demoN-1)")
 	snapDir := flag.String("snapshot-dir", "", "disk snapshot tier: evicted bundles spill here, misses and boot restore from here ('' = disabled)")
-	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run an end-to-end check (including snapshot → restart → query), exit")
+	selfcheck := flag.Bool("selfcheck", false, "serve on a loopback port, run an end-to-end check (including snapshot → restart → query and a two-replica fleet failover), exit")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-drain budget on SIGTERM/SIGINT: finish in-flight requests, then flush resident bundles to the disk tier")
 	logLevel := flag.String("log-level", "warn", "structured-log threshold: debug|info|warn|error (debug logs every request)")
 	slowMS := flag.Int("slow-query-ms", 250, "requests at least this slow land in the slow-query log and /tracez")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address ('' = disabled)")
@@ -169,7 +172,7 @@ func main() {
 		fmt.Printf("flowd: wire transport on unix:%s\n", *wireUDS)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
@@ -180,11 +183,22 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain, bounded by -drain-timeout: stop accepting on both
+		// planes, let in-flight requests finish and their responses flush,
+		// then persist the warm working set so the next boot restores at
+		// decode speed instead of rebuilding.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		hs.Shutdown(shutCtx)
+		hs.Shutdown(drainCtx)
 		if *wireAddr != "" || *wireUDS != "" {
-			srv.Wire().Close()
+			srv.Wire().Shutdown(drainCtx)
+		}
+		if st.SpillEnabled() {
+			if n, err := st.SnapshotResident(); err != nil {
+				fmt.Fprintln(os.Stderr, "flowd: drain snapshot:", err)
+			} else if n > 0 {
+				fmt.Printf("flowd: drained %d resident bundle(s) to %s\n", n, *snapDir)
+			}
 		}
 		st.FlushSpills() // let in-flight eviction spills reach disk
 		fmt.Println("flowd: shut down")
@@ -551,6 +565,102 @@ func runSelfcheck(cfg store.Config, demo int, opts flowd.ServerOptions) error {
 	}
 	fmt.Printf("restart: warm-restored %d+1 graph(s), all %d families bit-identical, 0 rebuilds\n",
 		restored, len(checks))
+
+	if err := runFleetCheck(ctx, checks, want); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
 	fmt.Println("flowd selfcheck: ok")
+	return nil
+}
+
+// runFleetCheck is the fleet leg of the selfcheck: two in-process
+// replicas behind the consistent-hash client, the check graph placed on
+// its owner and synced to the standby, then the owner hard-killed —
+// every family must answer bit-identically through the failover, served
+// from the standby's peer-restored bundle with zero rebuilds.
+func runFleetCheck(ctx context.Context, checks []flowd.QueryRequest, want []string) error {
+	dir, err := os.MkdirTemp("", "flowd-selfcheck-fleet")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reps := make([]*fleet.Replica, 2)
+	members := make([]fleet.Member, 2)
+	for i := range reps {
+		r, err := fleet.StartReplica(fleet.ReplicaConfig{
+			Name:  fmt.Sprintf("r%d", i),
+			Store: store.Config{SpillDir: dir},
+		})
+		if err != nil {
+			return err
+		}
+		defer r.Stop()
+		reps[i] = r
+		members[i] = r.Member()
+	}
+	fc, err := fleet.New(members, fleet.Options{
+		ProbeInterval: -1, // the kill below is permanent; nothing to probe for
+		BackoffBase:   time.Millisecond,
+		BackoffCap:    10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer fc.Close()
+
+	if err := fc.Register(ctx, "check", checkSpec); err != nil {
+		return err
+	}
+	for i, q := range checks {
+		resp, err := fc.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("pre-kill %s: %w", q.Op, err)
+		}
+		// Warm pass so the fleet answers from the same state the restart
+		// leg pinned, then compare against its keys.
+		resp, err = fc.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("pre-kill %s: %w", q.Op, err)
+		}
+		if got := flowd.RestartKey(resp); got != want[i] {
+			return fmt.Errorf("pre-kill %s diverged:\n  got  %s\n  want %s", q.Op, got, want[i])
+		}
+	}
+	if n, err := fc.SyncStandby(ctx); err != nil || n == 0 {
+		return fmt.Errorf("standby sync: synced=%d err=%v", n, err)
+	}
+	owner, _ := fc.Owner("check")
+	var ownerRep, standbyRep *fleet.Replica
+	for _, r := range reps {
+		if r.Name == owner {
+			ownerRep = r
+		} else {
+			standbyRep = r
+		}
+	}
+	if standbyRep.Store.Snapshot().PeerRestores < 1 {
+		return fmt.Errorf("standby holds no peer-restored bundle after sync")
+	}
+	preBuilds := standbyRep.Store.Snapshot().Builds
+	ownerRep.Stop()
+
+	for i, q := range checks {
+		resp, err := fc.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("post-kill %s: %w", q.Op, err)
+		}
+		if got := flowd.RestartKey(resp); got != want[i] {
+			return fmt.Errorf("post-kill %s diverged:\n  got  %s\n  want %s", q.Op, got, want[i])
+		}
+	}
+	if got := standbyRep.Store.Snapshot().Builds; got != preBuilds {
+		return fmt.Errorf("standby rebuilt through the failover: builds %d -> %d", preBuilds, got)
+	}
+	fs := fc.Stats()
+	if fs.Ejects < 1 || fs.Failovers < 1 {
+		return fmt.Errorf("failover not exercised: %+v", fs)
+	}
+	fmt.Printf("fleet: owner %s killed, standby served all %d families bit-identically from its peer-restored bundle (0 rebuilds)\n",
+		owner, len(checks))
 	return nil
 }

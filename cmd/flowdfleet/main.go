@@ -1,0 +1,347 @@
+// Command flowdfleet runs a sharded flowd fleet in one process: N
+// replicas (each its own store, daemon, metric registry, and loopback
+// listeners) behind the consistent-hash fleet client, fronted by one
+// HTTP plane that routes graph traffic by ring placement and aggregates
+// fleet-wide telemetry.
+//
+// Usage:
+//
+//	flowdfleet -addr :8473 -replicas 3 -budget-mb 256
+//	flowdfleet -snapshot-dir /var/lib/flowdfleet    # per-replica disk tiers under <dir>/<name>
+//	flowdfleet -wire                                # replicas also serve the binary transport
+//	flowdfleet -sync-interval 5s                    # periodic standby replication
+//
+// Front endpoints:
+//
+//	POST /v1/graphs   register a graph (routed to its ring owner, warm)
+//	POST /v1/query    one query, routed by graph id with failover
+//	POST /v1/batch    one batch, routed by graph id with failover
+//	GET  /fleetz      membership, aliveness, ring epoch, failover counters
+//	GET  /statsz      fleet-aggregated store stats + merged latency quantiles
+//	GET  /metricsz    merged Prometheus exposition across every replica
+//	GET  /healthz     fleet liveness (alive replicas / total)
+//
+// Replication: every -sync-interval the fleet client re-runs standby
+// sync — each graph's spec registered on its ring successors and the
+// owner's built bundle shipped over the snapshot stream — so a replica
+// death is served by a standby holding a peer-restored bundle (zero
+// rebuilds), and the ring epoch advances for observers on /fleetz.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"planarflow/internal/fleet"
+	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
+	"planarflow/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8473", "fleet front HTTP listen address")
+	replicas := flag.Int("replicas", 3, "number of in-process flowd replicas")
+	budgetMB := flag.Int64("budget-mb", 256, "per-replica artifact memory budget in MiB (0 = unlimited)")
+	snapDir := flag.String("snapshot-dir", "", "disk-tier root: replica r spills under <dir>/<r> ('' = disabled)")
+	wire := flag.Bool("wire", false, "replicas also serve the binary wire transport; fleet routing uses it for queries")
+	syncInterval := flag.Duration("sync-interval", 5*time.Second, "period of standby replication (0 = disabled)")
+	replication := flag.Int("replication", 1, "standby replicas per graph beyond its owner")
+	logLevel := flag.String("log-level", "warn", "structured-log threshold: debug|info|warn|error")
+	flag.Parse()
+
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "flowdfleet: -replicas must be >= 1")
+		os.Exit(2)
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "flowdfleet: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	reps := make([]*fleet.Replica, *replicas)
+	members := make([]fleet.Member, *replicas)
+	for i := range reps {
+		r, err := fleet.StartReplica(fleet.ReplicaConfig{
+			Name:   fmt.Sprintf("r%d", i),
+			Store:  store.Config{MaxBytes: *budgetMB << 20, SpillDir: *snapDir},
+			Wire:   *wire,
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowdfleet:", err)
+			os.Exit(2)
+		}
+		reps[i] = r
+		members[i] = r.Member()
+		fmt.Printf("flowdfleet: replica %s on %s\n", r.Name, r.Member().HTTP)
+	}
+	fc, err := fleet.New(members, fleet.Options{
+		Wire:        *wire,
+		Replication: *replication,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowdfleet:", err)
+		os.Exit(2)
+	}
+	defer fc.Close()
+
+	front := &front{fc: fc, reps: reps, start: time.Now()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowdfleet:", err)
+		os.Exit(2)
+	}
+	hs := &http.Server{Handler: front.mux()}
+	fmt.Printf("flowdfleet: %d replicas behind %s (replication %d)\n", *replicas, ln.Addr(), *replication)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *syncInterval > 0 {
+		go func() {
+			t := time.NewTicker(*syncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					sctx, cancel := context.WithTimeout(ctx, *syncInterval)
+					if _, err := fc.SyncStandby(sctx); err != nil {
+						logger.Warn("standby sync", "err", err.Error())
+					}
+					cancel()
+				}
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "flowdfleet:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(drainCtx)
+		for _, r := range reps {
+			if err := r.Drain(drainCtx); err != nil {
+				logger.Warn("replica drain", "replica", r.Name, "err", err.Error())
+			}
+		}
+		fmt.Println("flowdfleet: shut down")
+	}
+}
+
+// front is the fleet's aggregating HTTP plane.
+type front struct {
+	fc    *fleet.Client
+	reps  []*fleet.Replica
+	start time.Time
+}
+
+func (f *front) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", f.handleRegister)
+	mux.HandleFunc("POST /v1/query", f.handleQuery)
+	mux.HandleFunc("POST /v1/batch", f.handleBatch)
+	mux.HandleFunc("GET /fleetz", f.handleFleetz)
+	mux.HandleFunc("GET /statsz", f.handleStatsz)
+	mux.HandleFunc("GET /metricsz", f.handleMetricsz)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	var ae *flowd.APIError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.Status
+	case errors.Is(err, fleet.ErrNoReplicas):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
+	var v T
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "flowdfleet: bad request: " + err.Error()})
+		return nil, false
+	}
+	return &v, true
+}
+
+func (f *front) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[flowd.RegisterRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "flowdfleet: missing graph id"})
+		return
+	}
+	if err := f.fc.Register(r.Context(), req.ID, req.Spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	owner, _ := f.fc.Owner(req.ID)
+	writeJSON(w, http.StatusOK, map[string]string{"id": req.ID, "owner": owner})
+}
+
+func (f *front) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[flowd.QueryRequest](w, r)
+	if !ok {
+		return
+	}
+	resp, err := f.fc.Query(r.Context(), *req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (f *front) handleBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[flowd.BatchRequest](w, r)
+	if !ok {
+		return
+	}
+	resp, err := f.fc.QueryBatch(r.Context(), *req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fleetzResponse is the fleet-topology view: who is in the ring, who is
+// alive, which epoch routing is at, and the client's failure counters.
+type fleetzResponse struct {
+	Members []memberStatus `json:"members"`
+	Epoch   uint64         `json:"epoch"`
+	Alive   int            `json:"alive"`
+	Stats   fleet.Stats    `json:"stats"`
+}
+
+type memberStatus struct {
+	Name  string `json:"name"`
+	HTTP  string `json:"http"`
+	Alive bool   `json:"alive"`
+}
+
+func (f *front) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	ring := f.fc.Ring()
+	resp := fleetzResponse{Epoch: ring.Epoch(), Alive: ring.AliveCount(), Stats: f.fc.Stats()}
+	for _, r := range f.reps {
+		resp.Members = append(resp.Members, memberStatus{
+			Name: r.Name, HTTP: r.Member().HTTP, Alive: ring.Alive(r.Name),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fleetStatsResponse is the aggregated /statsz: summed store counters,
+// the per-replica breakdown, and fleet-wide latency quantiles computed
+// from merged histogram snapshots (not averaged per-replica quantiles).
+type fleetStatsResponse struct {
+	Store      store.Stats                  `json:"store"`
+	HitRate    float64                      `json:"hit_rate"`
+	UptimeMS   float64                      `json:"uptime_ms"`
+	PerReplica map[string]store.Stats       `json:"per_replica"`
+	Latency    map[string]flowd.HistSummary `json:"latency,omitempty"`
+}
+
+func (f *front) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	resp := fleetStatsResponse{
+		UptimeMS:   float64(time.Since(f.start).Microseconds()) / 1000,
+		PerReplica: make(map[string]store.Stats, len(f.reps)),
+	}
+	merged := map[string]obs.Snapshot{}
+	for _, rep := range f.reps {
+		st := rep.Store.Snapshot()
+		st.PerGraph = nil // the fleet view aggregates; per-graph stays on the replica's own /statsz
+		resp.PerReplica[rep.Name] = st
+		resp.Store.Graphs += st.Graphs
+		resp.Store.Resident += st.Resident
+		resp.Store.Bytes += st.Bytes
+		resp.Store.MaxBytes += st.MaxBytes
+		resp.Store.Hits += st.Hits
+		resp.Store.Misses += st.Misses
+		resp.Store.Builds += st.Builds
+		resp.Store.Evictions += st.Evictions
+		resp.Store.BuildRounds += st.BuildRounds
+		resp.Store.SnapshotRestores += st.SnapshotRestores
+		resp.Store.SnapshotWrites += st.SnapshotWrites
+		resp.Store.SnapshotErrors += st.SnapshotErrors
+		resp.Store.PeerRestores += st.PeerRestores
+		for key, snap := range rep.Srv.LatencySnapshots() {
+			m := merged[key]
+			m.Merge(snap)
+			merged[key] = m
+		}
+	}
+	resp.HitRate = resp.Store.HitRate()
+	if len(merged) > 0 {
+		resp.Latency = make(map[string]flowd.HistSummary, len(merged))
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			resp.Latency[k] = flowd.SummarizeLatency(merged[k])
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (f *front) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	regs := make([]*obs.Registry, len(f.reps))
+	for i, rep := range f.reps {
+		regs[i] = rep.Reg
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteMergedPrometheus(w, regs...)
+}
+
+func (f *front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ring := f.fc.Ring()
+	alive := ring.AliveCount()
+	status := "ok"
+	code := http.StatusOK
+	if alive == 0 {
+		status, code = "down", http.StatusServiceUnavailable
+	} else if alive < len(f.reps) {
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status, "alive": alive, "replicas": len(f.reps), "epoch": ring.Epoch(),
+	})
+}

@@ -1,0 +1,489 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planarflow/internal/flowd"
+	"planarflow/internal/store"
+)
+
+// Options tunes the fleet client's routing and failure handling. The
+// zero value is usable: DefaultVnodes, one standby per graph, 10ms–500ms
+// capped exponential backoff, 250ms health probes.
+type Options struct {
+	// Vnodes per member on the ring (<= 0 = DefaultVnodes).
+	Vnodes int
+	// Replication is how many standby replicas each graph keeps beyond
+	// its owner — SyncStandby registers the graph and ships its snapshot
+	// to this many ring successors (<= 0 = 1; capped at fleet size - 1).
+	Replication int
+	// BackoffBase/BackoffCap bound the exponential retry backoff after a
+	// replica failure (0 = 10ms / 500ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// MaxAttempts is the routing retry budget per request: each attempt
+	// may eject a dead replica and re-route to its successor
+	// (<= 0 = one attempt per member + 1).
+	MaxAttempts int
+	// ProbeInterval paces the health probe that watches an ejected
+	// replica for recovery (0 = 250ms; < 0 disables probing — dead
+	// replicas stay dead until SetAlive).
+	ProbeInterval time.Duration
+	// Wire attaches a binary-transport WireClient to every member that
+	// advertises a wire address, routing Query/QueryBatch over it.
+	Wire bool
+	// WireOptions configures those transports (pool size, coalescing).
+	WireOptions flowd.WireOptions
+	// Seed fixes the backoff jitter stream (0 = 1; the fleet client is
+	// deterministic given the seed, which the benchmarks rely on).
+	Seed int64
+}
+
+func (o *Options) withDefaults(members int) Options {
+	out := *o
+	if out.Vnodes <= 0 {
+		out.Vnodes = DefaultVnodes
+	}
+	if out.Replication <= 0 {
+		out.Replication = 1
+	}
+	if out.Replication > members-1 {
+		out.Replication = members - 1
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 10 * time.Millisecond
+	}
+	if out.BackoffCap <= 0 {
+		out.BackoffCap = 500 * time.Millisecond
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = members + 1
+	}
+	if out.ProbeInterval == 0 {
+		out.ProbeInterval = 250 * time.Millisecond
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// ErrNoReplicas reports a request that found every fleet member marked
+// dead — there is nowhere left to route.
+var ErrNoReplicas = errors.New("fleet: no alive replicas")
+
+// Stats counts the fleet client's failure-handling events.
+type Stats struct {
+	Failovers    int64 `json:"failovers"`     // requests re-routed after an eject
+	Ejects       int64 `json:"ejects"`        // replicas marked dead
+	Recoveries   int64 `json:"recoveries"`    // replicas probed back alive
+	Adoptions    int64 `json:"adoptions"`     // graphs registered+restored on a non-owner at query time
+	StandbySyncs int64 `json:"standby_syncs"` // graph/standby pairs synced by SyncStandby
+}
+
+// memberState is one replica as the client sees it: the HTTP (and
+// optionally wire) client plus the single-prober guard.
+type memberState struct {
+	m       Member
+	cl      *flowd.Client
+	wc      *flowd.WireClient
+	probing atomic.Bool
+}
+
+// Client routes flowd requests across a fleet of replicas by consistent
+// hash: each graph id maps to an owning replica; Register, Warm, Query
+// and QueryBatch all follow that placement. On a transport-level
+// failure the owner is ejected from the ring (epoch bump), a background
+// probe watches it for recovery, and the request retries against the
+// ring successor after a jittered exponential backoff. A successor that
+// answers "unknown graph" for a graph the client has registered runs
+// the adopt path first: re-register the cached spec, then restore the
+// bundle via the peer ladder (snapshot fetch from the old owner or any
+// other alive replica, then the successor's own disk tier, then cold).
+type Client struct {
+	ring    *Ring
+	members map[string]*memberState
+	order   []string
+	opt     Options
+
+	specMu sync.Mutex
+	specs  map[string]store.GraphSpec
+	// syncedAt memoizes standby sync per "graph|standby" by the ring
+	// epoch it ran at: a periodic SyncStandby is then a no-op until
+	// membership changes, instead of re-registering (409) and re-walking
+	// the restore ladder on every tick.
+	syncedAt map[string]uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	failovers, ejects, recoveries, adoptions, standbySyncs atomic.Int64
+}
+
+// New builds a fleet client over a static member list.
+func New(members []Member, opt Options) (*Client, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: need at least one member")
+	}
+	names := make([]string, len(members))
+	for i, m := range members {
+		if m.HTTP == "" {
+			return nil, fmt.Errorf("fleet: member %q has no HTTP base", m.Name)
+		}
+		names[i] = m.Name
+	}
+	o := opt.withDefaults(len(members))
+	ring, err := NewRing(names, o.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		ring:     ring,
+		members:  make(map[string]*memberState, len(members)),
+		order:    ring.Members(),
+		opt:      o,
+		specs:    map[string]store.GraphSpec{},
+		syncedAt: map[string]uint64{},
+		rng:      rand.New(rand.NewSource(o.Seed)),
+		stop:     make(chan struct{}),
+	}
+	for _, m := range members {
+		ms := &memberState{m: m, cl: flowd.NewClient(m.HTTP)}
+		if o.Wire && m.WireNet != "" {
+			ms.wc = flowd.NewWireClient(m.WireNet, m.WireAddr, o.WireOptions)
+			ms.cl = ms.cl.WithWireTransport(ms.wc)
+		}
+		c.members[m.Name] = ms
+	}
+	return c, nil
+}
+
+// Close stops the probes and releases every member's wire transport.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.stop)
+	c.wg.Wait()
+	for _, ms := range c.members {
+		if ms.wc != nil {
+			ms.wc.Close()
+		}
+	}
+	return nil
+}
+
+// Ring exposes the routing ring (epoch, aliveness, placement).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Stats snapshots the failure-handling counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Failovers:    c.failovers.Load(),
+		Ejects:       c.ejects.Load(),
+		Recoveries:   c.recoveries.Load(),
+		Adoptions:    c.adoptions.Load(),
+		StandbySyncs: c.standbySyncs.Load(),
+	}
+}
+
+// MemberClient returns the per-replica flowd client (telemetry scrapes,
+// tests). Unknown names return nil.
+func (c *Client) MemberClient(name string) *flowd.Client {
+	if ms := c.members[name]; ms != nil {
+		return ms.cl
+	}
+	return nil
+}
+
+// Owner returns the replica currently owning the graph.
+func (c *Client) Owner(graph string) (string, bool) { return c.ring.Owner(graph) }
+
+// isConflict reports a 409 — the graph is already registered there,
+// which every idempotent path here treats as success.
+func isConflict(err error) bool {
+	var ae *flowd.APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusConflict
+}
+
+// Register places the graph on its owning replica (warm, so the
+// substrates are built before the call returns) and caches the spec for
+// adoption and standby sync. A duplicate registration is success.
+func (c *Client) Register(ctx context.Context, id string, spec store.GraphSpec) error {
+	_, err := c.withOwner(ctx, id, func(ms *memberState) (any, error) {
+		_, err := ms.cl.RegisterWarm(ctx, id, spec)
+		if isConflict(err) {
+			err = nil
+		}
+		return nil, err
+	})
+	if err != nil {
+		return err
+	}
+	c.specMu.Lock()
+	c.specs[id] = spec
+	c.specMu.Unlock()
+	return nil
+}
+
+// Warm eagerly builds the graph's substrates on its owning replica.
+func (c *Client) Warm(ctx context.Context, graph string) error {
+	_, err := c.withOwner(ctx, graph, func(ms *memberState) (any, error) {
+		_, err := ms.cl.Warm(ctx, graph)
+		return nil, err
+	})
+	return err
+}
+
+// Query routes one query to the graph's owner, failing over along the
+// ring when the owner is down.
+func (c *Client) Query(ctx context.Context, req flowd.QueryRequest) (*flowd.QueryResponse, error) {
+	v, err := c.withOwner(ctx, req.Graph, func(ms *memberState) (any, error) {
+		return ms.cl.Query(ctx, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*flowd.QueryResponse), nil
+}
+
+// QueryBatch routes one batch to the graph's owner.
+func (c *Client) QueryBatch(ctx context.Context, req flowd.BatchRequest) (*flowd.BatchResponse, error) {
+	v, err := c.withOwner(ctx, req.Graph, func(ms *memberState) (any, error) {
+		return ms.cl.QueryBatch(ctx, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*flowd.BatchResponse), nil
+}
+
+// withOwner is the routing loop every graph-keyed call runs through:
+// resolve the owner, run the call, and on failure either eject +
+// backoff + retry (transport failure), adopt + retry (owner-side
+// unknown graph with a cached spec), or surface the error.
+func (c *Client) withOwner(ctx context.Context, graph string, call func(*memberState) (any, error)) (any, error) {
+	adopted := false
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		owner, ok := c.ring.Owner(graph)
+		if !ok {
+			return nil, ErrNoReplicas
+		}
+		ms := c.members[owner]
+		v, err := call(ms)
+		if err == nil {
+			if attempt > 0 {
+				c.failovers.Add(1)
+			}
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		switch {
+		case flowd.IsUnavailable(err):
+			c.eject(owner)
+			if berr := c.backoff(ctx, attempt); berr != nil {
+				return nil, err
+			}
+		case flowd.IsNotFound(err) && !adopted && c.hasSpec(graph):
+			// The routed replica does not hold the graph (fresh successor
+			// after a failover): register the cached spec and run the peer
+			// restore ladder, then retry the call once on the same replica.
+			adopted = true
+			if aerr := c.adopt(ctx, owner, graph); aerr != nil {
+				if flowd.IsUnavailable(aerr) {
+					c.eject(owner)
+					continue
+				}
+				return nil, fmt.Errorf("fleet: adopt %q on %s: %w", graph, owner, aerr)
+			}
+		default:
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("fleet: %q: retries exhausted: %w", graph, ErrNoReplicas)
+}
+
+func (c *Client) hasSpec(graph string) bool {
+	c.specMu.Lock()
+	defer c.specMu.Unlock()
+	_, ok := c.specs[graph]
+	return ok
+}
+
+// adopt makes a replica that has never seen the graph serviceable:
+// register the cached spec (409 = already there), then run its restore
+// ladder with every other alive replica as a peer — so the bundle the
+// old owner built ships over instead of being rebuilt.
+func (c *Client) adopt(ctx context.Context, member, graph string) error {
+	c.specMu.Lock()
+	spec, ok := c.specs[graph]
+	c.specMu.Unlock()
+	if !ok {
+		return store.ErrUnknownGraph
+	}
+	ms := c.members[member]
+	if _, err := ms.cl.Register(ctx, graph, spec); err != nil && !isConflict(err) {
+		return err
+	}
+	if _, err := ms.cl.Restore(ctx, graph, c.peerBases(member)); err != nil {
+		return err
+	}
+	c.adoptions.Add(1)
+	return nil
+}
+
+// peerBases lists every alive member's HTTP base except self — the peer
+// list handed to the restore ladder.
+func (c *Client) peerBases(self string) []string {
+	var out []string
+	for _, name := range c.order {
+		if name == self || !c.ring.Alive(name) {
+			continue
+		}
+		out = append(out, c.members[name].m.HTTP)
+	}
+	return out
+}
+
+// eject marks a member dead on the ring and starts its recovery probe.
+func (c *Client) eject(member string) {
+	if !c.ring.Alive(member) {
+		return
+	}
+	c.ring.SetAlive(member, false)
+	c.ejects.Add(1)
+	c.startProbe(member)
+}
+
+// startProbe launches the single background prober for an ejected
+// member: poll /healthz until it answers, then mark the member alive.
+func (c *Client) startProbe(member string) {
+	if c.opt.ProbeInterval < 0 || c.closed.Load() {
+		return
+	}
+	ms := c.members[member]
+	if !ms.probing.CompareAndSwap(false, true) {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer ms.probing.Store(false)
+		t := time.NewTicker(c.opt.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), c.opt.ProbeInterval)
+				_, err := ms.cl.Health(ctx)
+				cancel()
+				if err == nil {
+					c.ring.SetAlive(member, true)
+					c.recoveries.Add(1)
+					return
+				}
+			}
+		}
+	}()
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt,
+// honoring ctx.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opt.BackoffBase << uint(attempt)
+	if d > c.opt.BackoffCap || d <= 0 {
+		d = c.opt.BackoffCap
+	}
+	// Full jitter over [d/2, d): enough spread to de-synchronize
+	// concurrent retriers without losing the exponential shape.
+	c.rngMu.Lock()
+	j := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Unlock()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(j):
+		return nil
+	}
+}
+
+// SyncStandby replicates every registered graph onto its ring standbys:
+// for each graph, the Replication successors beyond the owner get the
+// spec registered (idempotent) and the bundle restored via the peer
+// ladder with the owner first in the fetch order. Run it after
+// registration (and periodically) so a failover finds the successor
+// already holding a restored bundle — zero rebuilds on the kill path.
+// Returns how many graph/standby pairs synced.
+func (c *Client) SyncStandby(ctx context.Context) (int, error) {
+	c.specMu.Lock()
+	ids := make([]string, 0, len(c.specs))
+	for id := range c.specs {
+		ids = append(ids, id)
+	}
+	specs := make(map[string]store.GraphSpec, len(ids))
+	for id := range c.specs {
+		specs[id] = c.specs[id]
+	}
+	c.specMu.Unlock()
+
+	epoch := c.ring.Epoch()
+	synced := 0
+	var firstErr error
+	for _, id := range ids {
+		chain := c.ring.Successors(id, 1+c.opt.Replication)
+		if len(chain) < 2 {
+			continue
+		}
+		owner := chain[0]
+		for _, standby := range chain[1:] {
+			key := id + "|" + standby
+			c.specMu.Lock()
+			done := c.syncedAt[key] == epoch
+			c.specMu.Unlock()
+			if done {
+				continue
+			}
+			ms := c.members[standby]
+			if _, err := ms.cl.Register(ctx, id, specs[id]); err != nil && !isConflict(err) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("fleet: standby register %q on %s: %w", id, standby, err)
+				}
+				continue
+			}
+			// Owner first in the peer order: the freshest bundle lives there.
+			peers := []string{c.members[owner].m.HTTP}
+			for _, p := range c.peerBases(standby) {
+				if p != peers[0] {
+					peers = append(peers, p)
+				}
+			}
+			if _, err := ms.cl.Restore(ctx, id, peers); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("fleet: standby restore %q on %s: %w", id, standby, err)
+				}
+				continue
+			}
+			c.specMu.Lock()
+			c.syncedAt[key] = epoch
+			c.specMu.Unlock()
+			synced++
+			c.standbySyncs.Add(1)
+		}
+	}
+	return synced, firstErr
+}

@@ -1,0 +1,209 @@
+// Package fleet shards a set of flowd replicas behind one smart client:
+// a consistent-hash ring decides which replica owns each graph, the
+// client routes queries there and fails over along the ring when a
+// replica dies, and snapshot shipping (flowd's peer plane) moves built
+// bundles to the successor so failover answers from a restored bundle
+// instead of a cold rebuild.
+//
+// The ring is the only policy holder. Daemons stay shard-oblivious —
+// they serve whatever graphs they are handed — which keeps the fleet a
+// pure client-side construction over the existing flowd surface.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Member describes one flowd replica: how the fleet client reaches it
+// over HTTP and (optionally) over the binary wire transport.
+type Member struct {
+	Name     string // stable identity; hashed onto the ring
+	HTTP     string // base URL, e.g. "http://127.0.0.1:7001"
+	WireNet  string // "tcp" or "unix"; empty disables the wire path
+	WireAddr string
+}
+
+// ringPoint is one virtual node: a hash position claimed by a member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes and explicit
+// epochs. Placement is deterministic in (members, vnodes): every client
+// built from the same static member list computes the same owner for
+// every graph, so a fleet needs no coordination service to agree on
+// routing. The epoch increments on any aliveness change, giving
+// callers a cheap "did routing move since I cached this?" check.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	members []string // sorted, for deterministic iteration
+	points  []ringPoint
+	alive   map[string]bool
+	epoch   uint64
+}
+
+// DefaultVnodes spreads each member over enough virtual points that the
+// largest ownership share stays within a few percent of fair for small
+// fleets.
+const DefaultVnodes = 64
+
+// NewRing builds a ring over the given member names. vnodes <= 0 uses
+// DefaultVnodes. Duplicate names are an error: two points claiming one
+// identity would silently double that member's share.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	names := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("fleet: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("fleet: duplicate member %q", m)
+		}
+		seen[m] = true
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	r := &Ring{
+		vnodes:  vnodes,
+		members: names,
+		alive:   make(map[string]bool, len(names)),
+		epoch:   1,
+	}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for _, m := range names {
+		r.alive[m] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   ringHash(fmt.Sprintf("%s|%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // total order even on hash collision
+	})
+	return r, nil
+}
+
+// ringHash is FNV-1a 64 (the store's spill-path hash) pushed through a
+// 64-bit avalanche finalizer. Raw FNV-1a disperses poorly on the short,
+// near-identical "member|vnode" strings the ring feeds it — without the
+// finalizer one member can own 2/3 of the keyspace; with it, vnode
+// points spread uniformly.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the alive member owning key: the first alive member at
+// or clockwise of the key's hash. ok is false when no member is alive.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	chain := r.successorsLocked(key, 1)
+	if len(chain) == 0 {
+		return "", false
+	}
+	return chain[0], true
+}
+
+// Successors returns up to n distinct alive members in ring order
+// starting at key's owner. Successors(key, 1)[0] == Owner(key); the
+// remainder is the failover / standby chain.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.successorsLocked(key, n)
+}
+
+func (r *Ring) successorsLocked(key string, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] || !r.alive[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}
+
+// SetAlive marks a member alive or dead. A state change bumps the
+// epoch — routing moved. Unknown members are ignored.
+func (r *Ring) SetAlive(member string, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.alive[member]
+	if !ok || cur == alive {
+		return
+	}
+	r.alive[member] = alive
+	r.epoch++
+}
+
+// Alive reports whether the member is currently marked alive.
+func (r *Ring) Alive(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[member]
+}
+
+// AliveCount returns how many members are currently marked alive.
+func (r *Ring) AliveCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, a := range r.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Epoch returns the current ring epoch. It starts at 1 and increments
+// on every aliveness change.
+func (r *Ring) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// Members returns the sorted member names (alive or not).
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := []string{"r2", "r0", "r1"}
+	a, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"r0", "r1", "r2"}, 64) // different input order
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("graph-%d", i)
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatalf("no owner for %q", key)
+		}
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("placement differs for %q: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"r0", "r1", "r2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		o, ok := r.Owner(fmt.Sprintf("graph-%d", i))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[o]++
+	}
+	for m, c := range counts {
+		// Fair share is n/3 = 1000; with 64 vnodes the spread stays well
+		// inside a factor of two for any realistic hash behaviour.
+		if c < n/6 || c > n/2+n/6 {
+			t.Fatalf("member %s owns %d of %d keys — ring badly unbalanced: %v", m, c, n, counts)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndAliveAware(t *testing.T) {
+	r, err := NewRing([]string{"r0", "r1", "r2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := r.Successors("graph-42", 3)
+	if len(chain) != 3 {
+		t.Fatalf("want 3 successors, got %v", chain)
+	}
+	seen := map[string]bool{}
+	for _, m := range chain {
+		if seen[m] {
+			t.Fatalf("duplicate member in chain %v", chain)
+		}
+		seen[m] = true
+	}
+	owner := chain[0]
+	if got, _ := r.Owner("graph-42"); got != owner {
+		t.Fatalf("Owner %q != Successors[0] %q", got, owner)
+	}
+
+	// Kill the owner: the old first successor becomes the owner.
+	r.SetAlive(owner, false)
+	next, ok := r.Owner("graph-42")
+	if !ok {
+		t.Fatal("no owner after single failure")
+	}
+	if next != chain[1] {
+		t.Fatalf("after killing %s, owner = %q, want old successor %q", owner, next, chain[1])
+	}
+	if got := r.Successors("graph-42", 3); len(got) != 2 {
+		t.Fatalf("dead member still in chain: %v", got)
+	}
+
+	// Keys owned by surviving members must not move (the consistency in
+	// consistent hashing).
+	r2, _ := NewRing([]string{"r0", "r1", "r2"}, 0)
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		before, _ := r2.Owner(key)
+		if before == owner {
+			continue
+		}
+		after, _ := r.Owner(key)
+		if after == before {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by survivors moved after unrelated failure (kept %d)", moved, kept)
+	}
+}
+
+func TestRingEpochAndRecovery(t *testing.T) {
+	r, err := NewRing([]string{"r0", "r1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Epoch(); got != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", got)
+	}
+	r.SetAlive("r0", true) // no-op: already alive
+	if got := r.Epoch(); got != 1 {
+		t.Fatalf("no-op SetAlive bumped epoch to %d", got)
+	}
+	r.SetAlive("r0", false)
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("epoch after death = %d, want 2", got)
+	}
+	if r.Alive("r0") {
+		t.Fatal("r0 still alive")
+	}
+	if got := r.AliveCount(); got != 1 {
+		t.Fatalf("alive count = %d, want 1", got)
+	}
+	r.SetAlive("r0", true)
+	if got := r.Epoch(); got != 3 {
+		t.Fatalf("epoch after recovery = %d, want 3", got)
+	}
+	r.SetAlive("ghost", false) // unknown member: ignored
+	if got := r.Epoch(); got != 3 {
+		t.Fatalf("unknown member bumped epoch to %d", got)
+	}
+
+	// All members dead: no owner.
+	r.SetAlive("r0", false)
+	r.SetAlive("r1", false)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("owner returned with zero alive members")
+	}
+	if got := r.Successors("k", 2); len(got) != 0 {
+		t.Fatalf("successors %v with zero alive members", got)
+	}
+}

@@ -4,12 +4,83 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 
 	"planarflow/internal/store"
+	"planarflow/internal/wire"
 )
+
+// APIError is a daemon-reported HTTP failure: the status code plus the
+// decoded error body. Typed so callers (the fleet client above all) can
+// branch on the status class — 404 unknown graph vs 409 duplicate —
+// without string matching.
+type APIError struct {
+	Status int
+	Msg    string
+	method string
+	path   string
+}
+
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("flowd client: %s %s: status %d: %s", e.method, e.path, e.Status, e.Msg)
+	}
+	return fmt.Sprintf("flowd client: %s %s: status %d", e.method, e.path, e.Status)
+}
+
+// apiError decodes a non-2xx response body into the typed error.
+func apiError(method, path string, status int, body []byte) *APIError {
+	var e errorResponse
+	_ = json.Unmarshal(body, &e)
+	return &APIError{Status: status, Msg: e.Error, method: method, path: path}
+}
+
+// IsUnavailable classifies transport-level failures — the server is
+// down, unreachable, or the connection died mid-flight — as opposed to
+// the server rejecting the request. True for wire dial failures
+// (wire.ErrUnavailable), dead wire connections (ErrConnClosed), closed
+// pools, and HTTP transport errors (*url.Error / net.OpError under the
+// client's %w wrapping). The fleet client ejects a replica and re-routes
+// on exactly this class.
+func IsUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, wire.ErrUnavailable) || errors.Is(err, wire.ErrConnClosed) ||
+		errors.Is(err, wire.ErrPoolClosed) || errors.Is(err, wire.ErrServerClosed) {
+		return true
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// IsNotFound reports a daemon answering "no such graph" on either
+// plane: an HTTP 404 APIError or a wire StatusNotFound. The fleet
+// client reads it as "this replica does not hold the graph yet" and
+// runs the adopt path (register + restore) before retrying.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusNotFound
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == wire.StatusNotFound
+	}
+	return false
+}
 
 // ClientMaxIdleConnsPerHost sizes NewClient's connection pool. The
 // stdlib default (http.DefaultMaxIdleConnsPerHost = 2) closes all but
@@ -82,11 +153,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("flowd client: read: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
-		var e errorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("flowd client: %s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
-		}
-		return fmt.Errorf("flowd client: %s %s: status %d", method, path, resp.StatusCode)
+		return apiError(method, path, resp.StatusCode, data)
 	}
 	if out == nil {
 		return nil

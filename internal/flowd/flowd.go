@@ -256,11 +256,17 @@ type Server struct {
 	wireMu  sync.Mutex
 	wireSrv *wire.Server
 
+	// Peer plane (peer.go): the lazily built HTTP client restores fetch
+	// snapshots with.
+	peerMu sync.Mutex
+	peerHC *http.Client
+
 	// Telemetry plane (initObs): structured logger, span tracer, request
 	// id sequence for the HTTP plane (wire requests key by frame id), the
 	// prebuilt (transport, family) metric grid and per-phase histograms.
 	log       *slog.Logger
 	tracer    *obs.Tracer
+	reg       *obs.Registry
 	reqSeq    atomic.Uint64
 	fmGrid    map[famKey]*famMetrics
 	phaseHist [obs.NumPhases]*obs.Histogram
@@ -279,6 +285,9 @@ func NewServerWith(st *store.Store, opt ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/snapshot/{graph}", s.handleFetchSnapshot)
+	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
@@ -347,7 +356,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // timed-out requests 499/504, everything else 500.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, store.ErrUnknownGraph):
+	case errors.Is(err, store.ErrUnknownGraph), errors.Is(err, ErrNoSnapshot):
 		return http.StatusNotFound
 	case errors.Is(err, store.ErrDuplicateID):
 		return http.StatusConflict

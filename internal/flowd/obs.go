@@ -38,6 +38,12 @@ type ServerOptions struct {
 	// TraceRing sizes the recent- and slow-span rings
 	// (0 = obs.DefaultTraceRing).
 	TraceRing int
+	// Registry is the metric registry this server records into and its
+	// /metricsz serves. nil means obs.Default() — the right choice for one
+	// daemon per process. A fleet of in-process replicas gives each its
+	// own registry so per-replica metrics stay separable and the fleet
+	// front can merge them (obs.WriteMergedPrometheus).
+	Registry *obs.Registry
 }
 
 // famMetrics is one (transport, family) cell of the prebuilt metric
@@ -76,7 +82,11 @@ func (s *Server) initObs(opt ServerOptions) {
 	}
 	s.tracer = obs.NewTracer(opt.TraceRing, opt.SlowThreshold)
 
-	r := obs.Default()
+	s.reg = opt.Registry
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	r := s.reg
 	families := append(append([]string{}, Ops...), batchFamily, decodeFamily)
 	s.fmGrid = make(map[famKey]*famMetrics, len(transports)*len(families))
 	for _, tr := range transports {
@@ -205,7 +215,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.Default().WritePrometheus(w); err != nil {
+	if err := s.reg.WritePrometheus(w); err != nil {
 		s.writeErrs.Add(1)
 		s.log.Warn("metricsz write failed", "err", err.Error())
 	}
@@ -297,6 +307,11 @@ func summarize(snap obs.Snapshot) HistSummary {
 	}
 }
 
+// SummarizeLatency folds one latency snapshot into the /statsz quantile
+// digest — exported for the fleet front, which merges per-replica
+// snapshots (Snapshot.Merge) and summarizes the union.
+func SummarizeLatency(snap obs.Snapshot) HistSummary { return summarize(snap) }
+
 // latencySnapshot digests the non-empty (transport, family) histograms
 // as "transport/family" → summary.
 func (s *Server) latencySnapshot() map[string]HistSummary {
@@ -313,3 +328,23 @@ func (s *Server) latencySnapshot() map[string]HistSummary {
 	}
 	return out
 }
+
+// LatencySnapshots exports the raw (transport, family) latency
+// histogram snapshots keyed "transport/family" — the mergeable form.
+// The fleet front merges these across replicas (obs Snapshot.Merge) and
+// summarizes the union, so fleet-wide quantiles come from merged
+// buckets, not averaged per-replica quantiles.
+func (s *Server) LatencySnapshots() map[string]obs.Snapshot {
+	out := make(map[string]obs.Snapshot, len(s.fmGrid))
+	for key, m := range s.fmGrid {
+		snap := m.lat.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		out[key.transport+"/"+key.family] = snap
+	}
+	return out
+}
+
+// Registry returns the metric registry this server records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }

@@ -1,0 +1,293 @@
+package flowd
+
+// The daemon's peer plane: the two endpoints the fleet's snapshot
+// shipping runs on, plus the client methods that drive them.
+//
+//	GET  /v1/snapshot/{graph}   stream the graph's PFSNAP snapshot
+//	                            (snapstream-framed; 404 when the graph is
+//	                            unknown or holds no snapshot anywhere)
+//	POST /v1/restore            make the graph resident via the fallback
+//	                            ladder: peer fetch → local SpillDir →
+//	                            nothing (the next query rebuilds cold)
+//
+// The ladder's policy — which peers, in what order — belongs to the
+// fleet client (it knows the ring); the daemon only executes a fetch
+// list it is handed. The store's InstallSnapshot validates the full
+// PFSNAP envelope against the locally registered graph, so a peer
+// serving stale or foreign bytes can cost a fetch, never a wrong answer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// newStrictDecoder is the daemon's uniform JSON stance: unknown fields
+// rejected, caller checks More() for trailing garbage.
+func newStrictDecoder(data []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec
+}
+
+// ErrNoSnapshot reports a snapshot fetch for a graph with no resident
+// bundle and no disk snapshot — nothing to ship.
+var ErrNoSnapshot = errors.New("flowd: no snapshot available")
+
+// RestoreRequest asks the daemon to make one graph's bundle resident
+// without running a query: try each peer base URL in order (snapshot
+// fetch + install), then the local disk tier. Peers is optional — an
+// empty list is a disk-only restore.
+type RestoreRequest struct {
+	Graph string   `json:"graph"`
+	Peers []string `json:"peers,omitempty"`
+}
+
+// RestoreResponse reports what the restore ladder found. Source is
+// "resident" (nothing to do), "peer" (Peer holds which), "disk", or
+// "none" (every rung missed; the next query rebuilds cold — which is
+// the ladder's designed floor, not an error).
+type RestoreResponse struct {
+	Graph    string `json:"graph"`
+	Restored bool   `json:"restored"`
+	Source   string `json:"source"`
+	Peer     string `json:"peer,omitempty"`
+}
+
+// WarmRequest asks the daemon to eagerly build (or finish building) one
+// registered graph's serving substrates — registration-independent, so a
+// standby that adopted a graph can warm it without re-registering.
+type WarmRequest struct {
+	Graph string `json:"graph"`
+}
+
+// WarmResponse confirms the warm completed.
+type WarmResponse struct {
+	Graph  string `json:"graph"`
+	Warmed bool   `json:"warmed"`
+}
+
+// handleWarm builds the graph's serving substrates before responding.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	req, err := decodeStrict[WarmRequest](data, "warm request")
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Graph == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad warm request: missing graph id"})
+		return
+	}
+	if err := s.st.Warm(r.Context(), req.Graph); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, WarmResponse{Graph: req.Graph, Warmed: true})
+}
+
+// Warm eagerly builds the graph's serving substrates on the daemon.
+func (c *Client) Warm(ctx context.Context, graph string) (*WarmResponse, error) {
+	var out WarmResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/warm", WarmRequest{Graph: graph}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// peerFetchTimeout bounds one peer snapshot fetch inside the restore
+// ladder: a dead peer must cost one rung, not the whole request budget.
+const peerFetchTimeout = 10 * time.Second
+
+// peerHTTPClient is the daemon's lazily built client for fetching
+// snapshots off peers (keep-alive pooled; shared across restores).
+func (s *Server) peerHTTPClient() *http.Client {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if s.peerHC == nil {
+		s.peerHC = &http.Client{}
+	}
+	return s.peerHC
+}
+
+// handleFetchSnapshot streams the graph's snapshot, snapstream-framed.
+// The PFSNAP bytes are encoded into memory first (bundles are a few MB
+// and the encode is pinned either way), then framed onto the response —
+// so a failure before the first body byte is still a clean JSON error.
+func (s *Server) handleFetchSnapshot(w http.ResponseWriter, r *http.Request) {
+	graph := r.PathValue("graph")
+	var buf bytes.Buffer
+	ok, err := s.st.SnapshotTo(graph, &buf)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %q", ErrNoSnapshot, graph))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := EncodeSnapStream(w, graph, buf.Bytes()); err != nil {
+		// Mid-stream failure: the client's decoder sees a truncated stream
+		// and falls back; all we can do is count it.
+		s.writeErrs.Add(1)
+		s.log.Warn("snapshot stream failed", "graph", graph, "err", err.Error())
+	}
+}
+
+// handleRestore runs the restore ladder for one graph.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	req, err := decodeStrict[RestoreRequest](data, "restore request")
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Graph == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad restore request: missing graph id"})
+		return
+	}
+	resp, err := s.restore(r.Context(), req.Graph, req.Peers)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// restore executes the fallback ladder: peer fetch (each peer in the
+// given order), then the local disk tier, then nothing. Unknown graphs
+// error; every other miss is a rung, not a failure.
+func (s *Server) restore(ctx context.Context, graph string, peers []string) (*RestoreResponse, error) {
+	resp := &RestoreResponse{Graph: graph}
+	if s.st.Graph(graph) == nil {
+		_, err := s.st.TryRestore(graph) // surfaces the typed unknown-graph error
+		return nil, err
+	}
+	for _, peer := range peers {
+		snap, err := s.fetchPeerSnapshot(ctx, peer, graph)
+		if err != nil {
+			s.log.Debug("peer snapshot fetch missed", "graph", graph, "peer", peer, "err", err.Error())
+			continue
+		}
+		installed, err := s.st.InstallSnapshot(graph, snap)
+		if err != nil {
+			s.log.Warn("peer snapshot rejected", "graph", graph, "peer", peer, "err", err.Error())
+			continue
+		}
+		// installed=false means a bundle is already resident (we lost a
+		// benign race) — equally restored from the caller's point of view.
+		resp.Restored = true
+		resp.Source, resp.Peer = "peer", peer
+		if !installed {
+			resp.Source = "resident"
+		}
+		return resp, nil
+	}
+	restored, err := s.st.TryRestore(graph)
+	if err != nil {
+		return nil, err
+	}
+	if restored {
+		resp.Restored, resp.Source = true, "disk"
+		return resp, nil
+	}
+	resp.Source = "none"
+	return resp, nil
+}
+
+// fetchPeerSnapshot pulls one graph's snapshot off a peer daemon and
+// returns the verified PFSNAP bytes.
+func (s *Server) fetchPeerSnapshot(ctx context.Context, base, graph string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, peerFetchTimeout)
+	defer cancel()
+	u := base + "/v1/snapshot/" + url.PathEscape(graph)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := s.peerHTTPClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("flowd: peer snapshot %s: status %d", u, hr.StatusCode)
+	}
+	id, snap, err := DecodeSnapStream(hr.Body, 0)
+	if err != nil {
+		return nil, err
+	}
+	if id != graph {
+		return nil, fmt.Errorf("%w: stream carries %q, asked for %q", ErrSnapStream, id, graph)
+	}
+	return snap, nil
+}
+
+// decodeStrict is the shared strict JSON decode (unknown fields and
+// trailing data rejected) for the peer plane's small request bodies.
+func decodeStrict[T any](data []byte, what string) (*T, error) {
+	var v T
+	dec := newStrictDecoder(data)
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("flowd: bad %s: %w", what, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("flowd: bad %s: trailing data after JSON object", what)
+	}
+	return &v, nil
+}
+
+// ---- client side ----
+
+// FetchSnapshot pulls graph's snapshot off the daemon and returns the
+// verified PFSNAP bytes (install them with store.InstallSnapshot, or
+// hand them to another daemon's restore path).
+func (c *Client) FetchSnapshot(ctx context.Context, graph string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/snapshot/"+url.PathEscape(graph), nil)
+	if err != nil {
+		return nil, fmt.Errorf("flowd client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("flowd client: GET /v1/snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		return nil, apiError(http.MethodGet, "/v1/snapshot/"+graph, resp.StatusCode, data)
+	}
+	id, snap, err := DecodeSnapStream(resp.Body, 0)
+	if err != nil {
+		return nil, fmt.Errorf("flowd client: snapshot stream: %w", err)
+	}
+	if id != graph {
+		return nil, fmt.Errorf("%w: stream carries %q, asked for %q", ErrSnapStream, id, graph)
+	}
+	return snap, nil
+}
+
+// Restore runs the daemon's restore ladder for one graph: peers in
+// order, then the daemon's local disk tier.
+func (c *Client) Restore(ctx context.Context, graph string, peers []string) (*RestoreResponse, error) {
+	var out RestoreResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/restore", RestoreRequest{Graph: graph, Peers: peers}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

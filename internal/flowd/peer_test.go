@@ -1,0 +1,213 @@
+package flowd
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"planarflow/internal/store"
+)
+
+func peerSpec() store.GraphSpec {
+	return store.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, Seed: 3, WLo: 1, WHi: 9, CLo: 1, CHi: 16}
+}
+
+// newPeerDaemon is newTestDaemon plus the raw base URL, which the
+// restore ladder needs as a peer address.
+func newPeerDaemon(t *testing.T, cfg store.Config) (*Client, *store.Store, string) {
+	t.Helper()
+	st := store.New(cfg)
+	srv := httptest.NewServer(NewServer(st))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL).WithHTTPClient(srv.Client()), st, srv.URL
+}
+
+func TestPeerSnapshotFetchAndRestore(t *testing.T) {
+	ctx := context.Background()
+	ca, _, baseA := newPeerDaemon(t, store.Config{})
+	cb, stb, _ := newPeerDaemon(t, store.Config{})
+
+	if _, err := ca.RegisterWarm(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ca.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// FetchSnapshot returns verified PFSNAP bytes with the right id.
+	snap, err := ca.FetchSnapshot(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if _, err := ca.FetchSnapshot(ctx, "ghost"); !IsNotFound(err) {
+		t.Fatalf("unknown graph fetch: %v", err)
+	}
+
+	// Restore on B via the peer rung: the bundle ships over, no build.
+	if _, err := cb.Register(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cb.Restore(ctx, "g", []string{baseA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Restored || resp.Source != "peer" || resp.Peer != baseA {
+		t.Fatalf("restore: %+v", resp)
+	}
+	st := stb.Snapshot()
+	if st.PeerRestores != 1 || st.Builds != 0 {
+		t.Fatalf("peer restore accounting: %+v", st)
+	}
+	got, err := cb.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || !got.Hit {
+		t.Fatalf("restored answer %+v != %+v", got, want)
+	}
+}
+
+// TestPeerRestoreTruncatedStreamFallsBack serves a snapshot stream cut
+// mid-transfer: the restore ladder must reject the rung — no partial
+// install, PeerRestores stays zero — and fall through to the next rung
+// (a good peer, or cold rebuild), with answers unchanged either way.
+func TestPeerRestoreTruncatedStreamFallsBack(t *testing.T) {
+	ctx := context.Background()
+	ca, _, baseA := newPeerDaemon(t, store.Config{})
+	if _, err := ca.RegisterWarm(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ca.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ca.FetchSnapshot(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A peer that 200s but cuts the stream partway through the data.
+	full, err := AppendSnapStream(nil, "g", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(full[:len(full)/2])
+	}))
+	t.Cleanup(bad.Close)
+
+	// Truncated peer only: every rung misses, the graph stays cold, and
+	// nothing partial is installed.
+	cb, stb, _ := newPeerDaemon(t, store.Config{})
+	if _, err := cb.Register(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cb.Restore(ctx, "g", []string{bad.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Restored || resp.Source != "none" {
+		t.Fatalf("truncated stream restored: %+v", resp)
+	}
+	st := stb.Snapshot()
+	if st.PeerRestores != 0 || st.Resident != 0 {
+		t.Fatalf("partial restore visible: %+v", st)
+	}
+	// The ladder's floor: the next query rebuilds cold and still agrees.
+	got, err := cb.Query(ctx, QueryRequest{Graph: "g", Op: "dist", U: 0, V: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Hit {
+		t.Fatalf("cold fallback answer %+v != %+v", got, want)
+	}
+
+	// Truncated peer first, good peer second: the ladder skips the bad
+	// rung and restores from the good one.
+	cc, stc, _ := newPeerDaemon(t, store.Config{})
+	if _, err := cc.Register(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cc.Restore(ctx, "g", []string{bad.URL, baseA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Restored || resp.Source != "peer" || resp.Peer != baseA {
+		t.Fatalf("good-peer rung not taken: %+v", resp)
+	}
+	if st := stc.Snapshot(); st.PeerRestores != 1 || st.Builds != 0 {
+		t.Fatalf("accounting after skip: %+v", st)
+	}
+}
+
+// TestPeerRestoreDiskRung: with peers exhausted, the ladder falls back
+// to the local disk tier.
+func TestPeerRestoreDiskRung(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	c, st, _ := newPeerDaemon(t, store.Config{SpillDir: dir})
+	t.Cleanup(st.FlushSpills)
+	if _, err := c.RegisterWarm(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Snapshot(ctx, "g"); err != nil {
+		t.Fatal(err)
+	}
+	st.FlushSpills()
+	st.EvictAll()
+	resp, err := c.Restore(ctx, "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Restored || resp.Source != "disk" {
+		t.Fatalf("disk rung: %+v", resp)
+	}
+	// Restoring a resident graph is a no-op reported as such.
+	resp, err = c.Restore(ctx, "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "resident" && (resp.Restored || resp.Source != "none") {
+		t.Fatalf("resident restore: %+v", resp)
+	}
+	// Unknown graphs surface the typed 404.
+	if _, err := c.Restore(ctx, "ghost", nil); !IsNotFound(err) {
+		t.Fatalf("unknown graph restore: %v", err)
+	}
+}
+
+// TestWarmEndpoint: the registration-independent warm builds substrates
+// on demand (the fleet client's Warm routes here).
+func TestWarmEndpoint(t *testing.T) {
+	ctx := context.Background()
+	c, st, _ := newPeerDaemon(t, store.Config{})
+	if _, err := c.Register(ctx, "g", peerSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot().Resident != 0 {
+		t.Fatal("resident before warm")
+	}
+	resp, err := c.Warm(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Warmed || resp.Graph != "g" {
+		t.Fatalf("warm: %+v", resp)
+	}
+	if st.Snapshot().Resident != 1 {
+		t.Fatal("not resident after warm")
+	}
+	// Warming twice is idempotent; warming the unknown is a 404.
+	if _, err := c.Warm(ctx, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Warm(ctx, "ghost"); !IsNotFound(err) {
+		t.Fatalf("unknown warm: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ package flowd
 // frames.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -79,7 +80,7 @@ func (s *Server) Wire() *wire.Server {
 	defer s.wireMu.Unlock()
 	if s.wireSrv == nil {
 		s.wireSrv = wire.NewServer(s)
-		s.wireSrv.Counters().RegisterObs(obs.Default(), obs.L("role", "server"))
+		s.wireSrv.Counters().RegisterObs(s.reg, obs.L("role", "server"))
 	}
 	return s.wireSrv
 }
@@ -122,9 +123,40 @@ func (s *Server) ServeFrame(ctx context.Context, op wire.Op, id uint64, payload 
 			func(resp *BatchResponse) (wire.Status, []byte) {
 				return wire.StatusOK, appendWireBatchResponse(make([]byte, 0, 32+96*len(resp.Results)), resp)
 			})
+	case wire.OpSnapB:
+		return s.serveSnapFrame(payload)
 	default:
 		return wire.StatusBadRequest, errBody(fmt.Sprintf("flowd: unknown wire op %d", op))
 	}
+}
+
+// serveSnapFrame answers one OpSnapB request: the payload is the raw
+// graph-id bytes, the response a snapstream-framed snapshot in one
+// frame. A snapshot too big for one wire frame answers StatusOverload —
+// the caller falls back to the HTTP endpoint, which has no frame cap.
+func (s *Server) serveSnapFrame(payload []byte) (wire.Status, []byte) {
+	graph := string(payload)
+	if graph == "" || len(graph) > MaxSnapIDLen {
+		return wire.StatusBadRequest, errBody(fmt.Sprintf("flowd: bad snapshot request: id length %d", len(payload)))
+	}
+	var buf bytes.Buffer
+	ok, err := s.st.SnapshotTo(graph, &buf)
+	if err != nil {
+		return wireStatusOf(err), errBody(err.Error())
+	}
+	if !ok {
+		err := fmt.Errorf("%w: %q", ErrNoSnapshot, graph)
+		return wireStatusOf(err), errBody(err.Error())
+	}
+	body, err := AppendSnapStream(make([]byte, 0, buf.Len()+64), graph, buf.Bytes())
+	if err != nil {
+		return wire.StatusInternal, errBody(err.Error())
+	}
+	if len(body) > wire.MaxPayload {
+		return wire.StatusOverload, errBody(fmt.Sprintf(
+			"flowd: snapshot of %q is %d bytes, over the %d frame cap; use GET /v1/snapshot", graph, len(body), wire.MaxPayload))
+	}
+	return wire.StatusOK, body
 }
 
 // serveQueryFrame is the wire plane's span-wrapped singleton execution,

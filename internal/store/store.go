@@ -37,10 +37,12 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"container/list"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -112,6 +114,10 @@ type GraphStats struct {
 	// SnapshotWrites counts snapshots of this graph written to the disk
 	// tier (on eviction or an explicit snapshot request).
 	SnapshotWrites int64 `json:"snapshot_writes,omitempty"`
+	// PeerRestores counts bundles this graph installed from snapshot bytes
+	// fetched off another replica (the fleet's peer-to-peer restore path),
+	// as opposed to the local disk tier.
+	PeerRestores int64 `json:"peer_restores,omitempty"`
 }
 
 // Stats is the store-wide snapshot: aggregate counters plus one entry per
@@ -127,10 +133,13 @@ type Stats struct {
 	Evictions   int64 `json:"evictions"`
 	BuildRounds int64 `json:"build_rounds"`
 	// Disk-tier counters (all zero when Config.SpillDir is unset).
-	SnapshotWrites   int64        `json:"snapshot_writes,omitempty"`
-	SnapshotRestores int64        `json:"snapshot_restores,omitempty"`
-	SnapshotErrors   int64        `json:"snapshot_errors,omitempty"`
-	PerGraph         []GraphStats `json:"per_graph"`
+	SnapshotWrites   int64 `json:"snapshot_writes,omitempty"`
+	SnapshotRestores int64 `json:"snapshot_restores,omitempty"`
+	SnapshotErrors   int64 `json:"snapshot_errors,omitempty"`
+	// PeerRestores counts bundles installed from peer-fetched snapshot
+	// bytes (InstallSnapshot) — the fleet's warm-restore path.
+	PeerRestores int64        `json:"peer_restores,omitempty"`
+	PerGraph     []GraphStats `json:"per_graph"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -158,7 +167,7 @@ type entry struct {
 
 	hits, misses, builds, evictions, buildRounds int64
 	lastAccessMS                                 int64 // Unix ms of the latest acquire
-	snapRestores, snapWrites                     int64
+	snapRestores, snapWrites, peerRestores       int64
 }
 
 // Store is the registry. Safe for concurrent use.
@@ -173,7 +182,7 @@ type Store struct {
 	hits, misses, builds, evictions int64
 	buildRounds                     int64
 	snapWrites, snapRestores        int64
-	snapErrors                      int64
+	snapErrors, peerRestores        int64
 
 	spillWG sync.WaitGroup // in-flight eviction spills
 }
@@ -626,6 +635,101 @@ func (s *Store) TryRestore(id string) (bool, error) {
 	return true, nil
 }
 
+// SnapshotTo streams the graph's current substrate snapshot into w —
+// the serving side of the fleet's peer-to-peer restore path. A bundle
+// not resident in memory is first promoted from the disk tier (a spilled
+// bundle is still shippable); (false, nil) means there is nothing to
+// ship — not resident anywhere — which is a routing fact, not an error.
+// The encode runs outside the store lock (bundles are immutable) with
+// the bundle pinned so eviction cannot race the stream.
+func (s *Store) SnapshotTo(id string, w io.Writer) (bool, error) {
+	s.mu.Lock()
+	e, ok := s.ents[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	if e.pg == nil {
+		pg := s.restoreLocked(e)
+		if pg == nil {
+			s.mu.Unlock()
+			return false, nil
+		}
+		e.pg = pg
+		e.elem = s.lru.PushFront(e)
+		st := pg.Stats()
+		e.bytes, e.substrates, e.rounds = st.Bytes, len(st.Substrates), st.BuildRounds
+		s.bytes += st.Bytes
+		e.snapRestores++
+		s.snapRestores++
+	}
+	pg := e.pg
+	e.pins++
+	s.mu.Unlock()
+	err := pg.Snapshot(w)
+	s.mu.Lock()
+	e.pins--
+	jobs := s.evictLocked() // the disk promotion may have overshot the budget
+	s.mu.Unlock()
+	s.spillAsync(jobs)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// InstallSnapshot decodes peer-fetched snapshot bytes and installs the
+// bundle for id — the receiving side of the fleet restore path. The
+// decode validates the full PFSNAP envelope (fingerprint, version,
+// checksums) against the locally registered graph, so bytes from a
+// mismatched or corrupt peer are rejected with no partial state; the
+// install is first-publish-wins ((false, nil) when a bundle went
+// resident while we were decoding — the resident one is just as good).
+// A successful install counts as a peer restore, never as builds.
+func (s *Store) InstallSnapshot(id string, data []byte) (bool, error) {
+	s.mu.Lock()
+	e, ok := s.ents[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	if e.pg != nil {
+		s.mu.Unlock()
+		return false, nil
+	}
+	gr := e.gr
+	s.mu.Unlock()
+
+	// Decode outside the lock: restore is decode-bound and must not stall
+	// the serving path. RestorePrepared guarantees no partial bundle is
+	// visible on error.
+	pg, err := planarflow.RestorePrepared(gr, bytes.NewReader(data))
+	if err != nil {
+		s.mu.Lock()
+		s.snapErrors++
+		s.mu.Unlock()
+		return false, err
+	}
+
+	s.mu.Lock()
+	if e.pg != nil {
+		s.mu.Unlock()
+		return false, nil
+	}
+	e.pg = pg
+	e.elem = s.lru.PushFront(e)
+	st := pg.Stats()
+	e.bytes, e.substrates, e.rounds = st.Bytes, len(st.Substrates), st.BuildRounds
+	s.bytes += st.Bytes
+	e.peerRestores++
+	s.peerRestores++
+	e.lastAccessMS = time.Now().UnixMilli()
+	jobs := s.evictLocked()
+	s.mu.Unlock()
+	s.spillAsync(jobs)
+	return true, nil
+}
+
 // EvictAll drops every unpinned resident bundle (a debugging/ops valve;
 // pinned bundles are left to the regular budget path). With the disk
 // tier enabled the dropped bundles spill before EvictAll returns — an
@@ -663,7 +767,7 @@ func (s *Store) Snapshot() Stats {
 		Hits: s.hits, Misses: s.misses, Builds: s.builds,
 		Evictions: s.evictions, BuildRounds: s.buildRounds,
 		SnapshotWrites: s.snapWrites, SnapshotRestores: s.snapRestores,
-		SnapshotErrors: s.snapErrors,
+		SnapshotErrors: s.snapErrors, PeerRestores: s.peerRestores,
 	}
 	ids := make([]string, 0, len(s.ents))
 	for id := range s.ents {
@@ -682,6 +786,7 @@ func (s *Store) Snapshot() Stats {
 			Evictions: e.evictions, BuildRounds: e.buildRounds,
 			LastAccessUnixMS: e.lastAccessMS,
 			SnapshotRestores: e.snapRestores, SnapshotWrites: e.snapWrites,
+			PeerRestores: e.peerRestores,
 		})
 	}
 	return st

@@ -53,7 +53,7 @@ type Conn struct {
 func dialConn(network, addr string, ctr *Counters) (*Conn, error) {
 	nc, err := net.Dial(network, addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s %s: %w", network, addr, err)
+		return nil, fmt.Errorf("%w: dial %s %s: %v", ErrUnavailable, network, addr, err)
 	}
 	c := &Conn{
 		nc:        nc,

@@ -76,8 +76,15 @@ const (
 	OpQueryB Op = 4
 	// OpBatchB is OpBatch with the binary payload codec.
 	OpBatchB Op = 5
+	// OpSnapB requests a prepared-substrate snapshot: the payload is the
+	// raw graph-id bytes, the response a snapstream-framed PFSNAP blob
+	// (internal/flowd's snapshot-stream codec) — the peer-to-peer restore
+	// path of the fleet plane. Snapshots over MaxPayload answer
+	// StatusOverload; the caller falls back to the HTTP endpoint, which
+	// has no frame cap.
+	OpSnapB Op = 6
 
-	maxOp = 5
+	maxOp = 6
 )
 
 // Status is a response frame's outcome, the wire projection of the HTTP

@@ -53,16 +53,25 @@ type Server struct {
 	h   Handler
 	ctr Counters
 
-	mu     sync.Mutex
-	lns    map[net.Listener]struct{}
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
+
+	// baseCtx parents every handler context; Close cancels it, so even a
+	// drain that degrades to an abrupt Close (Shutdown past its deadline)
+	// can cut loose handlers the drain path is still waiting on.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // NewServer wraps h in a frame server.
 func NewServer(h Handler) *Server {
-	return &Server{h: h, lns: make(map[net.Listener]struct{}), conns: make(map[net.Conn]struct{})}
+	s := &Server{h: h, lns: make(map[net.Listener]struct{}), conns: make(map[net.Conn]struct{})}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
 }
 
 // Stats snapshots the server's transport counters.
@@ -99,7 +108,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		nc, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			closed := s.closed || s.draining
 			s.mu.Unlock()
 			if closed {
 				return ErrServerClosed
@@ -107,7 +116,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return fmt.Errorf("wire: accept: %w", err)
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			nc.Close()
 			return ErrServerClosed
@@ -138,8 +147,60 @@ func (s *Server) Close() error {
 		nc.Close()
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	s.wg.Wait()
 	return nil
+}
+
+// closeReader is the half-close surface TCP and Unix-domain connections
+// share: CloseRead shuts the inbound direction so the peer's next write
+// fails and our reader sees EOF, while queued responses still flush out
+// the other direction.
+type closeReader interface{ CloseRead() error }
+
+// Shutdown drains the server gracefully: listeners stop accepting, every
+// connection's read side closes (no new requests enter), in-flight
+// handlers run to completion and their responses flush, and then the
+// connections close. If ctx expires first, Shutdown falls back to the
+// abrupt Close. Returns nil on a clean drain, ctx.Err() on timeout.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for nc := range s.conns {
+		if cr, ok := nc.(closeReader); ok {
+			cr.CloseRead()
+		} else {
+			nc.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.Close()
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// drainActive reports whether a graceful drain is in progress.
+func (s *Server) drainActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // outFrame is one response queued for a connection's writer.
@@ -155,7 +216,7 @@ type outFrame struct {
 // multiplexing their responses back in completion order.
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(s.baseCtx)
 	out := make(chan outFrame, respChanCap)
 	writerDone := make(chan struct{})
 	go s.connWriter(nc, out, writerDone)
@@ -188,12 +249,23 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 
 	// A protocol violation poisons the connection: frame boundaries are
-	// untrustworthy after it, so drop the conn rather than resync.
-	cancel()
-	nc.Close() // unblocks nothing here, but stops the writer's net writes cleanly
-	handlers.Wait()
-	close(out)
-	<-writerDone
+	// untrustworthy after it, so drop the conn rather than resync. Under a
+	// graceful drain the reader stopped via the half-close (EOF), and the
+	// order inverts: in-flight handlers run to completion, their responses
+	// flush, and only then does the socket close — that IS the drain.
+	if s.drainActive() {
+		handlers.Wait()
+		close(out)
+		<-writerDone
+		cancel()
+		nc.Close()
+	} else {
+		cancel()
+		nc.Close() // unblocks nothing here, but stops the writer's net writes cleanly
+		handlers.Wait()
+		close(out)
+		<-writerDone
+	}
 	s.mu.Lock()
 	delete(s.conns, nc)
 	s.mu.Unlock()
