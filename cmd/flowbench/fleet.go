@@ -90,6 +90,15 @@ type fleetResult struct {
 	stats        fleet.Stats
 	epochPre     uint64
 	epochPost    uint64
+
+	// The stitched adopt trace: the first post-kill request drives
+	// eject -> failover -> adopt -> peer restore inside one trace, and
+	// the journal must carry eject/adopt/peer-restore events keyed by
+	// its id.
+	traceID    string
+	traceHops  int
+	traceSpans int
+	traceOK    bool
 }
 
 func fleetBench(s *sink, c cfg) {
@@ -120,7 +129,8 @@ func fleetBench(s *sink, c cfg) {
 		postOK := res.post.matched && // gate 1: bit-identical across the kill
 			res.peerRestores > 0 && res.rebuilds == 0 && // gate 2: standby served warm
 			res.stats.Ejects >= 1 && res.stats.Failovers >= 1 &&
-			res.epochPost > res.epochPre
+			res.epochPost > res.epochPre &&
+			res.traceOK // gate 3: the failure story stitched into one trace
 		s.add(Record{
 			Exp: "FLEET", Instance: inst + ":post",
 			N: fcfg.side * fcfg.side, D: 2*fcfg.side - 2,
@@ -129,10 +139,12 @@ func fleetBench(s *sink, c cfg) {
 			HitRate: res.post.hitRate, P50MS: res.post.p50, P99MS: res.post.p99,
 			Replicas:  fcfg.replicas,
 			Failovers: res.stats.Failovers, PeerRestores: res.peerRestores,
-			Rebuilds: res.rebuilds,
+			Rebuilds: res.rebuilds, TraceHops: res.traceHops,
 		})
 		row(rep, "post:"+res.killed, fcfg.queries, res.post.qps, res.post.p50, res.post.p99,
 			res.post.hitRate, res.peerRestores, res.rebuilds, postOK)
+		fmt.Printf("    adopt trace %s: %d span(s) over %d hops (eject/adopt/peer-restore journaled)\n",
+			res.traceID, res.traceSpans, res.traceHops)
 	}
 }
 
@@ -302,6 +314,47 @@ func runFleet(fcfg fleetCfg, seed int64) (*fleetResult, error) {
 		return nil, fmt.Errorf("fleet: no owner for %s", ids[0])
 	}
 	res.killed = victim
+
+	// Adopt/trace leg setup, before the kill: one graph outside the Zipf
+	// working set, owned by the victim, registered after the standby sync
+	// (so no successor holds it) with a warmed bystander copy on the tail
+	// of its chain. The first post-kill request for it must eject the
+	// victim, fail over, adopt, and peer-restore — all inside one trace.
+	repByName := func(name string) *fleet.Replica {
+		for _, r := range reps {
+			if r != nil && r.Name == name {
+				return r
+			}
+		}
+		return nil
+	}
+	var adoptID string
+	var adoptChain []string
+	for i := 0; i < 4096 && adoptID == ""; i++ {
+		id := fmt.Sprintf("adopt-%02d", i)
+		if o, ok := fc.Owner(id); ok && o == victim {
+			if ch := fc.Ring().Successors(id, 3); len(ch) == 3 {
+				adoptID, adoptChain = id, ch
+			}
+		}
+	}
+	if adoptID == "" {
+		return nil, fmt.Errorf("fleet: no graph id hashes to victim %s", victim)
+	}
+	adoptSpec := fleetSpec(fcfg, seed, fcfg.graphs) // seed past the working set
+	if err := fc.Register(ctx, adoptID, adoptSpec); err != nil {
+		return nil, err
+	}
+	adoptReq := flowd.QueryRequest{Graph: adoptID, Op: "dist", U: 0, V: n - 1}
+	adoptWant, err := fc.Query(ctx, adoptReq)
+	if err != nil {
+		return nil, fmt.Errorf("pre-kill adopt query: %w", err)
+	}
+	bystander := flowd.NewClient(repByName(adoptChain[2]).Member().HTTP)
+	if _, err := bystander.RegisterWarm(ctx, adoptID, adoptSpec); err != nil {
+		return nil, fmt.Errorf("bystander warm: %w", err)
+	}
+
 	survivors := make([]*fleet.Replica, 0, len(reps)-1)
 	var builds0 int64
 	for i, r := range reps {
@@ -313,6 +366,16 @@ func runFleet(fcfg fleetCfg, seed int64) (*fleetResult, error) {
 		survivors = append(survivors, r)
 		builds0 += r.Store.Snapshot().Builds
 	}
+
+	// The adopt request goes first so its trace carries the whole failure
+	// story: failed attempt on the dead victim, eject, failover to a
+	// replica that never saw the graph, adopt, peer restore.
+	adoptGot, err := fc.Query(ctx, adoptReq)
+	if err != nil {
+		return nil, fmt.Errorf("post-kill adopt query: %w", err)
+	}
+	res.traceID, res.traceHops, res.traceSpans = fleetAdoptTrace(fc, survivors, adoptID)
+	res.traceOK = adoptGot.Value == adoptWant.Value && res.traceID != "" && res.traceHops >= 2
 
 	postQ, err := gen(2, fcfg.queries)
 	if err != nil {
@@ -333,6 +396,48 @@ func runFleet(fcfg fleetCfg, seed int64) (*fleetResult, error) {
 	res.stats = fc.Stats()
 	res.epochPost = fc.Ring().Epoch()
 	return res, nil
+}
+
+// fleetAdoptTrace finds the post-kill adopt trace: the newest
+// peer-restore journal event for the adopted graph names the trace; the
+// journal must also carry its eject and adopt events, and the trace must
+// stitch across the fleet client's span rings and every survivor's.
+func fleetAdoptTrace(fc *fleet.Client, survivors []*fleet.Replica, adoptID string) (traceID string, hops, spans int) {
+	events := fc.Journal().Recent()
+	for _, e := range events { // newest-first
+		if e.Type == obs.EventPeerRestore && e.Graph == adoptID {
+			traceID = e.TraceID
+			break
+		}
+	}
+	if traceID == "" {
+		return "", 0, 0
+	}
+	var sawEject, sawAdopt bool
+	for _, e := range events {
+		if e.TraceID != traceID {
+			continue
+		}
+		switch e.Type {
+		case obs.EventEject:
+			sawEject = true
+		case obs.EventAdopt:
+			sawAdopt = true
+		}
+	}
+	if !sawEject || !sawAdopt {
+		return "", 0, 0
+	}
+	rings := [][]obs.SpanView{fc.Tracer().Recent(), fc.Tracer().Slow()}
+	for _, r := range survivors {
+		rings = append(rings, r.Srv.Tracer().Recent(), r.Srv.Tracer().Slow())
+	}
+	for _, tv := range obs.Stitch(rings...) {
+		if tv.TraceID == traceID {
+			return traceID, tv.Hops, len(tv.Spans)
+		}
+	}
+	return "", 0, 0
 }
 
 // fleetHitsMisses sums the store hit/miss counters across replicas.

@@ -65,6 +65,7 @@ type Record struct {
 	Failovers    int64 `json:"failovers,omitempty"`     // requests re-routed after a replica kill
 	PeerRestores int64 `json:"peer_restores,omitempty"` // survivor bundles restored over the snapshot stream
 	Rebuilds     int64 `json:"rebuilds,omitempty"`      // survivor substrate builds after the kill (gated == 0)
+	TraceHops    int   `json:"trace_hops,omitempty"`    // distinct hops in the stitched adopt trace (gated >= 2)
 }
 
 // key identifies a record across runs for baseline comparison. Wall-clock
@@ -91,7 +92,7 @@ var csvHeader = []string{
 	"clients", "hit_rate", "evictions", "p50_ms", "p99_ms", "batch",
 	"build_ms", "restore_ms",
 	"phase_decode_ms", "phase_acquire_ms", "phase_build_ms", "phase_exec_ms", "phase_encode_ms",
-	"replicas", "failovers", "peer_restores", "rebuilds",
+	"replicas", "failovers", "peer_restores", "rebuilds", "trace_hops",
 }
 
 func newSink(csvPath, jsonlPath string) (*sink, error) {
@@ -140,6 +141,7 @@ func (s *sink) add(r Record) {
 			strconv.FormatFloat(r.PhaseEncodeMS, 'f', 4, 64),
 			strconv.Itoa(r.Replicas), strconv.FormatInt(r.Failovers, 10),
 			strconv.FormatInt(r.PeerRestores, 10), strconv.FormatInt(r.Rebuilds, 10),
+			strconv.Itoa(r.TraceHops),
 		})
 	}
 	if s.enc != nil {

@@ -13,13 +13,17 @@
 //
 // Front endpoints:
 //
-//	POST /v1/graphs   register a graph (routed to its ring owner, warm)
-//	POST /v1/query    one query, routed by graph id with failover
-//	POST /v1/batch    one batch, routed by graph id with failover
-//	GET  /fleetz      membership, aliveness, ring epoch, failover counters
-//	GET  /statsz      fleet-aggregated store stats + merged latency quantiles
-//	GET  /metricsz    merged Prometheus exposition across every replica
-//	GET  /healthz     fleet liveness (alive replicas / total)
+//	POST /v1/graphs     register a graph (routed to its ring owner, warm)
+//	POST /v1/query      one query, routed by graph id with failover
+//	POST /v1/batch      one batch, routed by graph id with failover
+//	GET  /fleetz        membership, aliveness, ring epoch, failover counters, ops journal
+//	GET  /fleettracez   end-to-end traces stitched across every replica's span
+//	                    ring and the fleet client's own (?family= ?graph=
+//	                    ?min_ms= filter spans; ?slow=1 keeps traces over
+//	                    -fleet-slow-ms)
+//	GET  /statsz        fleet-aggregated store stats + merged latency quantiles
+//	GET  /metricsz      merged Prometheus exposition across every replica
+//	GET  /healthz       fleet liveness (alive replicas / total)
 //
 // Replication: every -sync-interval the fleet client re-runs standby
 // sync — each graph's spec registered on its ring successors and the
@@ -58,6 +62,7 @@ func main() {
 	syncInterval := flag.Duration("sync-interval", 5*time.Second, "period of standby replication (0 = disabled)")
 	replication := flag.Int("replication", 1, "standby replicas per graph beyond its owner")
 	logLevel := flag.String("log-level", "warn", "structured-log threshold: debug|info|warn|error")
+	fleetSlowMS := flag.Float64("fleet-slow-ms", 250, "stitched-trace slow threshold for /fleettracez?slow=1")
 	flag.Parse()
 
 	if *replicas < 1 {
@@ -98,7 +103,7 @@ func main() {
 	}
 	defer fc.Close()
 
-	front := &front{fc: fc, reps: reps, start: time.Now()}
+	front := &front{fc: fc, reps: reps, start: time.Now(), slowMS: *fleetSlowMS}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowdfleet:", err)
@@ -142,6 +147,7 @@ func main() {
 		defer cancel()
 		hs.Shutdown(drainCtx)
 		for _, r := range reps {
+			fc.RecordDrain(r.Name)
 			if err := r.Drain(drainCtx); err != nil {
 				logger.Warn("replica drain", "replica", r.Name, "err", err.Error())
 			}
@@ -152,9 +158,10 @@ func main() {
 
 // front is the fleet's aggregating HTTP plane.
 type front struct {
-	fc    *fleet.Client
-	reps  []*fleet.Replica
-	start time.Time
+	fc     *fleet.Client
+	reps   []*fleet.Replica
+	start  time.Time
+	slowMS float64
 }
 
 func (f *front) mux() *http.ServeMux {
@@ -163,6 +170,7 @@ func (f *front) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/query", f.handleQuery)
 	mux.HandleFunc("POST /v1/batch", f.handleBatch)
 	mux.HandleFunc("GET /fleetz", f.handleFleetz)
+	mux.HandleFunc("GET /fleettracez", f.handleFleetTracez)
 	mux.HandleFunc("GET /statsz", f.handleStatsz)
 	mux.HandleFunc("GET /metricsz", f.handleMetricsz)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
@@ -198,6 +206,17 @@ func decodeBody[T any](w http.ResponseWriter, r *http.Request) (*T, bool) {
 	return &v, true
 }
 
+// traceCtx continues an inbound X-Pf-Trace at the fleet ingress: the
+// fleet client's root span joins the caller's trace instead of minting
+// a new one. Absent or malformed headers leave the context untouched.
+func traceCtx(r *http.Request) context.Context {
+	ctx := r.Context()
+	if tc := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); tc.Valid() {
+		ctx = obs.ContextWithTrace(ctx, tc)
+	}
+	return ctx
+}
+
 func (f *front) handleRegister(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeBody[flowd.RegisterRequest](w, r)
 	if !ok {
@@ -207,7 +226,7 @@ func (f *front) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "flowdfleet: missing graph id"})
 		return
 	}
-	if err := f.fc.Register(r.Context(), req.ID, req.Spec); err != nil {
+	if err := f.fc.Register(traceCtx(r), req.ID, req.Spec); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -220,7 +239,7 @@ func (f *front) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := f.fc.Query(r.Context(), *req)
+	resp, err := f.fc.Query(traceCtx(r), *req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -233,7 +252,7 @@ func (f *front) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := f.fc.QueryBatch(r.Context(), *req)
+	resp, err := f.fc.QueryBatch(traceCtx(r), *req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -242,12 +261,15 @@ func (f *front) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // fleetzResponse is the fleet-topology view: who is in the ring, who is
-// alive, which epoch routing is at, and the client's failure counters.
+// alive, which epoch routing is at, the client's failure counters, and
+// the ops event journal cross-linking membership churn to the traces
+// that caused it.
 type fleetzResponse struct {
 	Members []memberStatus `json:"members"`
 	Epoch   uint64         `json:"epoch"`
 	Alive   int            `json:"alive"`
 	Stats   fleet.Stats    `json:"stats"`
+	Journal []obs.Event    `json:"journal,omitempty"`
 }
 
 type memberStatus struct {
@@ -258,13 +280,52 @@ type memberStatus struct {
 
 func (f *front) handleFleetz(w http.ResponseWriter, r *http.Request) {
 	ring := f.fc.Ring()
-	resp := fleetzResponse{Epoch: ring.Epoch(), Alive: ring.AliveCount(), Stats: f.fc.Stats()}
+	resp := fleetzResponse{
+		Epoch: ring.Epoch(), Alive: ring.AliveCount(), Stats: f.fc.Stats(),
+		Journal: f.fc.Journal().Recent(),
+	}
 	for _, r := range f.reps {
 		resp.Members = append(resp.Members, memberStatus{
 			Name: r.Name, HTTP: r.Member().HTTP, Alive: ring.Alive(r.Name),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fleetTraceResponse is the GET /fleettracez payload: traces stitched
+// from every replica's span rings plus the fleet client's own,
+// newest-first.
+type fleetTraceResponse struct {
+	SlowThresholdMS float64         `json:"slow_threshold_ms"`
+	Traces          []obs.TraceView `json:"traces"`
+}
+
+func (f *front) handleFleetTracez(w http.ResponseWriter, r *http.Request) {
+	filter, err := flowd.SpanFilterFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	rings := [][]obs.SpanView{
+		obs.FilterSpans(f.fc.Tracer().Recent(), filter),
+		obs.FilterSpans(f.fc.Tracer().Slow(), filter),
+	}
+	for _, rep := range f.reps {
+		rings = append(rings,
+			obs.FilterSpans(rep.Srv.Tracer().Recent(), filter),
+			obs.FilterSpans(rep.Srv.Tracer().Slow(), filter))
+	}
+	traces := obs.Stitch(rings...)
+	if r.URL.Query().Get("slow") == "1" {
+		kept := traces[:0]
+		for _, tv := range traces {
+			if tv.TotalMS >= f.slowMS {
+				kept = append(kept, tv)
+			}
+		}
+		traces = kept
+	}
+	writeJSON(w, http.StatusOK, fleetTraceResponse{SlowThresholdMS: f.slowMS, Traces: traces})
 }
 
 // fleetStatsResponse is the aggregated /statsz: summed store counters,

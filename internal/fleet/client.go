@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
 	"planarflow/internal/store"
 )
 
@@ -44,6 +46,14 @@ type Options struct {
 	// Seed fixes the backoff jitter stream (0 = 1; the fleet client is
 	// deterministic given the seed, which the benchmarks rely on).
 	Seed int64
+	// TraceRing sizes the client's own span rings (0 = obs default).
+	// Every routed call roots a trace here; replicas continue it.
+	TraceRing int
+	// SlowThreshold flags routed calls at least this slow for the
+	// client's slow ring (0 = obs default).
+	SlowThreshold time.Duration
+	// JournalSize bounds the ops event journal (0 = obs default).
+	JournalSize int
 }
 
 func (o *Options) withDefaults(members int) Options {
@@ -124,6 +134,14 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// tracer holds the client's own spans: every routed call roots a
+	// trace (transport "fleet", hop 0) whose children record the route
+	// decision, each attempt, ejects, backoffs, probes, and adopts —
+	// replicas record the downstream hops, and /fleettracez stitches.
+	tracer  *obs.Tracer
+	journal *obs.Journal
+	spanSeq atomic.Uint64
+
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -156,6 +174,8 @@ func New(members []Member, opt Options) (*Client, error) {
 		specs:    map[string]store.GraphSpec{},
 		syncedAt: map[string]uint64{},
 		rng:      rand.New(rand.NewSource(o.Seed)),
+		tracer:   obs.NewTracer(o.TraceRing, o.SlowThreshold),
+		journal:  obs.NewJournal(o.JournalSize),
 		stop:     make(chan struct{}),
 	}
 	for _, m := range members {
@@ -186,6 +206,52 @@ func (c *Client) Close() error {
 
 // Ring exposes the routing ring (epoch, aliveness, placement).
 func (c *Client) Ring() *Ring { return c.ring }
+
+// Tracer exposes the client's span rings for fleet-wide stitching.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// Journal exposes the ops event journal (ejects, re-admits, epoch
+// bumps, adopts, peer restores, drains).
+func (c *Client) Journal() *obs.Journal { return c.journal }
+
+// RecordDrain journals a graceful drain of a member — called by the
+// fleet front during shutdown so the journal closes the membership
+// story it opened.
+func (c *Client) RecordDrain(member string) {
+	c.journal.Record(obs.Event{Type: obs.EventDrain, Member: member})
+}
+
+// rootSpan opens a hop-0 fleet span for one routed call. An inbound
+// trace on ctx (a nested fleet call) is continued; otherwise a fresh
+// trace is minted here — the fleet client is the usual trace root.
+func (c *Client) rootSpan(ctx context.Context, family, graph string) *obs.Span {
+	sp := obs.NewSpan(c.spanSeq.Add(1), "fleet")
+	sp.Family, sp.Graph = family, graph
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		sp.SetTrace(tc)
+	} else {
+		sp.SetTrace(obs.NewTrace())
+	}
+	return sp
+}
+
+// childSpan opens an in-process child under parent: same trace, same
+// hop.
+func (c *Client) childSpan(parent *obs.Span, family, graph string) *obs.Span {
+	sp := obs.NewSpan(c.spanSeq.Add(1), "fleet")
+	sp.Family, sp.Graph = family, graph
+	sp.SetTrace(parent.ChildCtx())
+	return sp
+}
+
+// finishSpan closes a fleet span into the client's rings.
+func (c *Client) finishSpan(sp *obs.Span, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	c.tracer.Finish(sp, time.Since(sp.Start), msg)
+}
 
 // Stats snapshots the failure-handling counters.
 func (c *Client) Stats() Stats {
@@ -221,7 +287,7 @@ func isConflict(err error) bool {
 // substrates are built before the call returns) and caches the spec for
 // adoption and standby sync. A duplicate registration is success.
 func (c *Client) Register(ctx context.Context, id string, spec store.GraphSpec) error {
-	_, err := c.withOwner(ctx, id, func(ms *memberState) (any, error) {
+	_, err := c.withOwner(ctx, id, "register", func(ctx context.Context, ms *memberState) (any, error) {
 		_, err := ms.cl.RegisterWarm(ctx, id, spec)
 		if isConflict(err) {
 			err = nil
@@ -239,7 +305,7 @@ func (c *Client) Register(ctx context.Context, id string, spec store.GraphSpec) 
 
 // Warm eagerly builds the graph's substrates on its owning replica.
 func (c *Client) Warm(ctx context.Context, graph string) error {
-	_, err := c.withOwner(ctx, graph, func(ms *memberState) (any, error) {
+	_, err := c.withOwner(ctx, graph, "warm", func(ctx context.Context, ms *memberState) (any, error) {
 		_, err := ms.cl.Warm(ctx, graph)
 		return nil, err
 	})
@@ -249,7 +315,7 @@ func (c *Client) Warm(ctx context.Context, graph string) error {
 // Query routes one query to the graph's owner, failing over along the
 // ring when the owner is down.
 func (c *Client) Query(ctx context.Context, req flowd.QueryRequest) (*flowd.QueryResponse, error) {
-	v, err := c.withOwner(ctx, req.Graph, func(ms *memberState) (any, error) {
+	v, err := c.withOwner(ctx, req.Graph, req.Op, func(ctx context.Context, ms *memberState) (any, error) {
 		return ms.cl.Query(ctx, req)
 	})
 	if err != nil {
@@ -260,7 +326,7 @@ func (c *Client) Query(ctx context.Context, req flowd.QueryRequest) (*flowd.Quer
 
 // QueryBatch routes one batch to the graph's owner.
 func (c *Client) QueryBatch(ctx context.Context, req flowd.BatchRequest) (*flowd.BatchResponse, error) {
-	v, err := c.withOwner(ctx, req.Graph, func(ms *memberState) (any, error) {
+	v, err := c.withOwner(ctx, req.Graph, "batch", func(ctx context.Context, ms *memberState) (any, error) {
 		return ms.cl.QueryBatch(ctx, req)
 	})
 	if err != nil {
@@ -272,48 +338,71 @@ func (c *Client) QueryBatch(ctx context.Context, req flowd.BatchRequest) (*flowd
 // withOwner is the routing loop every graph-keyed call runs through:
 // resolve the owner, run the call, and on failure either eject +
 // backoff + retry (transport failure), adopt + retry (owner-side
-// unknown graph with a cached spec), or surface the error.
-func (c *Client) withOwner(ctx context.Context, graph string, call func(*memberState) (any, error)) (any, error) {
+// unknown graph with a cached spec), or surface the error. The whole
+// loop runs under a hop-0 root span; each routing decision and attempt
+// is a child span, and each attempt's call runs with the attempt
+// span's propagation on ctx so the replica's server span lands one hop
+// deeper in the same trace.
+func (c *Client) withOwner(ctx context.Context, graph, family string, call func(context.Context, *memberState) (any, error)) (v any, err error) {
+	root := c.rootSpan(ctx, family, graph)
+	defer func() { c.finishSpan(root, err) }()
 	adopted := false
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
 		owner, ok := c.ring.Owner(graph)
 		if !ok {
-			return nil, ErrNoReplicas
+			err = ErrNoReplicas
+			return nil, err
 		}
+		root.Annotate("route", owner)
 		ms := c.members[owner]
-		v, err := call(ms)
-		if err == nil {
+
+		attFam := "attempt"
+		if attempt > 0 {
+			attFam = "failover"
+		}
+		att := c.childSpan(root, attFam, graph)
+		att.Annotate("member", owner)
+		att.Annotate("attempt", strconv.Itoa(attempt))
+		cctx := obs.ContextWithTrace(ctx, att.Propagate())
+		var cerr error
+		v, cerr = call(cctx, ms)
+		c.finishSpan(att, cerr)
+		if cerr == nil {
 			if attempt > 0 {
 				c.failovers.Add(1)
 			}
 			return v, nil
 		}
 		if ctx.Err() != nil {
-			return nil, err
+			return nil, cerr
 		}
 		switch {
-		case flowd.IsUnavailable(err):
-			c.eject(owner)
-			if berr := c.backoff(ctx, attempt); berr != nil {
+		case flowd.IsUnavailable(cerr):
+			c.eject(owner, root)
+			if berr := c.backoff(ctx, attempt, root); berr != nil {
+				err = cerr
 				return nil, err
 			}
-		case flowd.IsNotFound(err) && !adopted && c.hasSpec(graph):
+		case flowd.IsNotFound(cerr) && !adopted && c.hasSpec(graph):
 			// The routed replica does not hold the graph (fresh successor
 			// after a failover): register the cached spec and run the peer
 			// restore ladder, then retry the call once on the same replica.
 			adopted = true
-			if aerr := c.adopt(ctx, owner, graph); aerr != nil {
+			if aerr := c.adopt(ctx, owner, graph, root); aerr != nil {
 				if flowd.IsUnavailable(aerr) {
-					c.eject(owner)
+					c.eject(owner, root)
 					continue
 				}
-				return nil, fmt.Errorf("fleet: adopt %q on %s: %w", graph, owner, aerr)
+				err = fmt.Errorf("fleet: adopt %q on %s: %w", graph, owner, aerr)
+				return nil, err
 			}
 		default:
+			err = cerr
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("fleet: %q: retries exhausted: %w", graph, ErrNoReplicas)
+	err = fmt.Errorf("fleet: %q: retries exhausted: %w", graph, ErrNoReplicas)
+	return nil, err
 }
 
 func (c *Client) hasSpec(graph string) bool {
@@ -326,22 +415,43 @@ func (c *Client) hasSpec(graph string) bool {
 // adopt makes a replica that has never seen the graph serviceable:
 // register the cached spec (409 = already there), then run its restore
 // ladder with every other alive replica as a peer — so the bundle the
-// old owner built ships over instead of being rebuilt.
-func (c *Client) adopt(ctx context.Context, member, graph string) error {
+// old owner built ships over instead of being rebuilt. The adopt span
+// propagates onto the register/restore calls, so the adopting
+// replica's restore span and the source peer's snapfetch span land in
+// the same trace at increasing hops.
+func (c *Client) adopt(ctx context.Context, member, graph string, root *obs.Span) (err error) {
 	c.specMu.Lock()
 	spec, ok := c.specs[graph]
 	c.specMu.Unlock()
 	if !ok {
 		return store.ErrUnknownGraph
 	}
+	ad := c.childSpan(root, "adopt", graph)
+	ad.Annotate("member", member)
+	defer func() { c.finishSpan(ad, err) }()
+	actx := obs.ContextWithTrace(ctx, ad.Propagate())
 	ms := c.members[member]
-	if _, err := ms.cl.Register(ctx, graph, spec); err != nil && !isConflict(err) {
+	if _, err = ms.cl.Register(actx, graph, spec); err != nil && !isConflict(err) {
 		return err
 	}
-	if _, err := ms.cl.Restore(ctx, graph, c.peerBases(member)); err != nil {
+	resp, rerr := ms.cl.Restore(actx, graph, c.peerBases(member))
+	if rerr != nil {
+		err = rerr
 		return err
 	}
+	err = nil
 	c.adoptions.Add(1)
+	c.journal.Record(obs.Event{
+		Type: obs.EventAdopt, Member: member, Graph: graph,
+		TraceID: root.TraceID(), Detail: "source=" + resp.Source,
+	})
+	ad.Annotate("source", resp.Source)
+	if resp.Source == "peer" {
+		c.journal.Record(obs.Event{
+			Type: obs.EventPeerRestore, Member: member, Graph: graph,
+			TraceID: root.TraceID(), Detail: "peer=" + resp.Peer,
+		})
+	}
 	return nil
 }
 
@@ -359,18 +469,33 @@ func (c *Client) peerBases(self string) []string {
 }
 
 // eject marks a member dead on the ring and starts its recovery probe.
-func (c *Client) eject(member string) {
+// root is the span of the routed call that hit the failure; the
+// journal's eject and epoch-bump events carry its trace id so the
+// membership change is attributable to the request that caused it.
+func (c *Client) eject(member string, root *obs.Span) {
 	if !c.ring.Alive(member) {
 		return
 	}
+	ej := c.childSpan(root, "eject", "")
+	ej.Annotate("member", member)
 	c.ring.SetAlive(member, false)
+	epoch := c.ring.Epoch()
+	ej.Annotate("epoch", strconv.FormatUint(epoch, 10))
 	c.ejects.Add(1)
-	c.startProbe(member)
+	c.journal.Record(obs.Event{Type: obs.EventEject, Member: member, TraceID: root.TraceID()})
+	c.journal.Record(obs.Event{
+		Type: obs.EventEpochBump, Member: member, TraceID: root.TraceID(),
+		Detail: "epoch=" + strconv.FormatUint(epoch, 10),
+	})
+	c.finishSpan(ej, nil)
+	c.startProbe(member, root)
 }
 
 // startProbe launches the single background prober for an ejected
 // member: poll /healthz until it answers, then mark the member alive.
-func (c *Client) startProbe(member string) {
+// The probe span and re-admit events carry the trace of the request
+// whose failure started the watch.
+func (c *Client) startProbe(member string, root *obs.Span) {
 	if c.opt.ProbeInterval < 0 || c.closed.Load() {
 		return
 	}
@@ -378,23 +503,38 @@ func (c *Client) startProbe(member string) {
 	if !ms.probing.CompareAndSwap(false, true) {
 		return
 	}
+	traceID := root.TraceID()
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
 		defer ms.probing.Store(false)
+		pr := c.childSpan(root, "probe", "")
+		pr.Annotate("member", member)
+		polls := 0
 		t := time.NewTicker(c.opt.ProbeInterval)
 		defer t.Stop()
 		for {
 			select {
 			case <-c.stop:
+				pr.Annotate("polls", strconv.Itoa(polls))
+				c.finishSpan(pr, context.Canceled)
 				return
 			case <-t.C:
+				polls++
 				ctx, cancel := context.WithTimeout(context.Background(), c.opt.ProbeInterval)
 				_, err := ms.cl.Health(ctx)
 				cancel()
 				if err == nil {
 					c.ring.SetAlive(member, true)
+					epoch := c.ring.Epoch()
 					c.recoveries.Add(1)
+					c.journal.Record(obs.Event{Type: obs.EventReadmit, Member: member, TraceID: traceID})
+					c.journal.Record(obs.Event{
+						Type: obs.EventEpochBump, Member: member, TraceID: traceID,
+						Detail: "epoch=" + strconv.FormatUint(epoch, 10),
+					})
+					pr.Annotate("polls", strconv.Itoa(polls))
+					c.finishSpan(pr, nil)
 					return
 				}
 			}
@@ -403,8 +543,9 @@ func (c *Client) startProbe(member string) {
 }
 
 // backoff sleeps the jittered exponential delay for the given attempt,
-// honoring ctx.
-func (c *Client) backoff(ctx context.Context, attempt int) error {
+// honoring ctx. The sleep is a child span so a stitched slow trace
+// shows where the waiting went.
+func (c *Client) backoff(ctx context.Context, attempt int, root *obs.Span) error {
 	d := c.opt.BackoffBase << uint(attempt)
 	if d > c.opt.BackoffCap || d <= 0 {
 		d = c.opt.BackoffCap
@@ -414,10 +555,14 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	c.rngMu.Lock()
 	j := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 	c.rngMu.Unlock()
+	bo := c.childSpan(root, "backoff", "")
+	bo.Annotate("attempt", strconv.Itoa(attempt))
 	select {
 	case <-ctx.Done():
+		c.finishSpan(bo, ctx.Err())
 		return ctx.Err()
 	case <-time.After(j):
+		c.finishSpan(bo, nil)
 		return nil
 	}
 }
@@ -441,6 +586,7 @@ func (c *Client) SyncStandby(ctx context.Context) (int, error) {
 	}
 	c.specMu.Unlock()
 
+	root := c.rootSpan(ctx, "standby", "")
 	epoch := c.ring.Epoch()
 	synced := 0
 	var firstErr error
@@ -458,11 +604,16 @@ func (c *Client) SyncStandby(ctx context.Context) (int, error) {
 			if done {
 				continue
 			}
+			sy := c.childSpan(root, "sync", id)
+			sy.Annotate("standby", standby)
+			sy.Annotate("owner", owner)
+			sctx := obs.ContextWithTrace(ctx, sy.Propagate())
 			ms := c.members[standby]
-			if _, err := ms.cl.Register(ctx, id, specs[id]); err != nil && !isConflict(err) {
+			if _, err := ms.cl.Register(sctx, id, specs[id]); err != nil && !isConflict(err) {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("fleet: standby register %q on %s: %w", id, standby, err)
 				}
+				c.finishSpan(sy, err)
 				continue
 			}
 			// Owner first in the peer order: the freshest bundle lives there.
@@ -472,12 +623,22 @@ func (c *Client) SyncStandby(ctx context.Context) (int, error) {
 					peers = append(peers, p)
 				}
 			}
-			if _, err := ms.cl.Restore(ctx, id, peers); err != nil {
+			resp, err := ms.cl.Restore(sctx, id, peers)
+			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("fleet: standby restore %q on %s: %w", id, standby, err)
 				}
+				c.finishSpan(sy, err)
 				continue
 			}
+			if resp.Source == "peer" {
+				c.journal.Record(obs.Event{
+					Type: obs.EventPeerRestore, Member: standby, Graph: id,
+					TraceID: root.TraceID(), Detail: "peer=" + resp.Peer,
+				})
+			}
+			sy.Annotate("source", resp.Source)
+			c.finishSpan(sy, nil)
 			c.specMu.Lock()
 			c.syncedAt[key] = epoch
 			c.specMu.Unlock()
@@ -485,5 +646,7 @@ func (c *Client) SyncStandby(ctx context.Context) (int, error) {
 			c.standbySyncs.Add(1)
 		}
 	}
+	root.Annotate("synced", strconv.Itoa(synced))
+	c.finishSpan(root, firstErr)
 	return synced, firstErr
 }

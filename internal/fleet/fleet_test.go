@@ -204,7 +204,7 @@ func TestFleetProbeRecovery(t *testing.T) {
 	})
 	// Eject a live member by hand: the probe must bring it back.
 	name := c.Ring().Members()[0]
-	c.eject(name)
+	c.eject(name, c.rootSpan(context.Background(), "test", ""))
 	if c.Ring().Alive(name) {
 		t.Fatal("eject did not mark dead")
 	}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"planarflow/internal/flowd"
+	"planarflow/internal/obs"
+	"planarflow/internal/store"
+)
+
+// TestFleetTraceDifferential pins trace propagation across both
+// transports: one trace id minted by the caller must appear on the
+// fleet client's hop-0 spans and on the owning replica's hop-1 server
+// span, whether the query crossed the HTTP plane or the binary wire
+// plane — and the rings must stitch into one two-hop trace.
+func TestFleetTraceDifferential(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		wire bool
+	}{{"http", false}, {"wire", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			dir := t.TempDir()
+			reps := make([]*Replica, 2)
+			members := make([]Member, 2)
+			for i := range reps {
+				r, err := StartReplica(ReplicaConfig{
+					Name:  fmt.Sprintf("r%d", i),
+					Store: store.Config{SpillDir: dir},
+					Wire:  mode.wire,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				reps[i] = r
+				members[i] = r.Member()
+				t.Cleanup(r.Stop)
+			}
+			c, err := New(members, Options{ProbeInterval: -1, Wire: mode.wire})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+
+			const id = "traced-graph"
+			if err := c.Register(context.Background(), id, testSpec(3)); err != nil {
+				t.Fatal(err)
+			}
+
+			tc := obs.NewTrace()
+			ctx := obs.ContextWithTrace(context.Background(), tc)
+			resp, err := c.Query(ctx, flowd.QueryRequest{Graph: id, Op: "dist", U: 0, V: 35})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.Hit {
+				t.Fatal("warm-registered graph missed")
+			}
+			want := tc.TraceID()
+
+			// Hop 0: the fleet client's root span continues the caller's
+			// trace, and its attempt child is parented under it.
+			var root, attempt *obs.SpanView
+			fleetSpans := c.Tracer().Recent()
+			for i, v := range fleetSpans {
+				if v.TraceID != want {
+					continue
+				}
+				switch v.Family {
+				case "dist":
+					root = &fleetSpans[i]
+				case "attempt":
+					attempt = &fleetSpans[i]
+				}
+			}
+			if root == nil || attempt == nil {
+				t.Fatalf("fleet rings missing root/attempt for trace %s: %+v", want, fleetSpans)
+			}
+			if root.Transport != "fleet" || root.Hop != 0 {
+				t.Fatalf("root span: %+v", root)
+			}
+			if attempt.Hop != 0 || attempt.ParentID != root.SpanID {
+				t.Fatalf("attempt span not parented under root: %+v (root span %s)", attempt, root.SpanID)
+			}
+
+			// Hop 1: the owner's server span carries the same trace id over
+			// the mode's transport.
+			owner, _ := c.Owner(id)
+			var server *obs.SpanView
+			ownerSpans := replicaByName(reps, owner).Srv.Tracer().Recent()
+			for i, v := range ownerSpans {
+				if v.TraceID == want && v.Family == "dist" {
+					server = &ownerSpans[i]
+					break
+				}
+			}
+			if server == nil {
+				t.Fatalf("owner %s has no server span for trace %s: %+v", owner, want, ownerSpans)
+			}
+			wantTransport := "http"
+			if mode.wire {
+				wantTransport = "wire"
+			}
+			if server.Transport != wantTransport {
+				t.Fatalf("server span transport %q, want %q", server.Transport, wantTransport)
+			}
+			if server.Hop != 1 {
+				t.Fatalf("server span hop %d, want 1", server.Hop)
+			}
+
+			// The rings stitch into one trace spanning both hops.
+			var stitched *obs.TraceView
+			for _, tv := range obs.Stitch(fleetSpans, ownerSpans) {
+				if tv.TraceID == want {
+					stitched = &tv
+					break
+				}
+			}
+			if stitched == nil {
+				t.Fatalf("trace %s did not stitch", want)
+			}
+			if stitched.Hops != 2 {
+				t.Fatalf("stitched hops = %d, want 2: %+v", stitched.Hops, stitched.Spans)
+			}
+			// Hop ordering: every hop-0 span precedes the hop-1 server span.
+			if last := stitched.Spans[len(stitched.Spans)-1]; last.Hop != 1 {
+				t.Fatalf("stitched trace does not end at the server hop: %+v", last)
+			}
+		})
+	}
+}

@@ -121,7 +121,7 @@ func DecodeBatch(data []byte) (*BatchRequest, error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	sp, ctx := s.beginSpan(r.Context(), "http")
+	sp, ctx := s.beginSpan(r.Context(), "http", httpTrace(r))
 	sp.Family = decodeFamily
 	data, err := readBody(w, r)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 
+	"planarflow/internal/obs"
 	"planarflow/internal/store"
 	"planarflow/internal/wire"
 )
@@ -142,6 +143,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.Header.Set(obs.TraceHeader, tc.String())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

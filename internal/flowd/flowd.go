@@ -479,7 +479,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	sp, ctx := s.beginSpan(r.Context(), "http")
+	sp, ctx := s.beginSpan(r.Context(), "http", httpTrace(r))
 	sp.Family = decodeFamily
 	data, err := readBody(w, r)
 	if err != nil {

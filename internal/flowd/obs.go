@@ -14,11 +14,14 @@ package flowd
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"planarflow/internal/obs"
@@ -109,6 +112,9 @@ func (s *Server) initObs(opt ServerOptions) {
 			"Per-request phase wall time (decode, acquire, build, exec, encode, write).",
 			obs.L("phase", p.String()))
 	}
+	tr := s.tracer
+	r.CounterFunc("trace_spans_dropped_total",
+		"Finished spans overwritten by a tracer ring wrap.", tr.Dropped)
 
 	st := s.st
 	r.Gauge("flowd_graphs", "Registered graphs.", func() float64 {
@@ -131,10 +137,39 @@ func (s *Server) initObs(opt ServerOptions) {
 }
 
 // beginSpan opens the span for one request and hands back the context
-// the execution plane should run under.
-func (s *Server) beginSpan(ctx context.Context, transport string) (*obs.Span, context.Context) {
+// the execution plane should run under. tc is the inbound trace
+// context (X-Pf-Trace on HTTP, the frame trace block on the wire); an
+// invalid tc self-roots a fresh trace so every span is stitchable. The
+// returned context also carries the span's outbound propagation, so
+// any downstream hop this request makes (peer snapshot fetch) joins
+// the same trace one hop deeper.
+func (s *Server) beginSpan(ctx context.Context, transport string, tc obs.TraceContext) (*obs.Span, context.Context) {
 	sp := obs.NewSpan(s.reqSeq.Add(1), transport)
-	return sp, obs.ContextWithSpan(ctx, sp)
+	if !tc.Valid() {
+		tc = obs.NewTrace()
+	}
+	sp.SetTrace(tc)
+	ctx = obs.ContextWithSpan(ctx, sp)
+	return sp, obs.ContextWithTrace(ctx, sp.Propagate())
+}
+
+// httpTrace extracts the inbound trace context of an HTTP request.
+func httpTrace(r *http.Request) obs.TraceContext {
+	return obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+}
+
+// beginWireSpan is beginSpan for the wire plane: the inbound trace
+// context rode the frame's trace block, which the wire server already
+// attached to ctx. The frame id doubles as the span id.
+func (s *Server) beginWireSpan(ctx context.Context, id uint64) (*obs.Span, context.Context) {
+	sp := obs.NewSpan(id, "wire")
+	tc, _ := obs.TraceFromContext(ctx)
+	if !tc.Valid() {
+		tc = obs.NewTrace()
+	}
+	sp.SetTrace(tc)
+	ctx = obs.ContextWithSpan(ctx, sp)
+	return sp, obs.ContextWithTrace(ctx, sp.Propagate())
 }
 
 // finishRequest closes out one request: end-to-end histogram, request
@@ -161,17 +196,17 @@ func (s *Server) finishRequest(sp *obs.Span, errMsg string) {
 	switch {
 	case errMsg != "":
 		s.log.Warn("request failed",
-			"id", sp.ID, "transport", sp.Transport, "family", sp.Family,
-			"graph", sp.Graph, "ms", durMS(total), "err", errMsg)
+			"id", sp.ID, "trace_id", sp.TraceID(), "transport", sp.Transport,
+			"family", sp.Family, "graph", sp.Graph, "ms", durMS(total), "err", errMsg)
 	case slow:
 		s.log.Warn("slow request",
-			"id", sp.ID, "transport", sp.Transport, "family", sp.Family,
-			"graph", sp.Graph, "ms", durMS(total),
+			"id", sp.ID, "trace_id", sp.TraceID(), "transport", sp.Transport,
+			"family", sp.Family, "graph", sp.Graph, "ms", durMS(total),
 			"build_ms", phaseMS(sp, obs.PhaseBuild), "exec_ms", phaseMS(sp, obs.PhaseExec))
 	case s.log.Enabled(context.Background(), slog.LevelDebug):
 		s.log.Debug("request",
-			"id", sp.ID, "transport", sp.Transport, "family", sp.Family,
-			"graph", sp.Graph, "route", sp.Route, "ms", durMS(total))
+			"id", sp.ID, "trace_id", sp.TraceID(), "transport", sp.Transport,
+			"family", sp.Family, "graph", sp.Graph, "route", sp.Route, "ms", durMS(total))
 	}
 }
 
@@ -231,13 +266,36 @@ type TraceResponse struct {
 }
 
 func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	f, err := SpanFilterFromQuery(r.URL.Query())
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, TraceResponse{
 		SlowThresholdMS: durMS(s.tracer.Threshold()),
 		SlowTotal:       s.tracer.SlowCount(),
-		Recent:          s.tracer.Recent(),
-		Slow:            s.tracer.Slow(),
+		Recent:          obs.FilterSpans(s.tracer.Recent(), f),
+		Slow:            obs.FilterSpans(s.tracer.Slow(), f),
 	})
 }
+
+// SpanFilterFromQuery parses the ?family= / ?graph= / ?min_ms= span
+// filters shared by /tracez and the fleet front's /fleettracez.
+func SpanFilterFromQuery(q url.Values) (obs.SpanFilter, error) {
+	f := obs.SpanFilter{Family: q.Get("family"), Graph: q.Get("graph")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return f, fmt.Errorf("flowd: bad min_ms %q", v)
+		}
+		f.MinMS = ms
+	}
+	return f, nil
+}
+
+// Tracer returns the server's span tracer — the fleet front drains it
+// for cross-replica stitching.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // VersionResponse is the GET /versionz payload: build identity plus the
 // runtime vitals an operator checks first.

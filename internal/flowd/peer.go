@@ -25,7 +25,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
+
+	"planarflow/internal/obs"
 )
 
 // newStrictDecoder is the daemon's uniform JSON stance: unknown fields
@@ -126,23 +129,32 @@ func (s *Server) peerHTTPClient() *http.Client {
 // so a failure before the first body byte is still a clean JSON error.
 func (s *Server) handleFetchSnapshot(w http.ResponseWriter, r *http.Request) {
 	graph := r.PathValue("graph")
+	sp, _ := s.beginSpan(r.Context(), "http", httpTrace(r))
+	sp.Family, sp.Graph = "snapfetch", graph
 	var buf bytes.Buffer
 	ok, err := s.st.SnapshotTo(graph, &buf)
 	if err != nil {
 		s.writeError(w, err)
+		s.finishRequest(sp, err.Error())
 		return
 	}
 	if !ok {
-		s.writeError(w, fmt.Errorf("%w: %q", ErrNoSnapshot, graph))
+		err := fmt.Errorf("%w: %q", ErrNoSnapshot, graph)
+		s.writeError(w, err)
+		s.finishRequest(sp, err.Error())
 		return
 	}
+	sp.Annotate("bytes", strconv.Itoa(buf.Len()))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := EncodeSnapStream(w, graph, buf.Bytes()); err != nil {
 		// Mid-stream failure: the client's decoder sees a truncated stream
 		// and falls back; all we can do is count it.
 		s.writeErrs.Add(1)
 		s.log.Warn("snapshot stream failed", "graph", graph, "err", err.Error())
+		s.finishRequest(sp, err.Error())
+		return
 	}
+	s.finishRequest(sp, "")
 }
 
 // handleRestore runs the restore ladder for one graph.
@@ -161,12 +173,20 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "flowd: bad restore request: missing graph id"})
 		return
 	}
-	resp, err := s.restore(r.Context(), req.Graph, req.Peers)
+	sp, ctx := s.beginSpan(r.Context(), "http", httpTrace(r))
+	sp.Family, sp.Graph = "restore", req.Graph
+	resp, err := s.restore(ctx, req.Graph, req.Peers)
 	if err != nil {
 		s.writeError(w, err)
+		s.finishRequest(sp, err.Error())
 		return
 	}
+	sp.Annotate("source", resp.Source)
+	if resp.Peer != "" {
+		sp.Annotate("peer", resp.Peer)
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+	s.finishRequest(sp, "")
 }
 
 // restore executes the fallback ladder: peer fetch (each peer in the
@@ -220,6 +240,9 @@ func (s *Server) fetchPeerSnapshot(ctx context.Context, base, graph string) ([]b
 	if err != nil {
 		return nil, err
 	}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.Header.Set(obs.TraceHeader, tc.String())
+	}
 	hr, err := s.peerHTTPClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -262,6 +285,9 @@ func (c *Client) FetchSnapshot(ctx context.Context, graph string) ([]byte, error
 		c.base+"/v1/snapshot/"+url.PathEscape(graph), nil)
 	if err != nil {
 		return nil, fmt.Errorf("flowd client: %w", err)
+	}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.Header.Set(obs.TraceHeader, tc.String())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -164,7 +164,7 @@ func (s *Server) serveSnapFrame(payload []byte) (wire.Status, []byte) {
 func (s *Server) serveQueryFrame(ctx context.Context, id uint64, payload []byte,
 	decode func([]byte) (*QueryRequest, error),
 	encode func(*QueryResponse) (wire.Status, []byte)) (wire.Status, []byte) {
-	sp := obs.NewSpan(id, "wire")
+	sp, ctx := s.beginWireSpan(ctx, id)
 	sp.Family = decodeFamily
 	req, err := decode(payload)
 	sp.MarkSince(obs.PhaseDecode, sp.Start)
@@ -173,7 +173,7 @@ func (s *Server) serveQueryFrame(ctx context.Context, id uint64, payload []byte,
 		return wire.StatusBadRequest, errBody(err.Error())
 	}
 	sp.Family, sp.Graph, sp.Route = req.Op, req.Graph, routeOf(req.Simulated)
-	resp, err := s.runQuery(obs.ContextWithSpan(ctx, sp), req)
+	resp, err := s.runQuery(ctx, req)
 	if err != nil {
 		s.finishRequest(sp, err.Error())
 		return wireStatusOf(err), errBody(err.Error())
@@ -192,7 +192,7 @@ func (s *Server) serveQueryFrame(ctx context.Context, id uint64, payload []byte,
 func (s *Server) serveBatchFrame(ctx context.Context, id uint64, payload []byte,
 	decode func([]byte) (*BatchRequest, error),
 	encode func(*BatchResponse) (wire.Status, []byte)) (wire.Status, []byte) {
-	sp := obs.NewSpan(id, "wire")
+	sp, ctx := s.beginWireSpan(ctx, id)
 	sp.Family = decodeFamily
 	req, err := decode(payload)
 	sp.MarkSince(obs.PhaseDecode, sp.Start)
@@ -202,7 +202,7 @@ func (s *Server) serveBatchFrame(ctx context.Context, id uint64, payload []byte,
 	}
 	sp.Family, sp.Graph = batchFamily, req.Graph
 	s.Wire().Counters().AddCoalesced(len(req.Queries))
-	resp, err := s.runBatch(obs.ContextWithSpan(ctx, sp), req)
+	resp, err := s.runBatch(ctx, req)
 	if err != nil {
 		s.finishRequest(sp, err.Error())
 		return wireStatusOf(err), errBody(err.Error())

@@ -21,8 +21,8 @@ func TestBucketBoundaries(t *testing.T) {
 		{16, 16}, {17, 16}, {18, 17}, // octave [16,32): width-2 sub-buckets
 		{31, 23}, {32, 24}, // octave boundary
 		{1000, bucketIdx(1000)},
-		{-5, 0},                      // negative clamps to zero
-		{1 << 62, histBuckets - 1},   // beyond histMaxMajor clamps to last
+		{-5, 0},                    // negative clamps to zero
+		{1 << 62, histBuckets - 1}, // beyond histMaxMajor clamps to last
 		{int64(^uint64(0) >> 1), histBuckets - 1},
 	}
 	for _, g := range golden {

@@ -1,0 +1,78 @@
+package obs
+
+// Cross-replica trace stitching: /fleettracez drains every replica's
+// tracer ring plus the fleet client's own and hands the spans here.
+// Spans sharing a trace id become one TraceView ordered by (hop, start)
+// — the control-transfer order — and traces come back newest-first.
+
+import "sort"
+
+// TraceView is one stitched end-to-end trace.
+type TraceView struct {
+	TraceID     string     `json:"trace_id"`
+	StartUnixMS int64      `json:"start_unix_ms"`
+	TotalMS     float64    `json:"total_ms"` // earliest span start to latest span end
+	Hops        int        `json:"hops"`     // distinct hop values seen
+	Spans       []SpanView `json:"spans"`
+}
+
+// Stitch groups spans from any number of rings by trace id. Untraced
+// spans are skipped; a span appearing in several rings (e.g. both the
+// recent and slow rings of one tracer) counts once. Within a trace,
+// spans order by (hop, start, span id); traces return newest-first by
+// start time.
+func Stitch(rings ...[]SpanView) []TraceView {
+	type spanKey struct {
+		trace, span string
+		start       int64
+	}
+	seen := make(map[spanKey]bool)
+	byTrace := make(map[string][]SpanView)
+	for _, ring := range rings {
+		for _, v := range ring {
+			if v.TraceID == "" {
+				continue
+			}
+			k := spanKey{v.TraceID, v.SpanID, v.StartUnixMS}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			byTrace[v.TraceID] = append(byTrace[v.TraceID], v)
+		}
+	}
+	out := make([]TraceView, 0, len(byTrace))
+	for id, spans := range byTrace {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Hop != spans[j].Hop {
+				return spans[i].Hop < spans[j].Hop
+			}
+			if spans[i].StartUnixMS != spans[j].StartUnixMS {
+				return spans[i].StartUnixMS < spans[j].StartUnixMS
+			}
+			return spans[i].SpanID < spans[j].SpanID
+		})
+		tv := TraceView{TraceID: id, Spans: spans}
+		hops := make(map[int]bool)
+		var endMS float64
+		for i, v := range spans {
+			hops[v.Hop] = true
+			if i == 0 || v.StartUnixMS < tv.StartUnixMS {
+				tv.StartUnixMS = v.StartUnixMS
+			}
+			if e := float64(v.StartUnixMS) + v.TotalMS; e > endMS {
+				endMS = e
+			}
+		}
+		tv.Hops = len(hops)
+		tv.TotalMS = endMS - float64(tv.StartUnixMS)
+		out = append(out, tv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUnixMS != out[j].StartUnixMS {
+			return out[i].StartUnixMS > out[j].StartUnixMS
+		}
+		return out[i].TraceID > out[j].TraceID
+	})
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import "testing"
+
+func sv(trace, span string, hop int, startMS int64, totalMS float64) SpanView {
+	return SpanView{TraceID: trace, SpanID: span, Hop: hop, StartUnixMS: startMS, TotalMS: totalMS}
+}
+
+func TestStitchOrdersAndDedupes(t *testing.T) {
+	// Two traces spread across three rings, with one span duplicated
+	// (present in both a recent and a slow ring) and one untraced span.
+	ringA := []SpanView{
+		sv("t1", "s2", 1, 105, 5), // t1's server hop
+		sv("t2", "s9", 0, 200, 1), // newer trace
+		{SpanID: "untraced", StartUnixMS: 50},
+	}
+	ringB := []SpanView{
+		sv("t1", "s1", 0, 100, 20), // t1's root, started first
+		sv("t1", "s3", 2, 108, 2),  // t1's deepest hop
+	}
+	ringC := []SpanView{
+		sv("t1", "s2", 1, 105, 5), // duplicate of ringA's
+	}
+	traces := Stitch(ringA, ringB, ringC)
+	if len(traces) != 2 {
+		t.Fatalf("stitched %d traces, want 2: %+v", len(traces), traces)
+	}
+	// Newest-first by start time.
+	if traces[0].TraceID != "t2" || traces[1].TraceID != "t1" {
+		t.Fatalf("trace order: %s, %s", traces[0].TraceID, traces[1].TraceID)
+	}
+	t1 := traces[1]
+	if len(t1.Spans) != 3 {
+		t.Fatalf("t1 deduped to %d spans, want 3: %+v", len(t1.Spans), t1.Spans)
+	}
+	for i, want := range []string{"s1", "s2", "s3"} {
+		if t1.Spans[i].SpanID != want {
+			t.Fatalf("t1 span order: got %s at %d, want %s", t1.Spans[i].SpanID, i, want)
+		}
+	}
+	if t1.Hops != 3 {
+		t.Fatalf("t1 hops = %d, want 3", t1.Hops)
+	}
+	if t1.StartUnixMS != 100 {
+		t.Fatalf("t1 start = %d, want 100", t1.StartUnixMS)
+	}
+	// Total spans earliest start (100) to latest end (100+20 = 120).
+	if t1.TotalMS != 20 {
+		t.Fatalf("t1 total = %v, want 20", t1.TotalMS)
+	}
+}
+
+func TestStitchSameHopOrdersByStart(t *testing.T) {
+	traces := Stitch([]SpanView{
+		sv("t", "b", 0, 20, 1),
+		sv("t", "a", 0, 10, 1),
+		sv("t", "c", 0, 15, 1),
+	})
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	got := traces[0].Spans
+	if got[0].SpanID != "a" || got[1].SpanID != "c" || got[2].SpanID != "b" {
+		t.Fatalf("same-hop order: %s %s %s", got[0].SpanID, got[1].SpanID, got[2].SpanID)
+	}
+	if traces[0].Hops != 1 {
+		t.Fatalf("hops = %d, want 1", traces[0].Hops)
+	}
+}
+
+func TestFilterSpans(t *testing.T) {
+	in := []SpanView{
+		{Family: "dist", Graph: "g1", TotalMS: 1},
+		{Family: "dist", Graph: "g2", TotalMS: 10},
+		{Family: "maxflow", Graph: "g1", TotalMS: 100},
+	}
+	if got := FilterSpans(in, SpanFilter{}); len(got) != 3 {
+		t.Fatalf("empty filter dropped spans: %d", len(got))
+	}
+	if got := FilterSpans(in, SpanFilter{Family: "dist"}); len(got) != 2 {
+		t.Fatalf("family filter: %+v", got)
+	}
+	if got := FilterSpans(in, SpanFilter{Graph: "g1"}); len(got) != 2 {
+		t.Fatalf("graph filter: %+v", got)
+	}
+	if got := FilterSpans(in, SpanFilter{MinMS: 5}); len(got) != 2 {
+		t.Fatalf("min_ms filter: %+v", got)
+	}
+	got := FilterSpans(in, SpanFilter{Family: "dist", Graph: "g2", MinMS: 5})
+	if len(got) != 1 || got[0].Graph != "g2" {
+		t.Fatalf("combined filter: %+v", got)
+	}
+	if !(SpanFilter{}).Empty() || (SpanFilter{Family: "x"}).Empty() {
+		t.Fatal("Empty misclassifies filters")
+	}
+}

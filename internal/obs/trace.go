@@ -14,6 +14,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,21 +57,72 @@ func (p Phase) String() string {
 
 // Span is one request's phase accounting. Identity fields are written
 // once by the owning handler before the span enters shared contexts;
-// phase marks are atomic.
+// phase marks are atomic, and annotations take a mutex (they are rare:
+// fleet control-plane events, not per-query marks).
 type Span struct {
 	ID        uint64
-	Transport string // "http" | "wire"
+	SpanID    uint64 // process-unique id for parent/child stitching
+	Transport string // "http" | "wire" | "fleet"
 	Family    string // query op, or "batch"
 	Graph     string
 	Route     string // "fast" | "sim" | ""
 	Start     time.Time
 
+	// Trace identity: the 128-bit trace this span belongs to, the span
+	// id of its parent, and the hop it executes at. Written once by the
+	// owner via SetTrace before the span is shared.
+	TraceHi, TraceLo uint64
+	Parent           uint64
+	Hop              uint8
+
 	phases [NumPhases]atomic.Int64 // ns
+
+	noteMu sync.Mutex
+	notes  []string
 }
 
 // NewSpan starts a span for one request.
 func NewSpan(id uint64, transport string) *Span {
-	return &Span{ID: id, Transport: transport, Start: time.Now()}
+	return &Span{ID: id, SpanID: NewSpanID(), Transport: transport, Start: time.Now()}
+}
+
+// SetTrace stamps the span with an inbound trace identity: the span
+// executes at the context's hop, under the context's parent.
+func (s *Span) SetTrace(tc TraceContext) {
+	s.TraceHi, s.TraceLo = tc.Hi, tc.Lo
+	s.Parent = tc.Parent
+	s.Hop = tc.Hop
+}
+
+// TraceID renders the span's trace id, or "" when untraced.
+func (s *Span) TraceID() string {
+	if s == nil || s.TraceHi|s.TraceLo == 0 {
+		return ""
+	}
+	return TraceContext{Hi: s.TraceHi, Lo: s.TraceLo}.TraceID()
+}
+
+// ChildCtx derives the context for a child span in the same process:
+// same trace, same hop, parented under this span.
+func (s *Span) ChildCtx() TraceContext {
+	return TraceContext{Hi: s.TraceHi, Lo: s.TraceLo, Parent: s.SpanID, Hop: s.Hop}
+}
+
+// Propagate derives the context for the next outbound hop: same trace,
+// parented under this span, hop incremented for the control transfer.
+func (s *Span) Propagate() TraceContext {
+	return TraceContext{Hi: s.TraceHi, Lo: s.TraceLo, Parent: s.SpanID, Hop: s.Hop + 1}
+}
+
+// Annotate attaches a key=value note to the span (route decisions,
+// member names, attempt counts). Nil-tolerant like the phase marks.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.noteMu.Lock()
+	s.notes = append(s.notes, key+"="+value)
+	s.noteMu.Unlock()
 }
 
 // Add charges d to phase p.
@@ -119,6 +171,11 @@ type SpanView struct {
 	Graph       string             `json:"graph,omitempty"`
 	Route       string             `json:"route,omitempty"`
 	Err         string             `json:"err,omitempty"`
+	TraceID     string             `json:"trace_id,omitempty"`
+	SpanID      string             `json:"span_id,omitempty"`
+	ParentID    string             `json:"parent_id,omitempty"`
+	Hop         int                `json:"hop"`
+	Notes       []string           `json:"notes,omitempty"`
 	StartUnixMS int64              `json:"start_unix_ms"`
 	TotalMS     float64            `json:"total_ms"`
 	PhasesMS    map[string]float64 `json:"phases_ms,omitempty"`
@@ -129,9 +186,22 @@ func view(s *Span, total time.Duration, errMsg string) SpanView {
 	v := SpanView{
 		ID: s.ID, Transport: s.Transport, Family: s.Family,
 		Graph: s.Graph, Route: s.Route, Err: errMsg,
+		TraceID:     s.TraceID(),
+		Hop:         int(s.Hop),
 		StartUnixMS: s.Start.UnixMilli(),
 		TotalMS:     float64(total.Microseconds()) / 1000,
 	}
+	if s.SpanID != 0 {
+		v.SpanID = fmt.Sprintf("%016x", s.SpanID)
+	}
+	if s.Parent != 0 {
+		v.ParentID = fmt.Sprintf("%016x", s.Parent)
+	}
+	s.noteMu.Lock()
+	if len(s.notes) > 0 {
+		v.Notes = append([]string(nil), s.notes...)
+	}
+	s.noteMu.Unlock()
 	for p := Phase(0); p < NumPhases; p++ {
 		if ns := s.phases[p].Load(); ns > 0 {
 			if v.PhasesMS == nil {
@@ -141,6 +211,43 @@ func view(s *Span, total time.Duration, errMsg string) SpanView {
 		}
 	}
 	return v
+}
+
+// SpanFilter selects spans on /tracez and /fleettracez: zero fields
+// match everything.
+type SpanFilter struct {
+	Family string  // exact family match when nonempty
+	Graph  string  // exact graph match when nonempty
+	MinMS  float64 // keep spans at least this slow
+}
+
+// Empty reports whether the filter matches every span.
+func (f SpanFilter) Empty() bool { return f.Family == "" && f.Graph == "" && f.MinMS <= 0 }
+
+// Match reports whether v passes the filter.
+func (f SpanFilter) Match(v SpanView) bool {
+	if f.Family != "" && v.Family != f.Family {
+		return false
+	}
+	if f.Graph != "" && v.Graph != f.Graph {
+		return false
+	}
+	return v.TotalMS >= f.MinMS
+}
+
+// FilterSpans returns the spans passing f, preserving order. The empty
+// filter returns the input unchanged (no copy).
+func FilterSpans(in []SpanView, f SpanFilter) []SpanView {
+	if f.Empty() {
+		return in
+	}
+	out := make([]SpanView, 0, len(in))
+	for _, v := range in {
+		if f.Match(v) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Tracer keeps the most recent finished spans in a bounded ring and the
@@ -153,6 +260,7 @@ type Tracer struct {
 	slowAt    int
 	threshold time.Duration
 	slowTotal int64
+	dropped   int64 // spans overwritten on ring wrap, both rings
 }
 
 // DefaultTraceRing is the recent-span ring size when unconfigured.
@@ -184,35 +292,50 @@ func (t *Tracer) Threshold() time.Duration { return t.threshold }
 // SlowCount returns how many finished spans crossed the threshold.
 func (t *Tracer) SlowCount() int64 { return atomic.LoadInt64(&t.slowTotal) }
 
+// Dropped returns how many finished spans a ring wrap has overwritten —
+// the registry exposes it as trace_spans_dropped_total so a too-small
+// ring stops being a silent loss.
+func (t *Tracer) Dropped() int64 { return atomic.LoadInt64(&t.dropped) }
+
 // Finish records a completed span and reports whether it was slow. The
 // span must not be marked after Finish.
 func (t *Tracer) Finish(s *Span, total time.Duration, errMsg string) bool {
 	v := view(s, total, errMsg)
 	slow := total >= t.threshold
+	overwrote := 0
 	t.mu.Lock()
-	t.recentAt = push(&t.recent, t.recentAt, cap(t.recent), v)
+	var wrapped bool
+	if t.recentAt, wrapped = push(&t.recent, t.recentAt, cap(t.recent), v); wrapped {
+		overwrote++
+	}
 	if slow {
-		t.slowAt = push(&t.slow, t.slowAt, cap(t.slow), v)
+		if t.slowAt, wrapped = push(&t.slow, t.slowAt, cap(t.slow), v); wrapped {
+			overwrote++
+		}
 	}
 	t.mu.Unlock()
 	if slow {
 		atomic.AddInt64(&t.slowTotal, 1)
 	}
+	if overwrote > 0 {
+		atomic.AddInt64(&t.dropped, int64(overwrote))
+	}
 	return slow
 }
 
 // push appends v into the ring backing slice, overwriting the oldest
-// entry once full, and returns the next write position.
-func push(ring *[]SpanView, at, size int, v SpanView) int {
+// entry once full, and returns the next write position plus whether an
+// entry was overwritten.
+func push[T any](ring *[]T, at, size int, v T) (int, bool) {
 	if len(*ring) < size {
 		*ring = append(*ring, v)
-		return 0 // unused until the ring wraps
+		return 0, false // position unused until the ring wraps
 	}
 	if at >= size {
 		at = 0
 	}
 	(*ring)[at] = v
-	return at + 1
+	return at + 1, true
 }
 
 // Recent returns the retained spans, newest first.
@@ -232,8 +355,8 @@ func (t *Tracer) Slow() []SpanView {
 // drain copies a ring out newest-first. While the ring is still filling,
 // the newest entry is the last appended; after wrapping, it is the one
 // just before the write cursor.
-func drain(ring []SpanView, at int) []SpanView {
-	out := make([]SpanView, 0, len(ring))
+func drain[T any](ring []T, at int) []T {
+	out := make([]T, 0, len(ring))
 	if len(ring) < cap(ring) {
 		for i := len(ring) - 1; i >= 0; i-- {
 			out = append(out, ring[i])

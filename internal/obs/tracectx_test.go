@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tc := TraceContext{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210, Parent: 0x1122334455667788, Hop: 7}
+	h := tc.String()
+	if len(h) != 52 || h[32] != '-' || h[49] != '-' {
+		t.Fatalf("header shape wrong: %q", h)
+	}
+	if got := ParseTraceHeader(h); got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+	// Uppercase hex parses too (forgiving on input, lowercase on output).
+	if got := ParseTraceHeader(strings.ToUpper(h)); got != tc {
+		t.Fatalf("uppercase round trip: got %+v want %+v", got, tc)
+	}
+	if tc.TraceID() != "0123456789abcdeffedcba9876543210" {
+		t.Fatalf("trace id rendering: %q", tc.TraceID())
+	}
+}
+
+func TestParseTraceHeaderMalformed(t *testing.T) {
+	good := TraceContext{Hi: 1, Lo: 2, Parent: 3, Hop: 4}.String()
+	bad := []string{
+		"",
+		"not-a-header",
+		good[:len(good)-1],                 // truncated
+		good + "0",                         // too long
+		strings.Replace(good, "-", "_", 1), // wrong separator
+		"zz" + good[2:],                    // non-hex digits
+	}
+	for _, s := range bad {
+		if tc := ParseTraceHeader(s); tc.Valid() {
+			t.Fatalf("malformed header %q parsed as %+v", s, tc)
+		}
+	}
+}
+
+func TestNewTraceAndSpanIDs(t *testing.T) {
+	a, b := NewTrace(), NewTrace()
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("minted trace invalid")
+	}
+	if a == b {
+		t.Fatalf("two minted traces collided: %+v", a)
+	}
+	if a.Hop != 0 || a.Parent != 0 {
+		t.Fatalf("root trace must start at hop 0 with no parent: %+v", a)
+	}
+	ids := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if id == 0 || ids[id] {
+			t.Fatalf("span id %d zero or duplicate at iteration %d", id, i)
+		}
+		ids[id] = true
+	}
+}
+
+func TestHopSemantics(t *testing.T) {
+	root := NewSpan(1, "fleet")
+	root.SetTrace(NewTrace())
+
+	// In-process child: same trace, same hop, parented under the span.
+	child := root.ChildCtx()
+	if child.Hi != root.TraceHi || child.Lo != root.TraceLo {
+		t.Fatal("child left the trace")
+	}
+	if child.Hop != root.Hop || child.Parent != root.SpanID {
+		t.Fatalf("child ctx: %+v (root hop %d, span %d)", child, root.Hop, root.SpanID)
+	}
+
+	// Cross-process transfer: hop increments.
+	out := root.Propagate()
+	if out.Hop != root.Hop+1 || out.Parent != root.SpanID {
+		t.Fatalf("propagated ctx: %+v", out)
+	}
+
+	// The receiving span stamps the inbound identity.
+	srv := NewSpan(2, "http")
+	srv.SetTrace(ParseTraceHeader(out.String()))
+	if srv.TraceID() != root.TraceID() || srv.Hop != root.Hop+1 {
+		t.Fatalf("server span: trace %q hop %d, want %q hop %d",
+			srv.TraceID(), srv.Hop, root.TraceID(), root.Hop+1)
+	}
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("empty context yielded a trace")
+	}
+	// An invalid context attached to ctx reads back as absent.
+	ctx := ContextWithTrace(context.Background(), TraceContext{})
+	if _, ok := TraceFromContext(ctx); ok {
+		t.Fatal("invalid trace context treated as present")
+	}
+	tc := NewTrace()
+	got, ok := TraceFromContext(ContextWithTrace(context.Background(), tc))
+	if !ok || got != tc {
+		t.Fatalf("trace did not round-trip through context: %+v ok=%v", got, ok)
+	}
+}
+
+func TestSpanAnnotations(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.Annotate("k", "v") // must not panic
+	if nilSpan.TraceID() != "" {
+		t.Fatal("nil span reported a trace id")
+	}
+	s := NewSpan(3, "fleet")
+	s.SetTrace(NewTrace())
+	s.Annotate("member", "r1")
+	s.Annotate("attempt", "0")
+	tr := NewTracer(4, 0)
+	tr.Finish(s, 0, "")
+	got := tr.Recent()[0]
+	if len(got.Notes) != 2 || got.Notes[0] != "member=r1" || got.Notes[1] != "attempt=0" {
+		t.Fatalf("notes = %+v", got.Notes)
+	}
+	if got.TraceID == "" || got.SpanID == "" {
+		t.Fatalf("trace identity missing from view: %+v", got)
+	}
+}

@@ -15,17 +15,25 @@
 // bit-identical to the HTTP route by differential tests. Framing and
 // encoding cost, not semantics, are what this package buys.
 //
-// Frame layout (integers little-endian, CRC32-IEEE over the payload,
-// mirroring the PFSNAP snapshot codec's checksum discipline):
+// Frame layout (integers little-endian, CRC32-IEEE over everything
+// between header and checksum, mirroring the PFSNAP snapshot codec's
+// checksum discipline):
 //
 //	offset size field
 //	0      2    magic "PW"
-//	2      1    version (1)
+//	2      1    version (1 or 2)
 //	3      1    kind: request Op, or 0x80|Status for responses
 //	4      8    request id (echoed verbatim in the response frame)
 //	12     4    payload length (<= MaxPayload)
-//	16     n    payload
-//	16+n   4    CRC32(payload)
+//	16     t    trace block (version 2 only, t = 25; absent in version 1)
+//	16+t   n    payload
+//	16+t+n 4    CRC32(trace block + payload)
+//
+// Version 2 frames carry a distributed-trace context between the
+// header and the payload: 8-byte trace-id high half, 8-byte low half,
+// 8-byte parent span id, 1-byte hop count. Both versions decode;
+// AppendFrame still emits version 1 (responses and untraced requests
+// stay byte-identical to old peers), AppendTracedFrame emits version 2.
 //
 // Every decode failure is a typed sentinel (ErrBadMagic, ErrVersion,
 // ErrBadKind, ErrOversize, ErrTruncated, ErrChecksum); decoding never
@@ -40,14 +48,25 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"planarflow/internal/obs"
 )
 
-// Version is the current protocol version. Peers reject anything else:
-// the protocol has no negotiation — a version bump is a fleet upgrade.
+// Version is the base protocol version (traceless frames). Peers
+// accept Version and VersionTrace and reject anything else: the
+// protocol has no negotiation — any other version is a fleet upgrade.
 const Version = 1
+
+// VersionTrace is the trace-carrying frame version: identical layout
+// with a 25-byte trace block between header and payload.
+const VersionTrace = 2
 
 // HeaderLen is the fixed frame header size preceding the payload.
 const HeaderLen = 16
+
+// traceLen is the version-2 trace block: trace id hi/lo, parent span
+// id, hop count.
+const traceLen = 8 + 8 + 8 + 1
 
 // crcLen trails every payload.
 const crcLen = 4
@@ -147,10 +166,14 @@ var (
 )
 
 // Frame is one decoded frame. Kind is a request Op for request frames
-// and respBit|Status for response frames.
+// and respBit|Status for response frames. Version records which frame
+// version carried it; Trace is the propagated trace context and is the
+// zero (invalid) context on version-1 frames.
 type Frame struct {
 	Kind    uint8
 	ID      uint64
+	Version uint8
+	Trace   obs.TraceContext
 	Payload []byte
 }
 
@@ -171,8 +194,9 @@ func validKind(kind uint8) bool {
 	return kind >= 1 && kind <= maxOp
 }
 
-// AppendFrame appends one encoded frame to dst and returns the extended
-// slice. It fails only for payloads over MaxPayload.
+// AppendFrame appends one encoded version-1 (traceless) frame to dst
+// and returns the extended slice. It fails only for payloads over
+// MaxPayload.
 func AppendFrame(dst []byte, kind uint8, id uint64, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return dst, fmt.Errorf("%w: %d > %d", ErrOversize, len(payload), MaxPayload)
@@ -190,23 +214,71 @@ func AppendFrame(dst []byte, kind uint8, id uint64, payload []byte) ([]byte, err
 	return append(dst, crc[:]...), nil
 }
 
-// checkHeader validates the fixed 16-byte header and returns the
-// declared payload length.
-func checkHeader(hdr []byte) (int, error) {
-	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
-		return 0, ErrBadMagic
+// AppendTracedFrame appends one encoded version-2 frame carrying tc
+// between header and payload. The length field still counts only the
+// payload; the CRC covers trace block plus payload.
+func AppendTracedFrame(dst []byte, kind uint8, id uint64, tc obs.TraceContext, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d > %d", ErrOversize, len(payload), MaxPayload)
 	}
-	if hdr[2] != Version {
-		return 0, fmt.Errorf("%w: %d (speak %d)", ErrVersion, hdr[2], Version)
+	var hdr [HeaderLen + traceLen]byte
+	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
+	hdr[2] = VersionTrace
+	hdr[3] = kind
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	putTrace(hdr[HeaderLen:], tc)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(hdr[HeaderLen:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var tail [crcLen]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...), nil
+}
+
+func putTrace(b []byte, tc obs.TraceContext) {
+	binary.LittleEndian.PutUint64(b[0:8], tc.Hi)
+	binary.LittleEndian.PutUint64(b[8:16], tc.Lo)
+	binary.LittleEndian.PutUint64(b[16:24], tc.Parent)
+	b[24] = tc.Hop
+}
+
+func getTrace(b []byte) obs.TraceContext {
+	return obs.TraceContext{
+		Hi:     binary.LittleEndian.Uint64(b[0:8]),
+		Lo:     binary.LittleEndian.Uint64(b[8:16]),
+		Parent: binary.LittleEndian.Uint64(b[16:24]),
+		Hop:    b[24],
+	}
+}
+
+// checkHeader validates the fixed 16-byte header and returns the
+// frame version and the declared payload length.
+func checkHeader(hdr []byte) (uint8, int, error) {
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return 0, 0, ErrBadMagic
+	}
+	if hdr[2] != Version && hdr[2] != VersionTrace {
+		return 0, 0, fmt.Errorf("%w: %d (speak %d and %d)", ErrVersion, hdr[2], Version, VersionTrace)
 	}
 	if !validKind(hdr[3]) {
-		return 0, fmt.Errorf("%w: 0x%02x", ErrBadKind, hdr[3])
+		return 0, 0, fmt.Errorf("%w: 0x%02x", ErrBadKind, hdr[3])
 	}
 	n := binary.LittleEndian.Uint32(hdr[12:16])
 	if n > MaxPayload {
-		return 0, fmt.Errorf("%w: %d > %d", ErrOversize, n, MaxPayload)
+		return 0, 0, fmt.Errorf("%w: %d > %d", ErrOversize, n, MaxPayload)
 	}
-	return int(n), nil
+	return hdr[2], int(n), nil
+}
+
+// traceExtra is the number of bytes between header and payload for a
+// frame version.
+func traceExtra(ver uint8) int {
+	if ver == VersionTrace {
+		return traceLen
+	}
+	return 0
 }
 
 // DecodeFrame decodes one frame from the front of b, returning the frame
@@ -218,23 +290,29 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	if len(b) < HeaderLen {
 		return Frame{}, 0, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), HeaderLen)
 	}
-	n, err := checkHeader(b[:HeaderLen])
+	ver, n, err := checkHeader(b[:HeaderLen])
 	if err != nil {
 		return Frame{}, 0, err
 	}
-	total := HeaderLen + n + crcLen
+	extra := traceExtra(ver)
+	total := HeaderLen + extra + n + crcLen
 	if len(b) < total {
 		return Frame{}, 0, fmt.Errorf("%w: frame declares %d bytes, %d remain", ErrTruncated, total, len(b))
 	}
-	payload := b[HeaderLen : HeaderLen+n]
-	if binary.LittleEndian.Uint32(b[HeaderLen+n:total]) != crc32.ChecksumIEEE(payload) {
+	body := b[HeaderLen : HeaderLen+extra+n]
+	if binary.LittleEndian.Uint32(b[HeaderLen+extra+n:total]) != crc32.ChecksumIEEE(body) {
 		return Frame{}, 0, ErrChecksum
 	}
-	return Frame{
+	f := Frame{
 		Kind:    b[3],
 		ID:      binary.LittleEndian.Uint64(b[4:12]),
-		Payload: payload,
-	}, total, nil
+		Version: ver,
+		Payload: body[extra:],
+	}
+	if extra > 0 {
+		f.Trace = getTrace(body)
+	}
+	return f, total, nil
 }
 
 // ReadFrame reads one frame off a connection's buffered reader. The
@@ -250,23 +328,29 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
 		return Frame{}, truncated(err)
 	}
-	n, err := checkHeader(hdr[:])
+	ver, n, err := checkHeader(hdr[:])
 	if err != nil {
 		return Frame{}, err
 	}
-	body := make([]byte, n+crcLen)
+	extra := traceExtra(ver)
+	body := make([]byte, extra+n+crcLen)
 	if _, err := io.ReadFull(br, body); err != nil {
 		return Frame{}, truncated(err)
 	}
-	payload := body[:n]
-	if binary.LittleEndian.Uint32(body[n:]) != crc32.ChecksumIEEE(payload) {
+	checked := body[:extra+n]
+	if binary.LittleEndian.Uint32(body[extra+n:]) != crc32.ChecksumIEEE(checked) {
 		return Frame{}, ErrChecksum
 	}
-	return Frame{
+	f := Frame{
 		Kind:    hdr[3],
 		ID:      binary.LittleEndian.Uint64(hdr[4:12]),
-		Payload: payload,
-	}, nil
+		Version: ver,
+		Payload: checked[extra:],
+	}
+	if extra > 0 {
+		f.Trace = getTrace(checked)
+	}
+	return f, nil
 }
 
 // truncated maps a mid-frame EOF to the sentinel; other I/O errors

@@ -106,7 +106,7 @@ func TestFrameErrors(t *testing.T) {
 		{"short-header", valid[:HeaderLen-1], ErrTruncated},
 		{"short-body", valid[:len(valid)-1], ErrTruncated},
 		{"bad-magic", corrupt(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
-		{"bad-version", corrupt(func(b []byte) { b[2] = Version + 1 }), ErrVersion},
+		{"bad-version", corrupt(func(b []byte) { b[2] = VersionTrace + 1 }), ErrVersion},
 		{"zero-kind", corrupt(func(b []byte) { b[3] = 0 }), ErrBadKind},
 		{"huge-kind", corrupt(func(b []byte) { b[3] = 0x7f }), ErrBadKind},
 		{"bad-status", corrupt(func(b []byte) { b[3] = respBit | 0x3f }), ErrBadKind},

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"planarflow/internal/obs"
 )
 
 var updateCorpus = flag.Bool("update-corpus", false, "rewrite the committed FuzzDecodeFrame seed corpus")
@@ -15,7 +17,9 @@ var updateCorpus = flag.Bool("update-corpus", false, "rewrite the committed Fuzz
 // fuzzSeeds are the interesting frame shapes the fuzzer starts from: a
 // valid request, a valid response, every rejection class (truncations at
 // both depths, flipped payload and CRC bytes, foreign magic, future
-// version, unknown kind, oversized length prefix).
+// version, unknown kind, oversized length prefix), plus the version-2
+// trace-carrying shapes (valid, truncated inside the trace block, trace
+// byte flipped under the CRC).
 func fuzzSeeds(t testing.TB) map[string][]byte {
 	valid, err := AppendFrame(nil, uint8(OpQuery), 42, []byte(`{"graph":"g","op":"dist","u":0,"v":5}`))
 	if err != nil {
@@ -25,8 +29,18 @@ func fuzzSeeds(t testing.TB) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tc := obs.TraceContext{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210, Parent: 0x1122334455667788, Hop: 2}
+	traced, err := AppendTracedFrame(nil, uint8(OpQueryB), 43, tc, []byte{0x01, 0x02, 0x03})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mut := func(i int, x byte) []byte {
 		b := append([]byte(nil), valid...)
+		b[i] ^= x
+		return b
+	}
+	mutTraced := func(i int, x byte) []byte {
+		b := append([]byte(nil), traced...)
 		b[i] ^= x
 		return b
 	}
@@ -45,6 +59,9 @@ func fuzzSeeds(t testing.TB) map[string][]byte {
 		"flipped-crc":      mut(len(valid)-1, 0x01),
 		"oversized-length": oversize,
 		"two-frames":       append(append([]byte(nil), valid...), resp...),
+		"traced-query":     traced,
+		"traced-truncated": traced[:HeaderLen+traceLen/2],
+		"traced-flipped":   mutTraced(HeaderLen+4, 0x20),
 	}
 }
 
@@ -95,8 +112,14 @@ func FuzzDecodeFrame(f *testing.F) {
 		if len(frame.Payload) > MaxPayload {
 			t.Fatalf("payload %d exceeds cap", len(frame.Payload))
 		}
-		// decode∘encode is the identity on the consumed prefix.
-		re, err := AppendFrame(nil, frame.Kind, frame.ID, frame.Payload)
+		// decode∘encode is the identity on the consumed prefix, through
+		// the encoder matching the frame's version.
+		var re []byte
+		if frame.Version == VersionTrace {
+			re, err = AppendTracedFrame(nil, frame.Kind, frame.ID, frame.Trace, frame.Payload)
+		} else {
+			re, err = AppendFrame(nil, frame.Kind, frame.ID, frame.Payload)
+		}
 		if err != nil {
 			t.Fatalf("decoded frame failed to re-encode: %v", err)
 		}

@@ -241,7 +241,11 @@ func (s *Server) serveConn(nc net.Conn) {
 		go func(f Frame) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			status, payload := s.h.ServeFrame(ctx, f.Op(), f.ID, f.Payload)
+			hctx := ctx
+			if f.Trace.Valid() {
+				hctx = obs.ContextWithTrace(ctx, f.Trace)
+			}
+			status, payload := s.h.ServeFrame(hctx, f.Op(), f.ID, f.Payload)
 			// The writer drains out until every handler is done, so this
 			// send cannot block forever even if the conn is already dead.
 			out <- outFrame{kind: respBit | uint8(status), id: f.ID, payload: payload, enq: time.Now()}
